@@ -1,0 +1,60 @@
+// Design-choice ablation (Sec. IV-E): dependency-tree mention resolution
+// vs score-only pairing. The paper motivates structural closeness with
+// the director/actor ambiguity; this bench quantifies what the tree buys
+// on the full pipeline. A second section ablates the annotation-noise
+// augmentation used during seq2seq training (a training-robustness
+// choice introduced by this implementation, documented in DESIGN.md).
+
+#include "bench/bench_util.h"
+
+#include "core/trainer.h"
+
+namespace nlidb {
+namespace bench {
+namespace {
+
+int Run() {
+  PrintHeader(
+      "Ablation: dependency-tree resolution & annotation-noise training\n"
+      "columns: dev Acc_lf Acc_qm Acc_ex | test Acc_lf Acc_qm Acc_ex");
+  BenchEnv env = MakeEnv();
+  auto pipeline = TrainPipeline(env);
+  PrintAccuracyRow("full (tree resolution)",
+                   eval::EvaluatePipeline(*pipeline, env.splits.dev),
+                   eval::EvaluatePipeline(*pipeline, env.splits.test));
+
+  {
+    std::printf("[train] score-only resolution (no dependency tree)\n");
+    core::ModelConfig config = env.config;
+    config.use_dependency_resolution = false;
+    core::NlidbPipeline variant(config, env.provider);
+    variant.Train(env.splits.train);
+    PrintAccuracyRow("- tree resolution",
+                     eval::EvaluatePipeline(variant, env.splits.dev),
+                     eval::EvaluatePipeline(variant, env.splits.test));
+  }
+
+  {
+    std::printf("[train] no annotation-noise augmentation\n");
+    core::ModelConfig config = env.config;
+    config.annotation_noise_probability = 0.0f;
+    core::NlidbPipeline variant(config, env.provider);
+    variant.Train(env.splits.train);
+    PrintAccuracyRow("- annotation noise",
+                     eval::EvaluatePipeline(variant, env.splits.dev),
+                     eval::EvaluatePipeline(variant, env.splits.test));
+  }
+
+  std::printf(
+      "\nExpected shape: both ablations score below the full system —\n"
+      "tree resolution matters most for questions with several same-kind\n"
+      "columns (director/actor), noise training for the exposure gap\n"
+      "between gold and predicted annotations.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace nlidb
+
+int main() { return nlidb::bench::Run(); }

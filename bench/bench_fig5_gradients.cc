@@ -1,0 +1,65 @@
+// Reproduces Figure 5: per-word influence profiles I(w) (word-level and
+// character-level gradient norms) for the column "winning driver" in two
+// differently-phrased questions, rendered as ASCII bars. The mention term
+// should carry the largest influence.
+
+#include "bench/bench_util.h"
+
+#include "common/strings.h"
+#include "core/adversarial.h"
+#include "core/trainer.h"
+#include "text/tokenizer.h"
+
+namespace nlidb {
+namespace bench {
+namespace {
+
+void PlotInfluence(const core::ColumnMentionClassifier& classifier,
+                   const core::AdversarialLocator& locator,
+                   const std::string& question, const char* column) {
+  const auto tokens = text::Tokenize(question);
+  const auto column_tokens = SplitWhitespace(column);
+  core::InfluenceProfile profile =
+      locator.ComputeInfluence(classifier, tokens, column_tokens);
+  float max_total = 0.0f;
+  for (float v : profile.total) max_total = std::max(max_total, v);
+  const text::Span located = locator.LocateSpan(profile);
+  std::printf("\ncolumn [%s] in: \"%s\"\n", column, question.c_str());
+  std::printf("%-14s %-8s %-8s %s\n", "token", "word", "char", "I(w)");
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    std::printf("%-14s %7.4f %7.4f %s%s\n", tokens[i].c_str(),
+                profile.word_level[i], profile.char_level[i],
+                Bar(profile.total[i], max_total).c_str(),
+                located.Contains(static_cast<int>(i)) ? "  <== mention" : "");
+  }
+}
+
+int Run() {
+  PrintHeader(
+      "Figure 5: adversarial gradients locating column 'winning driver'");
+  BenchEnv env = MakeEnv();
+  core::ColumnMentionClassifier classifier(env.config, *env.provider);
+  std::printf("[setup] training classifier...\n");
+  core::TrainColumnMentionClassifier(classifier, env.splits.train, env.config);
+  core::AdversarialLocator locator(env.config);
+
+  // The paper's two phrasings: an explicit "driver won" mention and a
+  // bare "win" paraphrase.
+  PlotInfluence(classifier, locator,
+                "which driver won the belgian grand prix on june 5 ?",
+                "winning driver");
+  PlotInfluence(classifier, locator,
+                "who is the winner of the race with 52 laps ?",
+                "winning driver");
+  std::printf(
+      "\npaper Fig. 5: the gradient-norm peak coincides with the term a\n"
+      "human perceives as the mention ('driver won' / 'win'), at both the\n"
+      "word level and the character level.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace nlidb
+
+int main() { return nlidb::bench::Run(); }

@@ -1,0 +1,68 @@
+// Reproduces Figure 7: three WikiSQL influence-profile examples —
+// column "year" mentioned through a bare year value, column "candidates"
+// mentioned by its singular form, and "years in toronto" mentioned by
+// "toronto ... 2006-07" — plotted at word and character level.
+
+#include "bench/bench_util.h"
+
+#include "common/strings.h"
+#include "core/adversarial.h"
+#include "core/trainer.h"
+#include "text/tokenizer.h"
+
+namespace nlidb {
+namespace bench {
+namespace {
+
+void PlotInfluence(const core::ColumnMentionClassifier& classifier,
+                   const core::AdversarialLocator& locator,
+                   const std::string& question, const char* column) {
+  const auto tokens = text::Tokenize(question);
+  const auto column_tokens = SplitWhitespace(column);
+  core::InfluenceProfile profile =
+      locator.ComputeInfluence(classifier, tokens, column_tokens);
+  float max_total = 0.0f;
+  for (float v : profile.total) max_total = std::max(max_total, v);
+  const text::Span located = locator.LocateSpan(profile);
+  std::printf("\ncolumn [%s] in: \"%s\"\n", column, question.c_str());
+  std::printf("%-14s %-8s %-8s %s\n", "token", "word", "char", "I(w)");
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    std::printf("%-14s %7.4f %7.4f %s%s\n", tokens[i].c_str(),
+                profile.word_level[i], profile.char_level[i],
+                Bar(profile.total[i], max_total).c_str(),
+                located.Contains(static_cast<int>(i)) ? "  <== mention" : "");
+  }
+}
+
+int Run() {
+  PrintHeader("Figure 7: WikiSQL-style adversarial gradient examples");
+  BenchEnv env = MakeEnv();
+  core::ColumnMentionClassifier classifier(env.config, *env.provider);
+  std::printf("[setup] training classifier...\n");
+  core::TrainColumnMentionClassifier(classifier, env.splits.train, env.config);
+  core::AdversarialLocator locator(env.config);
+
+  // (1) "year" inferred from a bare year token (implicit mention).
+  PlotInfluence(classifier, locator,
+                "which song was released in 2008 by the label motown ?",
+                "year");
+  // (2) a column mentioned by its singular form.
+  PlotInfluence(classifier, locator,
+                "who is the candidate affiliated with the green party ?",
+                "candidate");
+  // (3) the paper's "years in toronto" example: a season span mention.
+  PlotInfluence(classifier, locator,
+                "who played for the raptors on the toronto team in 2006-07 ?",
+                "years in toronto");
+  std::printf(
+      "\npaper Fig. 7: gradients pinpoint '2008' for [year], 'candidate'\n"
+      "for [candidates], and 'toronto ... 2006-07' for [years in toronto];\n"
+      "word- and char-level profiles share the same trend.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace nlidb
+
+int main() { return nlidb::bench::Run(); }

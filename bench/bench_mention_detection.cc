@@ -1,0 +1,78 @@
+// Reproduces the Sec. VII-A1 mention-detection comparison: accuracy of
+// canonical ($COND_COL, $COND_VAL) matches between synthesized and gold
+// SQL — ours (annotation + resolution + seq2seq) vs the TypeSQL-style
+// sketch slot filler. Paper: ours 91.8% vs TypeSQL 87.9%.
+//
+// Also reports span-level column mention precision/recall of the
+// annotator itself.
+
+#include "bench/bench_util.h"
+
+#include <set>
+
+#include "baselines/sketch_slot_filler.h"
+#include "common/strings.h"
+
+namespace nlidb {
+namespace bench {
+namespace {
+
+float CondColValAccuracy(const data::Dataset& dataset,
+                         const eval::TranslateFn& translate) {
+  if (dataset.examples.empty()) return 0.0f;
+  int ok = 0;
+  for (const data::Example& ex : dataset.examples) {
+    auto predicted = translate(ex);
+    if (!predicted.ok()) continue;
+    auto key_set = [](const sql::SelectQuery& q) {
+      std::set<std::string> keys;
+      for (const auto& c : q.conditions) {
+        keys.insert(std::to_string(c.column) + "|" +
+                    ToLower(c.value.ToString()));
+      }
+      return keys;
+    };
+    ok += key_set(*predicted) == key_set(ex.query);
+  }
+  return static_cast<float>(ok) / dataset.examples.size();
+}
+
+int Run() {
+  PrintHeader(
+      "Sec. VII-A1: $COND_COL/$COND_VAL accuracy, ours vs sketch filler");
+  BenchEnv env = MakeEnv();
+  auto pipeline = TrainPipeline(env);
+
+  std::printf("[train] sketch slot filler (TypeSQL-style)\n");
+  baselines::SketchSlotFiller sketch(env.config, env.provider);
+  sketch.Train(env.splits.train);
+
+  const float ours = CondColValAccuracy(
+      env.splits.test, [&](const data::Example& ex) {
+        return pipeline->TranslateTokens(ex.tokens, *ex.table);
+      });
+  const float sketch_acc = CondColValAccuracy(
+      env.splits.test, [&](const data::Example& ex) {
+        return sketch.Translate(ex.tokens, *ex.table);
+      });
+  std::printf("ours (adversarial annotation): %5.1f%%\n", 100 * ours);
+  std::printf("TypeSQL-style sketch filler:   %5.1f%%\n", 100 * sketch_acc);
+
+  eval::MentionReport mentions =
+      eval::EvaluateMentions(*pipeline, env.splits.test);
+  std::printf(
+      "\nannotator span-level column mention detection: P %.1f%% R %.1f%% "
+      "F1 %.1f%%\n",
+      100 * mentions.span_precision, 100 * mentions.span_recall,
+      100 * mentions.span_f1);
+  std::printf(
+      "\npaper: ours 91.8%% vs TypeSQL 87.9%% on $COND_COL/$COND_VAL.\n"
+      "Reproduction target: ours above the sketch baseline.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace nlidb
+
+int main() { return nlidb::bench::Run(); }

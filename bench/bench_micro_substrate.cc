@@ -1,0 +1,167 @@
+// Google-benchmark micro benchmarks for the substrates: tensor math,
+// autograd, RNN cells, SQL parsing/execution, statistics, generation and
+// the annotation fast paths. Not a paper table — supports the ablation
+// discussion in DESIGN.md and guards against performance regressions.
+
+#include <benchmark/benchmark.h>
+
+#include "core/annotation.h"
+#include "data/generator.h"
+#include "nn/rnn.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+#include "sql/statistics.h"
+#include "tensor/ops.h"
+#include "text/dependency.h"
+#include "text/tokenizer.h"
+
+namespace nlidb {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Tensor a = Tensor::Gaussian({n, n}, 1.0f, rng);
+  Tensor b = Tensor::Gaussian({n, n}, 1.0f, rng);
+  for (auto _ : state) {
+    Tensor c = MatMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{n} * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_AutogradBackward(benchmark::State& state) {
+  Rng rng(2);
+  Var w = MakeVar(Tensor::Gaussian({64, 64}, 0.1f, rng), true);
+  Var x = MakeVar(Tensor::Gaussian({1, 64}, 1.0f, rng));
+  for (auto _ : state) {
+    Var h = x;
+    for (int i = 0; i < 8; ++i) h = ops::Tanh(ops::MatMul(h, w));
+    Var loss = ops::SumAll(h);
+    Backward(loss);
+    w->grad.Fill(0.0f);
+  }
+}
+BENCHMARK(BM_AutogradBackward);
+
+void BM_GruStep(benchmark::State& state) {
+  const int h = static_cast<int>(state.range(0));
+  Rng rng(3);
+  nn::GruCell cell(h, h, rng);
+  Var x = MakeVar(Tensor::Gaussian({1, h}, 1.0f, rng));
+  Var state_h = cell.InitialState();
+  for (auto _ : state) {
+    state_h = cell.Step(x, state_h);
+    benchmark::DoNotOptimize(state_h->value.data());
+    // Keep the graph from growing unboundedly.
+    state_h = MakeVar(state_h->value);
+  }
+}
+BENCHMARK(BM_GruStep)->Arg(64)->Arg(128);
+
+void BM_LstmSequence(benchmark::State& state) {
+  Rng rng(4);
+  nn::StackedLstm lstm(48, 64, 1, rng);
+  Var seq = MakeVar(Tensor::Gaussian({20, 48}, 1.0f, rng));
+  for (auto _ : state) {
+    Var out = lstm.Forward(seq);
+    benchmark::DoNotOptimize(out->value.data());
+  }
+}
+BENCHMARK(BM_LstmSequence);
+
+void BM_SqlParse(benchmark::State& state) {
+  sql::Schema schema({{"race", sql::DataType::kText},
+                      {"winning_driver", sql::DataType::kText},
+                      {"points", sql::DataType::kReal}});
+  const std::string sql =
+      "SELECT winning_driver WHERE race = \"monaco grand prix\" AND "
+      "points > 10";
+  for (auto _ : state) {
+    auto q = sql::ParseSql(sql, schema);
+    benchmark::DoNotOptimize(q.ok());
+  }
+}
+BENCHMARK(BM_SqlParse);
+
+void BM_SqlExecute(benchmark::State& state) {
+  sql::Schema schema({{"name", sql::DataType::kText},
+                      {"points", sql::DataType::kReal}});
+  sql::Table table("t", schema);
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    (void)table.AddRow({sql::Value::Text("row" + std::to_string(i)),
+                        sql::Value::Real(rng.NextInt(0, 100))});
+  }
+  sql::SelectQuery q;
+  q.select_column = 0;
+  q.agg = sql::Aggregate::kCount;
+  q.conditions.push_back({1, sql::CondOp::kGt, sql::Value::Real(50)});
+  for (auto _ : state) {
+    auto r = sql::Execute(q, table);
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_SqlExecute);
+
+void BM_ColumnStatistics(benchmark::State& state) {
+  text::EmbeddingProvider provider;
+  data::GeneratorConfig gc;
+  gc.num_tables = 1;
+  gc.rows_per_table = 30;
+  data::WikiSqlGenerator gen(gc, data::TrainDomains());
+  auto table = gen.GenerateTable(0);
+  for (auto _ : state) {
+    auto stats = sql::ComputeTableStatistics(*table, provider);
+    benchmark::DoNotOptimize(stats.size());
+  }
+}
+BENCHMARK(BM_ColumnStatistics);
+
+void BM_CorpusGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    data::GeneratorConfig gc;
+    gc.num_tables = 10;
+    gc.questions_per_table = 8;
+    gc.seed = state.iterations();
+    data::WikiSqlGenerator gen(gc, data::TrainDomains());
+    data::Dataset ds = gen.Generate();
+    benchmark::DoNotOptimize(ds.examples.size());
+  }
+}
+BENCHMARK(BM_CorpusGeneration);
+
+void BM_DependencyParse(benchmark::State& state) {
+  const auto tokens = text::Tokenize(
+      "which film directed by jerzy antczak did piotr adamczyk star in ?");
+  for (auto _ : state) {
+    auto tree = text::DependencyTree::Parse(tokens);
+    benchmark::DoNotOptimize(tree.root());
+  }
+}
+BENCHMARK(BM_DependencyParse);
+
+void BM_AnnotationRoundTrip(benchmark::State& state) {
+  data::GeneratorConfig gc;
+  gc.num_tables = 2;
+  data::WikiSqlGenerator gen(gc, data::TrainDomains());
+  data::Dataset ds = gen.Generate();
+  core::AnnotationOptions options;
+  for (auto _ : state) {
+    for (const auto& ex : ds.examples) {
+      core::Annotation gold;  // empty annotation: worst-case literals
+      auto sa = core::BuildAnnotatedSql(ex.query, gold, ex.schema(), options);
+      auto rec = core::RecoverSql(sa, gold, ex.schema());
+      benchmark::DoNotOptimize(rec.ok());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * ds.examples.size());
+}
+BENCHMARK(BM_AnnotationRoundTrip);
+
+}  // namespace
+}  // namespace nlidb
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Reproduces Table II (ablation rows): starting from the full annotated
+// seq2seq, each row removes one component — half hidden size, column name
+// appending (replaced by symbol substitution), copy mechanism, table
+// header encoding — or swaps the GRU seq2seq for a transformer.
+//
+// The annotation stage (classifier, value detector, resolver) is trained
+// once and shared: ablations only differ in the translation model or the
+// annotated-sequence representation, exactly as in the paper.
+//
+// Expected shape: every ablation row scores below the full model.
+
+#include "bench/bench_util.h"
+
+#include "baselines/transformer.h"
+#include "core/trainer.h"
+
+namespace nlidb {
+namespace bench {
+namespace {
+
+eval::AccuracyReport EvalVariant(const core::NlidbPipeline& pipeline,
+                                 const core::TranslatorInterface& translator,
+                                 const core::AnnotationOptions& options,
+                                 const data::Dataset& dataset) {
+  return eval::Evaluate(dataset, [&](const data::Example& ex)
+                                     -> StatusOr<sql::SelectQuery> {
+    core::Annotation ann = pipeline.Annotate(ex.tokens, *ex.table);
+    const auto qa =
+        core::BuildAnnotatedQuestion(ex.tokens, ann, ex.schema(), options);
+    const auto sa = translator.Translate(qa);
+    return core::RecoverSql(sa, ann, ex.schema());
+  });
+}
+
+int Run() {
+  PrintHeader(
+      "Table II (ablation rows): removing components of the full model\n"
+      "columns: dev Acc_lf Acc_qm Acc_ex | test Acc_lf Acc_qm Acc_ex");
+  BenchEnv env = MakeEnv();
+  auto pipeline = TrainPipeline(env);
+
+  PrintAccuracyRow("Annotated Seq2seq (ours)",
+                   eval::EvaluatePipeline(*pipeline, env.splits.dev),
+                   eval::EvaluatePipeline(*pipeline, env.splits.test));
+
+  struct Ablation {
+    const char* name;
+    core::ModelConfig config;
+  };
+  std::vector<Ablation> ablations;
+  {
+    Ablation a{"- Half Hidden Size", env.config};
+    a.config.seq2seq_hidden = env.config.seq2seq_hidden / 2;
+    ablations.push_back(a);
+  }
+  {
+    Ablation a{"- Column Name Appending", env.config};
+    a.config.column_name_appending = false;  // symbol substitution
+    ablations.push_back(a);
+  }
+  {
+    Ablation a{"- Copy Mechanism", env.config};
+    a.config.use_copy_mechanism = false;
+    ablations.push_back(a);
+  }
+  {
+    Ablation a{"- Table Header Encoding", env.config};
+    a.config.table_header_encoding = false;
+    ablations.push_back(a);
+  }
+
+  for (const Ablation& ab : ablations) {
+    std::printf("[train] %s\n", ab.name);
+    core::AnnotationOptions options;
+    options.column_name_appending = ab.config.column_name_appending;
+    options.table_header_encoding = ab.config.table_header_encoding;
+    core::Seq2SeqTranslator variant(ab.config);
+    core::TrainSeq2Seq(variant, env.splits.train, options, ab.config);
+    PrintAccuracyRow(ab.name,
+                     EvalVariant(*pipeline, variant, options, env.splits.dev),
+                     EvalVariant(*pipeline, variant, options, env.splits.test));
+  }
+
+  {
+    std::printf("[train] - seq2seq + Transformer\n");
+    core::AnnotationOptions options;
+    baselines::TransformerTranslator transformer(env.config);
+    core::TrainSeq2Seq(transformer, env.splits.train, options, env.config);
+    PrintAccuracyRow(
+        "- seq2seq + Transformer",
+        EvalVariant(*pipeline, transformer, options, env.splits.dev),
+        EvalVariant(*pipeline, transformer, options, env.splits.test));
+  }
+
+  std::printf(
+      "\npaper Table II: each ablation drops 0.6-1.2 points below the full\n"
+      "model's 75.6%% test Acc_qm; the transformer swap drops ~6 points.\n"
+      "Reproduction target: full model on top, transformer lowest.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace nlidb
+
+int main() { return nlidb::bench::Run(); }

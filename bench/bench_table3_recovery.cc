@@ -1,0 +1,112 @@
+// Reproduces Table III: exact query-match accuracy BEFORE annotation
+// recovery (decoded s^a must equal the gold query rendered under the
+// predicted annotation) vs AFTER recovery (canonical query match of the
+// recovered SQL), for the full model and its ablation variants.
+//
+// Paper finding: "our automatic annotation will not hurt the
+// performance; on the contrary, it increases the accuracy" — recovery
+// accuracy tracks (and at paper scale slightly exceeds) the raw
+// annotated-SQL accuracy.
+
+#include "bench/bench_util.h"
+
+#include "core/trainer.h"
+
+namespace nlidb {
+namespace bench {
+namespace {
+
+struct RecoveryVariant {
+  const char* name;
+  core::ModelConfig config;
+};
+
+eval::RecoveryReport EvalVariantRecovery(
+    const core::NlidbPipeline& pipeline,
+    const core::Seq2SeqTranslator& translator,
+    const core::AnnotationOptions& options, const data::Dataset& dataset) {
+  eval::RecoveryReport report;
+  report.count = static_cast<int>(dataset.examples.size());
+  if (report.count == 0) return report;
+  int before = 0, after = 0;
+  for (const data::Example& ex : dataset.examples) {
+    core::Annotation ann = pipeline.Annotate(ex.tokens, *ex.table);
+    const auto qa =
+        core::BuildAnnotatedQuestion(ex.tokens, ann, ex.schema(), options);
+    const auto sa = translator.Translate(qa);
+    const auto gold_sa =
+        core::BuildAnnotatedSql(ex.query, ann, ex.schema(), options);
+    before += sa == gold_sa;
+    auto recovered = core::RecoverSql(sa, ann, ex.schema());
+    after += recovered.ok() &&
+             eval::QueryMatch(*recovered, ex.query, ex.schema());
+  }
+  report.acc_before = static_cast<float>(before) / report.count;
+  report.acc_after = static_cast<float>(after) / report.count;
+  return report;
+}
+
+void PrintRecoveryRow(const char* name, const eval::RecoveryReport& dev,
+                      const eval::RecoveryReport& test) {
+  std::printf("%-28s | %6.1f%% %6.1f%% | %6.1f%% %6.1f%%\n", name,
+              100 * dev.acc_before, 100 * dev.acc_after,
+              100 * test.acc_before, 100 * test.acc_after);
+}
+
+int Run() {
+  PrintHeader(
+      "Table III: Acc_qm before vs after annotation recovery\n"
+      "columns: dev before after | test before after");
+  BenchEnv env = MakeEnv();
+  auto pipeline = TrainPipeline(env);
+
+  PrintRecoveryRow("Annotated Seq2seq (ours)",
+                   eval::EvaluateRecovery(*pipeline, env.splits.dev),
+                   eval::EvaluateRecovery(*pipeline, env.splits.test));
+
+  std::vector<RecoveryVariant> variants;
+  {
+    RecoveryVariant v{"- Half Hidden Size", env.config};
+    v.config.seq2seq_hidden = env.config.seq2seq_hidden / 2;
+    variants.push_back(v);
+  }
+  {
+    RecoveryVariant v{"- Table Header Encoding", env.config};
+    v.config.table_header_encoding = false;
+    variants.push_back(v);
+  }
+  {
+    RecoveryVariant v{"- Column Name Appending", env.config};
+    v.config.column_name_appending = false;
+    variants.push_back(v);
+  }
+  {
+    RecoveryVariant v{"- Copy Mechanism", env.config};
+    v.config.use_copy_mechanism = false;
+    variants.push_back(v);
+  }
+  for (const RecoveryVariant& v : variants) {
+    std::printf("[train] %s\n", v.name);
+    core::AnnotationOptions options;
+    options.column_name_appending = v.config.column_name_appending;
+    options.table_header_encoding = v.config.table_header_encoding;
+    core::Seq2SeqTranslator variant(v.config);
+    core::TrainSeq2Seq(variant, env.splits.train, options, v.config);
+    PrintRecoveryRow(
+        v.name,
+        EvalVariantRecovery(*pipeline, variant, options, env.splits.dev),
+        EvalVariantRecovery(*pipeline, variant, options, env.splits.test));
+  }
+
+  std::printf(
+      "\npaper Table III test: 75.0%% before -> 75.6%% after for the full\n"
+      "model. Reproduction target: after-recovery accuracy tracks the\n"
+      "before-recovery accuracy closely for every variant.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace nlidb
+
+int main() { return nlidb::bench::Run(); }

@@ -1,0 +1,87 @@
+#ifndef NLIDB_BENCH_BENCH_UTIL_H_
+#define NLIDB_BENCH_BENCH_UTIL_H_
+
+// Shared setup for the paper-table benchmark binaries. Each binary
+// regenerates one table/figure of the paper (see DESIGN.md's
+// per-experiment index); they train scaled-down models from scratch on
+// the synthetic WikiSQL-style corpus, so absolute numbers differ from
+// the paper while orderings and trends are the reproduction target.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "core/pipeline.h"
+#include "data/generator.h"
+#include "eval/metrics.h"
+
+namespace nlidb {
+namespace bench {
+
+/// Corpus + provider + config shared by the benches. Sizes can be scaled
+/// with the NLIDB_BENCH_TABLES environment variable (default 60 tables).
+struct BenchEnv {
+  std::shared_ptr<text::EmbeddingProvider> provider;
+  data::Splits splits;
+  core::ModelConfig config;
+};
+
+inline int EnvTables(int fallback = 60) {
+  const char* v = std::getenv("NLIDB_BENCH_TABLES");
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+inline BenchEnv MakeEnv(uint64_t seed = 1) {
+  BenchEnv env;
+  env.provider = std::make_shared<text::EmbeddingProvider>();
+  data::RegisterDomainClusters(*env.provider);
+  data::GeneratorConfig gc;
+  gc.num_tables = EnvTables();
+  gc.questions_per_table = 8;
+  gc.seed = seed;
+  env.splits = data::GenerateWikiSqlSplits(gc);
+  env.config = core::ModelConfig::Small();
+  env.config.word_dim = env.provider->dim();
+  return env;
+}
+
+inline std::unique_ptr<core::NlidbPipeline> TrainPipeline(BenchEnv& env) {
+  auto pipeline =
+      std::make_unique<core::NlidbPipeline>(env.config, env.provider);
+  std::printf("[setup] training on %zu examples (%zu tables)...\n",
+              env.splits.train.size(), env.splits.train.tables.size());
+  core::TrainReport report = pipeline->Train(env.splits.train);
+  std::printf(
+      "[setup] losses: classifier %.3f | values %.3f | seq2seq %.3f\n\n",
+      report.classifier_loss, report.value_loss, report.seq2seq_loss);
+  return pipeline;
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("=====================================================\n");
+  std::printf("%s\n", title);
+  std::printf("=====================================================\n");
+}
+
+inline void PrintAccuracyRow(const char* name,
+                             const eval::AccuracyReport& dev,
+                             const eval::AccuracyReport& test) {
+  std::printf("%-28s | %5.1f%% %5.1f%% %5.1f%% | %5.1f%% %5.1f%% %5.1f%%\n",
+              name, 100 * dev.acc_lf, 100 * dev.acc_qm, 100 * dev.acc_ex,
+              100 * test.acc_lf, 100 * test.acc_qm, 100 * test.acc_ex);
+}
+
+/// ASCII bar for influence plots (Figs. 5 and 7).
+inline std::string Bar(float value, float max_value, int width = 40) {
+  if (max_value <= 0.0f) return "";
+  int n = static_cast<int>(value / max_value * width + 0.5f);
+  if (n < 0) n = 0;
+  if (n > width) n = width;
+  return std::string(n, '#');
+}
+
+}  // namespace bench
+}  // namespace nlidb
+
+#endif  // NLIDB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,174 @@
+// Interactive NLIDB shell (in the spirit of NaLIR-style interactive
+// systems the paper cites): train the pipeline once, load CSV tables,
+// then type natural-language questions and watch every pipeline stage.
+//
+// Usage:
+//   ./build/examples/nlidb_repl [table.csv ...]
+//
+// Commands at the prompt:
+//   \t <path.csv>   load a table from CSV and make it current
+//   \tables         list loaded tables
+//   \use <name>     switch the current table
+//   \show           print the current table
+//   \save <dir>     save trained models
+//   \q              quit
+// Anything else is treated as a question against the current table.
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "core/persistence.h"
+#include "core/pipeline.h"
+#include "data/generator.h"
+#include "sql/csv.h"
+#include "sql/executor.h"
+
+using namespace nlidb;
+
+namespace {
+
+void PrintTable(const sql::Table& table) {
+  std::printf("table '%s' (%d rows)\n", table.name().c_str(),
+              table.num_rows());
+  for (int c = 0; c < table.num_columns(); ++c) {
+    std::printf("%-20s", table.schema().column(c).name.c_str());
+  }
+  std::printf("\n");
+  for (int r = 0; r < std::min(table.num_rows(), 12); ++r) {
+    for (int c = 0; c < table.num_columns(); ++c) {
+      std::printf("%-20s", table.Cell(r, c).ToString().c_str());
+    }
+    std::printf("\n");
+  }
+  if (table.num_rows() > 12) std::printf("... (%d more)\n", table.num_rows() - 12);
+}
+
+void Ask(const core::NlidbPipeline& pipeline, const sql::Table& table,
+         const std::string& question) {
+  const auto tokens = text::Tokenize(question);
+  if (tokens.empty()) return;
+  core::Annotation annotation;
+  const auto sa =
+      pipeline.TranslateToAnnotatedSql(tokens, table, &annotation);
+  const auto qa = core::BuildAnnotatedQuestion(
+      tokens, annotation, table.schema(), pipeline.annotation_options());
+  std::printf("  q^a: %s\n", Join(qa, " ").c_str());
+  std::printf("  s^a: %s\n", Join(sa, " ").c_str());
+  auto recovered = core::RecoverSql(sa, annotation, table.schema());
+  if (!recovered.ok()) {
+    std::printf("  could not recover SQL: %s\n",
+                recovered.status().ToString().c_str());
+    return;
+  }
+  std::printf("  SQL: %s\n", sql::ToSql(*recovered, table.schema()).c_str());
+  auto result = sql::Execute(*recovered, table);
+  if (!result.ok()) {
+    std::printf("  execution error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("  result (%zu):", result->size());
+  for (size_t i = 0; i < result->size() && i < 10; ++i) {
+    std::printf(" [%s]", (*result)[i].ToString().c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto provider = std::make_shared<text::EmbeddingProvider>();
+  data::RegisterDomainClusters(*provider);
+
+  std::printf("nlidb shell — training the pipeline (about a minute)...\n");
+  data::GeneratorConfig gc;
+  gc.num_tables = 48;
+  gc.questions_per_table = 8;
+  gc.seed = 3;
+  data::Splits splits = data::GenerateWikiSqlSplits(gc);
+  core::ModelConfig config = core::ModelConfig::Small();
+  config.word_dim = provider->dim();
+  core::NlidbPipeline pipeline(config, provider);
+  pipeline.Train(splits.train);
+  std::printf("ready.\n\n");
+
+  std::vector<sql::Table> tables;
+  int current = -1;
+  auto load = [&](const std::string& path) {
+    auto table = sql::LoadCsvTable(path);
+    if (!table.ok()) {
+      std::printf("load failed: %s\n", table.status().ToString().c_str());
+      return;
+    }
+    tables.push_back(std::move(table).value());
+    current = static_cast<int>(tables.size()) - 1;
+    std::printf("loaded '%s' (%d rows, %d columns)\n",
+                tables[current].name().c_str(), tables[current].num_rows(),
+                tables[current].num_columns());
+  };
+  for (int i = 1; i < argc; ++i) load(argv[i]);
+  if (tables.empty()) {
+    // A built-in demo table so the shell is usable immediately.
+    auto demo = sql::ParseCsv(
+        "restaurant,cuisine,rating,neighborhood\n"
+        "murphy bistro,italian,4,soho\n"
+        "tanaka kitchen,japanese,5,tribeca\n"
+        "garcia grill,mexican,3,harlem\n",
+        "restaurants");
+    tables.push_back(std::move(demo).value());
+    current = 0;
+    std::printf("no CSV given; using a built-in 'restaurants' demo table.\n");
+  }
+
+  std::printf("type a question, or \\t <csv>, \\tables, \\use <name>, "
+              "\\show, \\save <dir>, \\q\n");
+  std::string line;
+  while (std::printf("nlidb> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    const std::string input = Strip(line);
+    if (input.empty()) continue;
+    if (input == "\\q" || input == "\\quit") break;
+    if (input == "\\tables") {
+      for (size_t i = 0; i < tables.size(); ++i) {
+        std::printf("%s %s\n", static_cast<int>(i) == current ? "*" : " ",
+                    tables[i].name().c_str());
+      }
+      continue;
+    }
+    if (input == "\\show") {
+      if (current >= 0) PrintTable(tables[current]);
+      continue;
+    }
+    if (StartsWith(input, "\\t ")) {
+      load(Strip(input.substr(3)));
+      continue;
+    }
+    if (StartsWith(input, "\\use ")) {
+      const std::string name = Strip(input.substr(5));
+      bool found = false;
+      for (size_t i = 0; i < tables.size(); ++i) {
+        if (tables[i].name() == name) {
+          current = static_cast<int>(i);
+          found = true;
+        }
+      }
+      std::printf(found ? "switched to '%s'\n" : "no table named '%s'\n",
+                  name.c_str());
+      continue;
+    }
+    if (StartsWith(input, "\\save ")) {
+      Status s = core::SavePipeline(pipeline, Strip(input.substr(6)));
+      std::printf("%s\n", s.ToString().c_str());
+      continue;
+    }
+    if (current < 0) {
+      std::printf("no table loaded; use \\t <csv>\n");
+      continue;
+    }
+    Ask(pipeline, tables[current], input);
+  }
+  return 0;
+}

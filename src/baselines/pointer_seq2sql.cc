@@ -1,0 +1,81 @@
+#include "baselines/pointer_seq2sql.h"
+
+#include "common/logging.h"
+#include "core/annotation.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace nlidb {
+namespace baselines {
+
+PointerSeq2Sql::PointerSeq2Sql(const core::ModelConfig& config)
+    : config_(config) {
+  translator_ = std::make_unique<core::Seq2SeqTranslator>(config);
+}
+
+std::vector<std::string> PointerSeq2Sql::BuildSource(
+    const std::vector<std::string>& tokens, const sql::Schema& schema) {
+  std::vector<std::string> out = tokens;
+  out.push_back("|");
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    if (c > 0) out.push_back(",");
+    for (const auto& w : schema.column(c).DisplayTokens()) out.push_back(w);
+  }
+  return out;
+}
+
+std::vector<std::string> PointerSeq2Sql::BuildTarget(
+    const sql::SelectQuery& query, const sql::Schema& schema) {
+  // An empty annotation renders every column as its literal name and
+  // every value as literal word tokens.
+  core::AnnotationOptions options;
+  options.table_header_encoding = false;
+  return core::BuildAnnotatedSql(query, core::Annotation{}, schema, options);
+}
+
+float PointerSeq2Sql::Train(const data::Dataset& dataset) {
+  struct Pair {
+    std::vector<std::string> source;
+    std::vector<std::string> target;
+  };
+  std::vector<Pair> pairs;
+  pairs.reserve(dataset.examples.size());
+  for (const data::Example& ex : dataset.examples) {
+    Pair p;
+    p.source = BuildSource(ex.tokens, ex.schema());
+    p.target = BuildTarget(ex.query, ex.schema());
+    translator_->AddVocabulary(p.source);
+    translator_->AddVocabulary(p.target);
+    pairs.push_back(std::move(p));
+  }
+  if (pairs.empty()) return 0.0f;
+  nn::Adam optimizer(translator_->Parameters(), config_.seq2seq_lr);
+  Rng rng(config_.seed + 21);
+  float final_loss = 0.0f;
+  for (int epoch = 0; epoch < config_.seq2seq_epochs; ++epoch) {
+    rng.Shuffle(pairs);
+    float total = 0.0f;
+    for (const Pair& p : pairs) {
+      Var loss = translator_->Loss(p.source, p.target);
+      optimizer.ZeroGrad();
+      Backward(loss);
+      nn::ClipGradNorm(optimizer.params(), config_.grad_clip);
+      optimizer.Step();
+      total += loss->value(0);
+    }
+    final_loss = total / static_cast<float>(pairs.size());
+    NLIDB_LOG(Debug) << "pointer-seq2sql epoch " << epoch << " loss "
+                     << final_loss;
+  }
+  return final_loss;
+}
+
+StatusOr<sql::SelectQuery> PointerSeq2Sql::Translate(
+    const std::vector<std::string>& tokens, const sql::Table& table) const {
+  const std::vector<std::string> sql_tokens =
+      translator_->Translate(BuildSource(tokens, table.schema()));
+  return core::RecoverSql(sql_tokens, core::Annotation{}, table.schema());
+}
+
+}  // namespace baselines
+}  // namespace nlidb

@@ -1,0 +1,56 @@
+#ifndef NLIDB_BASELINES_POINTER_SEQ2SQL_H_
+#define NLIDB_BASELINES_POINTER_SEQ2SQL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/seq2seq.h"
+#include "data/example.h"
+
+namespace nlidb {
+namespace baselines {
+
+/// A Seq2SQL-style baseline: the same encoder/decoder/copy stack as the
+/// paper's translator, but WITHOUT annotation — the source is the raw
+/// question plus the table header, and the target is the literal SQL
+/// token sequence (column names and value words spelled out).
+///
+/// This isolates the paper's core claim: annotation (separating
+/// data-specific components from latent semantic structure) is what buys
+/// accuracy and transfer; the sequence model alone does not.
+class PointerSeq2Sql {
+ public:
+  explicit PointerSeq2Sql(const core::ModelConfig& config);
+
+  PointerSeq2Sql(const PointerSeq2Sql&) = delete;
+  PointerSeq2Sql& operator=(const PointerSeq2Sql&) = delete;
+
+  /// Raw source sequence: question tokens, a separator, then each column
+  /// name's words separated by commas.
+  static std::vector<std::string> BuildSource(
+      const std::vector<std::string>& tokens, const sql::Schema& schema);
+
+  /// Raw target: literal SQL tokens (no annotation symbols).
+  static std::vector<std::string> BuildTarget(const sql::SelectQuery& query,
+                                              const sql::Schema& schema);
+
+  /// Trains on raw (question+header, SQL) pairs; returns final-epoch loss.
+  float Train(const data::Dataset& dataset);
+
+  /// Translates a question against a table.
+  StatusOr<sql::SelectQuery> Translate(const std::vector<std::string>& tokens,
+                                       const sql::Table& table) const;
+
+  core::Seq2SeqTranslator& translator() { return *translator_; }
+
+ private:
+  core::ModelConfig config_;
+  std::unique_ptr<core::Seq2SeqTranslator> translator_;
+};
+
+}  // namespace baselines
+}  // namespace nlidb
+
+#endif  // NLIDB_BASELINES_POINTER_SEQ2SQL_H_

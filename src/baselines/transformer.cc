@@ -1,0 +1,220 @@
+#include "baselines/transformer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "tensor/ops.h"
+
+namespace nlidb {
+namespace baselines {
+
+namespace {
+
+constexpr int kVocabBudget = 1536;
+constexpr float kNegInf = -1e9f;
+
+Var MakeLnParam(int d, float value) {
+  return MakeVar(Tensor::Full({d}, value), /*requires_grad=*/true);
+}
+
+/// Sinusoidal positional encodings as a constant [n, d] tensor.
+Tensor PositionalEncoding(int n, int d) {
+  Tensor pe({n, d});
+  for (int pos = 0; pos < n; ++pos) {
+    for (int i = 0; i < d; ++i) {
+      const float angle =
+          pos / std::pow(10000.0f, 2.0f * (i / 2) / static_cast<float>(d));
+      pe(pos, i) = (i % 2 == 0) ? std::sin(angle) : std::cos(angle);
+    }
+  }
+  return pe;
+}
+
+}  // namespace
+
+TransformerTranslator::TransformerTranslator(const core::ModelConfig& config,
+                                             int num_layers, int num_heads)
+    : config_(config), d_model_(config.word_dim), num_heads_(num_heads) {
+  NLIDB_CHECK(d_model_ % num_heads_ == 0) << "d_model must split into heads";
+  Rng rng(config.seed + 4);
+  embedding_ = std::make_unique<nn::Embedding>(kVocabBudget, d_model_, rng);
+  output_proj_ = std::make_unique<nn::Linear>(d_model_, kVocabBudget, rng);
+  auto make_heads = [&]() {
+    AttentionHeads h;
+    h.wq = std::make_unique<nn::Linear>(d_model_, d_model_, rng, false);
+    h.wk = std::make_unique<nn::Linear>(d_model_, d_model_, rng, false);
+    h.wv = std::make_unique<nn::Linear>(d_model_, d_model_, rng, false);
+    h.wo = std::make_unique<nn::Linear>(d_model_, d_model_, rng, false);
+    return h;
+  };
+  auto make_block = [&](bool with_cross) {
+    Block b;
+    b.self_attn = make_heads();
+    if (with_cross) b.cross_attn = make_heads();
+    b.ffn1 = std::make_unique<nn::Linear>(d_model_, 4 * d_model_, rng);
+    b.ffn2 = std::make_unique<nn::Linear>(4 * d_model_, d_model_, rng);
+    b.ln1_gain = MakeLnParam(d_model_, 1.0f);
+    b.ln1_bias = MakeLnParam(d_model_, 0.0f);
+    b.ln2_gain = MakeLnParam(d_model_, 1.0f);
+    b.ln2_bias = MakeLnParam(d_model_, 0.0f);
+    if (with_cross) {
+      b.ln3_gain = MakeLnParam(d_model_, 1.0f);
+      b.ln3_bias = MakeLnParam(d_model_, 0.0f);
+    }
+    return b;
+  };
+  for (int l = 0; l < num_layers; ++l) {
+    encoder_.push_back(make_block(false));
+    decoder_.push_back(make_block(true));
+  }
+}
+
+void TransformerTranslator::AddVocabulary(
+    const std::vector<std::string>& tokens) {
+  for (const auto& t : tokens) {
+    if (vocab_.Contains(t)) continue;
+    if (vocab_.size() >= kVocabBudget) break;
+    vocab_.AddToken(t);
+  }
+}
+
+Var TransformerTranslator::Embed(const std::vector<int>& ids) const {
+  Var emb = embedding_->Forward(ids);
+  Tensor pe = PositionalEncoding(static_cast<int>(ids.size()), d_model_);
+  pe.Scale(0.1f);  // keep positions small relative to token embeddings
+  return ops::Add(emb, MakeVar(std::move(pe)));
+}
+
+Var TransformerTranslator::Attend(const AttentionHeads& heads,
+                                  const Var& query_states,
+                                  const Var& memory_states,
+                                  bool causal) const {
+  const int dh = d_model_ / num_heads_;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+  Var q = heads.wq->Forward(query_states);   // [m, d]
+  Var k = heads.wk->Forward(memory_states);  // [n, d]
+  Var v = heads.wv->Forward(memory_states);  // [n, d]
+  const int m = q->value.rows();
+  const int n = k->value.rows();
+  std::vector<Var> head_outputs;
+  head_outputs.reserve(num_heads_);
+  for (int h = 0; h < num_heads_; ++h) {
+    Var qh = ops::SliceCols(q, h * dh, dh);
+    Var kh = ops::SliceCols(k, h * dh, dh);
+    Var vh = ops::SliceCols(v, h * dh, dh);
+    Var scores = ops::ScalarMul(ops::MatMul(qh, ops::Transpose(kh)), scale);
+    if (causal) {
+      Tensor mask({m, n});
+      for (int i = 0; i < m; ++i) {
+        for (int j = 0; j < n; ++j) {
+          if (j > i) mask(i, j) = kNegInf;
+        }
+      }
+      scores = ops::Add(scores, MakeVar(std::move(mask)));
+    }
+    Var attn = ops::SoftmaxRows(scores);
+    head_outputs.push_back(ops::MatMul(attn, vh));
+  }
+  return heads.wo->Forward(ops::ConcatCols(head_outputs));
+}
+
+Var TransformerTranslator::EncoderForward(const std::vector<int>& ids) const {
+  Var x = Embed(ids);
+  for (const Block& b : encoder_) {
+    Var attn = Attend(b.self_attn, x, x, /*causal=*/false);
+    x = ops::LayerNormRows(ops::Add(x, attn), b.ln1_gain, b.ln1_bias);
+    Var ffn = b.ffn2->Forward(ops::Relu(b.ffn1->Forward(x)));
+    x = ops::LayerNormRows(ops::Add(x, ffn), b.ln2_gain, b.ln2_bias);
+  }
+  return x;
+}
+
+Var TransformerTranslator::DecoderForward(const std::vector<int>& prefix_ids,
+                                          const Var& memory) const {
+  Var x = Embed(prefix_ids);
+  for (const Block& b : decoder_) {
+    Var self_attn = Attend(b.self_attn, x, x, /*causal=*/true);
+    x = ops::LayerNormRows(ops::Add(x, self_attn), b.ln1_gain, b.ln1_bias);
+    Var cross = Attend(b.cross_attn, x, memory, /*causal=*/false);
+    x = ops::LayerNormRows(ops::Add(x, cross), b.ln3_gain, b.ln3_bias);
+    Var ffn = b.ffn2->Forward(ops::Relu(b.ffn1->Forward(x)));
+    x = ops::LayerNormRows(ops::Add(x, ffn), b.ln2_gain, b.ln2_bias);
+  }
+  return output_proj_->Forward(x);  // [m, V]
+}
+
+Var TransformerTranslator::Loss(const std::vector<std::string>& source,
+                                const std::vector<std::string>& target) const {
+  Var memory = EncoderForward(vocab_.Encode(source));
+  std::vector<int> target_ids = vocab_.Encode(target);
+  target_ids.push_back(text::Vocab::kEos);
+  std::vector<int> prefix = {text::Vocab::kBos};
+  prefix.insert(prefix.end(), target_ids.begin(), target_ids.end() - 1);
+  Var logits = DecoderForward(prefix, memory);
+  Var total;
+  for (size_t i = 0; i < target_ids.size(); ++i) {
+    Var step = ops::CrossEntropyWithLogits(
+        ops::PickRow(logits, static_cast<int>(i)), target_ids[i]);
+    total = total ? ops::Add(total, step) : step;
+  }
+  return ops::ScalarMul(total, 1.0f / static_cast<float>(target_ids.size()));
+}
+
+std::vector<std::string> TransformerTranslator::Translate(
+    const std::vector<std::string>& source) const {
+  Var memory = EncoderForward(vocab_.Encode(source));
+  std::vector<int> prefix = {text::Vocab::kBos};
+  std::vector<std::string> out;
+  const int vocab_size = vocab_.size();
+  for (int step = 0; step < config_.max_decode_length; ++step) {
+    Var logits = DecoderForward(prefix, memory);
+    const int last = logits->value.rows() - 1;
+    int best = text::Vocab::kEos;
+    float best_score = -1e30f;
+    for (int j = 0; j < vocab_size; ++j) {
+      if (j == text::Vocab::kPad || j == text::Vocab::kBos ||
+          j == text::Vocab::kUnk) {
+        continue;
+      }
+      const float s = logits->value(last, j);
+      if (s > best_score) {
+        best_score = s;
+        best = j;
+      }
+    }
+    if (best == text::Vocab::kEos) break;
+    out.push_back(vocab_.GetToken(best));
+    prefix.push_back(best);
+  }
+  return out;
+}
+
+void TransformerTranslator::CollectParameters(std::vector<Var>* out) const {
+  embedding_->CollectParameters(out);
+  output_proj_->CollectParameters(out);
+  auto collect_block = [&out](const Block& b, bool with_cross) {
+    for (const auto* heads : {&b.self_attn, with_cross ? &b.cross_attn : nullptr}) {
+      if (heads == nullptr || heads->wq == nullptr) continue;
+      heads->wq->CollectParameters(out);
+      heads->wk->CollectParameters(out);
+      heads->wv->CollectParameters(out);
+      heads->wo->CollectParameters(out);
+    }
+    b.ffn1->CollectParameters(out);
+    b.ffn2->CollectParameters(out);
+    out->push_back(b.ln1_gain);
+    out->push_back(b.ln1_bias);
+    out->push_back(b.ln2_gain);
+    out->push_back(b.ln2_bias);
+    if (with_cross) {
+      out->push_back(b.ln3_gain);
+      out->push_back(b.ln3_bias);
+    }
+  };
+  for (const Block& b : encoder_) collect_block(b, false);
+  for (const Block& b : decoder_) collect_block(b, true);
+}
+
+}  // namespace baselines
+}  // namespace nlidb

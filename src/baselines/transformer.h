@@ -1,0 +1,74 @@
+#ifndef NLIDB_BASELINES_TRANSFORMER_H_
+#define NLIDB_BASELINES_TRANSFORMER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/translator_interface.h"
+#include "nn/layers.h"
+#include "text/vocab.h"
+
+namespace nlidb {
+namespace baselines {
+
+/// A compact transformer encoder-decoder used for the "seq2seq ->
+/// transformer" ablation row of Table II. The paper swaps its GRU
+/// seq2seq for a transformer under the same annotation and observes a
+/// performance drop (hypothesized: the large source/target vocabulary
+/// asymmetry of the NLIDB task).
+///
+/// Architecture: sinusoidal positions, pre-norm-free (post-norm) blocks,
+/// `num_layers` encoder blocks (self-attention + FFN) and decoder blocks
+/// (causal self-attention + cross-attention + FFN), greedy/beam decode.
+/// No copy mechanism — matching the paper's vanilla-transformer swap.
+class TransformerTranslator : public core::TranslatorInterface {
+ public:
+  explicit TransformerTranslator(const core::ModelConfig& config,
+                                 int num_layers = 2, int num_heads = 2);
+
+  void AddVocabulary(const std::vector<std::string>& tokens) override;
+
+  Var Loss(const std::vector<std::string>& source,
+           const std::vector<std::string>& target) const override;
+
+  std::vector<std::string> Translate(
+      const std::vector<std::string>& source) const override;
+
+  void CollectParameters(std::vector<Var>* out) const override;
+
+  const text::Vocab& vocab() const { return vocab_; }
+
+ private:
+  struct AttentionHeads {
+    std::unique_ptr<nn::Linear> wq, wk, wv, wo;
+  };
+  struct Block {
+    AttentionHeads self_attn;
+    AttentionHeads cross_attn;  // decoder only
+    std::unique_ptr<nn::Linear> ffn1, ffn2;
+    Var ln1_gain, ln1_bias, ln2_gain, ln2_bias, ln3_gain, ln3_bias;
+  };
+
+  Var Embed(const std::vector<int>& ids) const;
+  Var Attend(const AttentionHeads& heads, const Var& query_states,
+             const Var& memory_states, bool causal) const;
+  Var EncoderForward(const std::vector<int>& ids) const;
+  Var DecoderForward(const std::vector<int>& prefix_ids,
+                     const Var& memory) const;  // returns [m, V] logits
+
+  core::ModelConfig config_;
+  int d_model_;
+  int num_heads_;
+  text::Vocab vocab_;
+  std::unique_ptr<nn::Embedding> embedding_;
+  std::unique_ptr<nn::Linear> output_proj_;
+  std::vector<Block> encoder_;
+  std::vector<Block> decoder_;
+};
+
+}  // namespace baselines
+}  // namespace nlidb
+
+#endif  // NLIDB_BASELINES_TRANSFORMER_H_

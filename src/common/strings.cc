@@ -1,0 +1,127 @@
+#include "common/strings.h"
+
+#include <cctype>
+
+namespace nlidb {
+
+std::vector<std::string> Split(std::string_view text, char sep,
+                               bool keep_empty) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      if (i > start || keep_empty) {
+        out.emplace_back(text.substr(start, i - start));
+      }
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view text) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    if (i > start) out.emplace_back(text.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::string Strip(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return std::string(text.substr(begin, end - begin));
+}
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+bool LooksNumeric(std::string_view text) {
+  if (text.empty()) return false;
+  size_t i = 0;
+  if (text[0] == '-') i = 1;
+  if (i == text.size()) return false;
+  bool seen_dot = false;
+  bool seen_digit = false;
+  for (; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '.') {
+      if (seen_dot) return false;
+      seen_dot = true;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      seen_digit = true;
+    } else {
+      return false;
+    }
+  }
+  return seen_digit;
+}
+
+std::string ReplaceAll(std::string_view text, std::string_view from,
+                       std::string_view to) {
+  if (from.empty()) return std::string(text);
+  std::string out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t hit = text.find(from, pos);
+    if (hit == std::string_view::npos) {
+      out += text.substr(pos);
+      break;
+    }
+    out += text.substr(pos, hit - pos);
+    out += to;
+    pos = hit + from.size();
+  }
+  return out;
+}
+
+uint64_t Fnv1aHash(std::string_view text) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace nlidb

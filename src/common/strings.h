@@ -1,0 +1,45 @@
+#ifndef NLIDB_COMMON_STRINGS_H_
+#define NLIDB_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nlidb {
+
+/// Splits `text` on `sep`, dropping empty pieces when `keep_empty` is false.
+std::vector<std::string> Split(std::string_view text, char sep,
+                               bool keep_empty = false);
+
+/// Splits on runs of ASCII whitespace.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Joins `pieces` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string Strip(std::string_view text);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view text);
+
+/// True if `text` starts with / ends with `prefix` / `suffix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// True if every character is an ASCII digit (and text is non-empty),
+/// optionally after a leading '-' and allowing one '.'.
+bool LooksNumeric(std::string_view text);
+
+/// Replaces every occurrence of `from` in `text` with `to`.
+std::string ReplaceAll(std::string_view text, std::string_view from,
+                       std::string_view to);
+
+/// 64-bit FNV-1a hash, the stable string hash used by the deterministic
+/// embedding provider and hash-bucketed vocabularies.
+uint64_t Fnv1aHash(std::string_view text);
+
+}  // namespace nlidb
+
+#endif  // NLIDB_COMMON_STRINGS_H_

@@ -1,0 +1,253 @@
+#include "core/annotation.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace nlidb {
+namespace core {
+
+namespace {
+
+std::string ColSymbol(int pair_index) {
+  return "c" + std::to_string(pair_index + 1);
+}
+std::string ValSymbol(int pair_index) {
+  return "v" + std::to_string(pair_index + 1);
+}
+std::string HeaderSymbol(int column) { return "g" + std::to_string(column + 1); }
+
+/// Parses "c3" -> ('c', 3). Returns false for non-symbols.
+bool ParseSymbol(const std::string& token, char* kind, int* index) {
+  if (token.size() < 2) return false;
+  const char k = token[0];
+  if (k != 'c' && k != 'v' && k != 'g') return false;
+  for (size_t i = 1; i < token.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(token[i]))) return false;
+  }
+  *kind = k;
+  *index = std::atoi(token.c_str() + 1);
+  return *index >= 1;
+}
+
+}  // namespace
+
+bool IsAnnotationSymbol(const std::string& token) {
+  char kind = 0;
+  int index = 0;
+  return ParseSymbol(token, &kind, &index);
+}
+
+int Annotation::PairForColumn(int column) const {
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (pairs[i].column == column) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<std::string> BuildAnnotatedQuestion(
+    const std::vector<std::string>& tokens, const Annotation& annotation,
+    const sql::Schema& schema, const AnnotationOptions& options) {
+  const int n = static_cast<int>(tokens.size());
+  // For each token position, the symbol (if any) whose span starts there,
+  // and for substitution mode which positions are swallowed.
+  std::vector<std::string> symbol_at(n);
+  std::vector<bool> swallowed(n, false);
+
+  auto mark = [&](const text::Span& span, const std::string& symbol) {
+    if (span.empty() || span.begin < 0 || span.end > n) return;
+    if (!symbol_at[span.begin].empty()) return;  // first annotation wins
+    symbol_at[span.begin] = symbol;
+    if (!options.column_name_appending) {
+      for (int i = span.begin; i < span.end; ++i) swallowed[i] = true;
+    }
+  };
+
+  for (size_t p = 0; p < annotation.pairs.size(); ++p) {
+    mark(annotation.pairs[p].column_span, ColSymbol(static_cast<int>(p)));
+    mark(annotation.pairs[p].value_span, ValSymbol(static_cast<int>(p)));
+  }
+
+  std::vector<std::string> out;
+  out.reserve(tokens.size() + 2 * annotation.pairs.size() +
+              2 * schema.num_columns());
+  for (int i = 0; i < n; ++i) {
+    if (!symbol_at[i].empty()) out.push_back(symbol_at[i]);
+    if (!swallowed[i]) out.push_back(tokens[i]);
+  }
+  if (options.table_header_encoding) {
+    for (int c = 0; c < schema.num_columns(); ++c) {
+      out.push_back(HeaderSymbol(c));
+      for (const auto& w : schema.column(c).DisplayTokens()) out.push_back(w);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> BuildAnnotatedSql(const sql::SelectQuery& query,
+                                           const Annotation& annotation,
+                                           const sql::Schema& schema,
+                                           const AnnotationOptions& options) {
+  std::vector<std::string> out;
+  out.push_back("SELECT");
+  if (query.agg != sql::Aggregate::kNone) {
+    out.push_back(sql::AggregateName(query.agg));
+  }
+  auto column_token = [&](int column) -> std::string {
+    const int pair = annotation.PairForColumn(column);
+    if (pair >= 0 && !annotation.pairs[pair].column_span.empty()) {
+      return ColSymbol(pair);
+    }
+    if (options.table_header_encoding) return HeaderSymbol(column);
+    return schema.column(column).name;
+  };
+  out.push_back(column_token(query.select_column));
+  if (!query.conditions.empty()) {
+    out.push_back("WHERE");
+    for (size_t i = 0; i < query.conditions.size(); ++i) {
+      const sql::Condition& cond = query.conditions[i];
+      if (i > 0) out.push_back("AND");
+      // Condition columns prefer their pair symbol even for implicit
+      // mentions (the pair exists through the paired value).
+      const int pair = annotation.PairForColumn(cond.column);
+      if (pair >= 0) {
+        out.push_back(ColSymbol(pair));
+      } else {
+        out.push_back(column_token(cond.column));
+      }
+      out.push_back(sql::CondOpName(cond.op));
+      if (pair >= 0 && !annotation.pairs[pair].value_span.empty()) {
+        out.push_back(ValSymbol(pair));
+      } else {
+        // Unannotated value: literal tokens for the copier to produce.
+        for (const auto& w : text::Tokenize(cond.value.ToString())) {
+          out.push_back(w);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+StatusOr<sql::SelectQuery> RecoverSql(const std::vector<std::string>& sa_tokens,
+                                      const Annotation& annotation,
+                                      const sql::Schema& schema) {
+  size_t pos = 0;
+  const size_t n = sa_tokens.size();
+  auto peek = [&]() -> const std::string* {
+    return pos < n ? &sa_tokens[pos] : nullptr;
+  };
+  auto next = [&]() -> const std::string* {
+    return pos < n ? &sa_tokens[pos++] : nullptr;
+  };
+  auto resolve_column = [&](const std::string& token, int* column) -> Status {
+    char kind = 0;
+    int index = 0;
+    if (ParseSymbol(token, &kind, &index)) {
+      if (kind == 'g') {
+        if (index > schema.num_columns()) {
+          return Status::OutOfRange("header symbol " + token +
+                                    " beyond schema");
+        }
+        *column = index - 1;
+        return Status::Ok();
+      }
+      if (kind == 'c' || kind == 'v') {
+        if (index > static_cast<int>(annotation.pairs.size())) {
+          return Status::OutOfRange("pair symbol " + token +
+                                    " beyond annotation");
+        }
+        const int col = annotation.pairs[index - 1].column;
+        if (col < 0) {
+          return Status::NotFound("pair " + token + " has unresolved column");
+        }
+        *column = col;
+        return Status::Ok();
+      }
+    }
+    const int col = schema.ColumnIndex(token);
+    if (col < 0) return Status::NotFound("unknown column token: " + token);
+    *column = col;
+    return Status::Ok();
+  };
+
+  const std::string* tok = next();
+  if (tok == nullptr || ToLower(*tok) != "select") {
+    return Status::ParseError("annotated SQL must start with SELECT");
+  }
+  sql::SelectQuery query;
+  tok = next();
+  if (tok == nullptr) return Status::ParseError("truncated annotated SQL");
+  {
+    const std::string upper = *tok;
+    if (upper == "MAX") query.agg = sql::Aggregate::kMax;
+    else if (upper == "MIN") query.agg = sql::Aggregate::kMin;
+    else if (upper == "COUNT") query.agg = sql::Aggregate::kCount;
+    else if (upper == "SUM") query.agg = sql::Aggregate::kSum;
+    else if (upper == "AVG") query.agg = sql::Aggregate::kAvg;
+    if (query.agg != sql::Aggregate::kNone) {
+      tok = next();
+      if (tok == nullptr) return Status::ParseError("missing select column");
+    }
+  }
+  NLIDB_RETURN_IF_ERROR(resolve_column(*tok, &query.select_column));
+
+  if (peek() == nullptr) return query;
+  tok = next();
+  if (*tok != "WHERE" && ToLower(*tok) != "where") {
+    return Status::ParseError("expected WHERE in annotated SQL");
+  }
+  while (peek() != nullptr) {
+    const std::string* col_tok = next();
+    if (col_tok == nullptr) break;
+    sql::Condition cond;
+    NLIDB_RETURN_IF_ERROR(resolve_column(*col_tok, &cond.column));
+    const std::string* op_tok = next();
+    if (op_tok == nullptr) return Status::ParseError("missing operator");
+    if (*op_tok == "=") cond.op = sql::CondOp::kEq;
+    else if (*op_tok == ">") cond.op = sql::CondOp::kGt;
+    else if (*op_tok == "<") cond.op = sql::CondOp::kLt;
+    else return Status::ParseError("bad operator: " + *op_tok);
+
+    // Value: either a v-symbol or a run of literal tokens up to AND/end.
+    const std::string* val_tok = next();
+    if (val_tok == nullptr) return Status::ParseError("missing value");
+    std::string value_text;
+    char kind = 0;
+    int index = 0;
+    if (ParseSymbol(*val_tok, &kind, &index) && kind == 'v') {
+      if (index > static_cast<int>(annotation.pairs.size())) {
+        return Status::OutOfRange("value symbol beyond annotation");
+      }
+      value_text = annotation.pairs[index - 1].value_text;
+      if (value_text.empty()) {
+        return Status::NotFound("value symbol with empty pair value");
+      }
+    } else {
+      value_text = *val_tok;
+      while (peek() != nullptr && *peek() != "AND" &&
+             ToLower(*peek()) != "and") {
+        value_text += ' ';
+        value_text += *next();
+      }
+    }
+    const sql::DataType type = schema.column(cond.column).type;
+    if (type == sql::DataType::kReal && LooksNumeric(value_text)) {
+      cond.value = sql::Value::Real(std::strtod(value_text.c_str(), nullptr));
+    } else {
+      cond.value = sql::Value::Text(value_text);
+    }
+    query.conditions.push_back(std::move(cond));
+    if (peek() == nullptr) break;
+    tok = next();
+    if (*tok != "AND" && ToLower(*tok) != "and") {
+      return Status::ParseError("expected AND in annotated SQL");
+    }
+  }
+  return query;
+}
+
+}  // namespace core
+}  // namespace nlidb

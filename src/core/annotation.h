@@ -1,0 +1,71 @@
+#ifndef NLIDB_CORE_ANNOTATION_H_
+#define NLIDB_CORE_ANNOTATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/query.h"
+#include "text/tokenizer.h"
+
+namespace nlidb {
+namespace core {
+
+/// One detected (column, value) mention pair. Pair i (0-based) owns the
+/// annotation symbols c_{i+1} and v_{i+1}.
+struct MentionPair {
+  int column = -1;          // schema column index; -1 if unresolved
+  text::Span column_span;   // empty when the mention is implicit
+  std::string value_text;   // surface value ("" when the pair has no value)
+  text::Span value_span;    // empty when the pair has no value
+};
+
+/// The full annotation of a question: ordered mention pairs. Columns not
+/// mentioned anywhere remain reachable through table-header symbols
+/// g_1..g_k (schema order).
+struct Annotation {
+  std::vector<MentionPair> pairs;
+
+  /// Index of the pair whose column is `column`, or -1.
+  int PairForColumn(int column) const;
+};
+
+/// Options controlling the annotated-sequence representation (Sec. V-A).
+struct AnnotationOptions {
+  /// true: "column name appending" — symbols inserted *before* mention
+  /// words, which stay in place (Fig. 6a top). false: "symbol
+  /// substitution" — mention words replaced by the symbol (ablation row).
+  bool column_name_appending = true;
+  /// Append "g_i <column words>" for every schema column (Fig. 6b).
+  bool table_header_encoding = true;
+};
+
+/// Builds the annotated question token sequence q^a.
+std::vector<std::string> BuildAnnotatedQuestion(
+    const std::vector<std::string>& tokens, const Annotation& annotation,
+    const sql::Schema& schema, const AnnotationOptions& options);
+
+/// Builds the gold annotated SQL token sequence s^a for training:
+/// condition columns/values that are annotated become c_i / v_i symbols;
+/// an unannotated select/condition column becomes its g_j symbol (header
+/// encoding on) or its literal column name; an unannotated value is
+/// emitted as its literal tokens (the copy mechanism learns to copy them).
+std::vector<std::string> BuildAnnotatedSql(const sql::SelectQuery& query,
+                                           const Annotation& annotation,
+                                           const sql::Schema& schema,
+                                           const AnnotationOptions& options);
+
+/// Recovers a concrete SQL query from decoded annotated-SQL tokens
+/// (deterministic step 3 of the framework). Symbols resolve through
+/// `annotation`; literal column/value tokens are accepted as fallback.
+StatusOr<sql::SelectQuery> RecoverSql(const std::vector<std::string>& sa_tokens,
+                                      const Annotation& annotation,
+                                      const sql::Schema& schema);
+
+/// True for annotation symbols "c<k>", "v<k>", "g<k>".
+bool IsAnnotationSymbol(const std::string& token);
+
+}  // namespace core
+}  // namespace nlidb
+
+#endif  // NLIDB_CORE_ANNOTATION_H_

@@ -1,0 +1,308 @@
+#include "core/annotator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "text/distance.h"
+#include "text/stopwords.h"
+
+namespace nlidb {
+namespace core {
+
+namespace {
+
+constexpr float kEditAcceptThreshold = 0.78f;
+constexpr float kCosineAcceptThreshold = 0.82f;
+constexpr float kClassifierThreshold = 0.5f;
+// Slight preference for longer windows among near-equal match scores
+// ("grand prix" over "grand").
+constexpr float kLengthBonus = 0.02f;
+
+}  // namespace
+
+/// Sec. III: "some mentions ... can be detected exactly as they appear in
+/// the questions". Counterfactual values still need the learned detector.
+std::vector<ValueDetector::Detection> ExactCellValueMatches(
+    const std::vector<std::string>& tokens, const sql::Table& table) {
+  std::vector<ValueDetector::Detection> out;
+  const int n = static_cast<int>(tokens.size());
+  for (int c = 0; c < table.num_columns(); ++c) {
+    std::vector<std::string> seen;
+    for (int r = 0; r < table.num_rows(); ++r) {
+      const std::string display = ToLower(table.Cell(r, c).ToString());
+      bool dup = false;
+      for (const auto& s : seen) dup = dup || s == display;
+      if (dup) continue;
+      seen.push_back(display);
+      const std::vector<std::string> cell_tokens = text::Tokenize(display);
+      const int m = static_cast<int>(cell_tokens.size());
+      if (m == 0 || m > 5) continue;
+      for (int i = 0; i + m <= n; ++i) {
+        bool match = true;
+        for (int j = 0; j < m && match; ++j) {
+          match = tokens[i + j] == cell_tokens[j];
+        }
+        if (!match) continue;
+        ValueDetector::Detection det;
+        det.span = text::Span{i, i + m};
+        det.column_scores.push_back({c, 1.0f});
+        out.push_back(std::move(det));
+      }
+    }
+  }
+  // Keep only maximal spans: an exact match strictly inside a longer one
+  // ("17" inside "july 17") is subsumed.
+  std::vector<ValueDetector::Detection> maximal;
+  for (auto& det : out) {
+    bool subsumed = false;
+    for (const auto& other : out) {
+      if (other.span.length() > det.span.length() &&
+          other.span.begin <= det.span.begin &&
+          other.span.end >= det.span.end) {
+        subsumed = true;
+        break;
+      }
+    }
+    if (!subsumed) maximal.push_back(std::move(det));
+  }
+  // Merge detections sharing a span so a value string occurring in two
+  // columns yields one detection with both columns admissible.
+  std::vector<ValueDetector::Detection> merged;
+  for (auto& det : maximal) {
+    bool found = false;
+    for (auto& m : merged) {
+      if (m.span == det.span) {
+        bool has = false;
+        for (auto& cs : m.column_scores) {
+          has = has || cs.first == det.column_scores[0].first;
+        }
+        if (!has) m.column_scores.push_back(det.column_scores[0]);
+        found = true;
+        break;
+      }
+    }
+    if (!found) merged.push_back(std::move(det));
+  }
+  return merged;
+}
+
+namespace {
+
+bool SpanClaimed(const std::vector<bool>& claimed, const text::Span& span) {
+  for (int i = span.begin; i < span.end; ++i) {
+    if (claimed[i]) return true;
+  }
+  return false;
+}
+
+void Claim(std::vector<bool>& claimed, const text::Span& span) {
+  for (int i = span.begin; i < span.end; ++i) claimed[i] = true;
+}
+
+}  // namespace
+
+Annotator::Annotator(const ModelConfig& config,
+                     const text::EmbeddingProvider& provider,
+                     const ColumnMentionClassifier* classifier,
+                     const ValueDetector* value_detector)
+    : config_(config),
+      provider_(&provider),
+      classifier_(classifier),
+      value_detector_(value_detector),
+      resolver_(config.use_dependency_resolution
+                    ? MentionResolver::Strategy::kDependencyTree
+                    : MentionResolver::Strategy::kScoreOnly) {}
+
+std::optional<text::Span> Annotator::ContextFreeMatch(
+    const std::vector<std::string>& tokens,
+    const std::vector<std::string>& phrase_tokens) const {
+  std::vector<bool> claimed(tokens.size(), false);
+  return ContextFreeMatchUnclaimed(tokens, phrase_tokens, claimed,
+                                   ContextFreeMode::kEditAndSemantic);
+}
+
+std::vector<ColumnMentionCandidate> Annotator::ContextFreeColumnPass(
+    const std::vector<std::string>& tokens, const sql::Schema& schema,
+    const NlMetadata* metadata, std::vector<bool>& claimed,
+    std::vector<bool>& matched) const {
+  std::vector<ColumnMentionCandidate> out;
+  // Two rounds: lexical (edit) matches bind first so that a column whose
+  // name literally appears cannot lose its tokens to a semantically
+  // related sibling (silver vs bronze); cosine matches fill in after.
+  const ContextFreeMode modes[] = {ContextFreeMode::kEditOnly,
+                                   ContextFreeMode::kEditAndSemantic};
+  for (ContextFreeMode mode : modes) {
+    for (int c = 0; c < schema.num_columns(); ++c) {
+      if (matched[c]) continue;
+      const std::vector<std::string> display = schema.column(c).DisplayTokens();
+      std::optional<text::Span> span =
+          ContextFreeMatchUnclaimed(tokens, display, claimed, mode);
+      if (!span.has_value() && metadata != nullptr &&
+          c < static_cast<int>(metadata->column_phrases.size())) {
+        for (const auto& phrase : metadata->column_phrases[c]) {
+          span = ContextFreeMatchUnclaimed(tokens, SplitWhitespace(phrase),
+                                           claimed, mode);
+          if (span.has_value()) break;
+        }
+      }
+      if (span.has_value()) {
+        Claim(claimed, *span);
+        out.push_back({c, *span, 1.0f});
+        matched[c] = true;
+      }
+    }
+  }
+  return out;
+}
+
+std::optional<text::Span> Annotator::ContextFreeMatchUnclaimed(
+    const std::vector<std::string>& tokens,
+    const std::vector<std::string>& phrase_tokens,
+    const std::vector<bool>& claimed, ContextFreeMode mode) const {
+  if (phrase_tokens.empty() || tokens.empty()) return std::nullopt;
+  const int n = static_cast<int>(tokens.size());
+  const int m = static_cast<int>(phrase_tokens.size());
+  const std::string phrase = Join(phrase_tokens, " ");
+
+  float best_score = 0.0f;
+  text::Span best{};
+  for (int len = std::max(1, m - 1); len <= m + 1; ++len) {
+    for (int i = 0; i + len <= n; ++i) {
+      const text::Span span{i, i + len};
+      if (SpanClaimed(claimed, span)) continue;
+      std::vector<std::string> window(tokens.begin() + i,
+                                      tokens.begin() + i + len);
+      // A column mention never consists of function words alone
+      // ("how many" must not match a column named "total").
+      bool has_content = false;
+      for (const auto& w : window) has_content |= !text::IsStopWord(w);
+      if (!has_content) continue;
+      const float edit = text::EditSimilarity(Join(window, " "), phrase);
+      const float cosine = mode == ContextFreeMode::kEditOnly
+                               ? 0.0f
+                               : text::PhraseCosine(*provider_, window,
+                                                    phrase_tokens);
+      // Accept on either signal; rank by their max plus a length bonus.
+      if (edit >= kEditAcceptThreshold || cosine >= kCosineAcceptThreshold) {
+        const float score = std::max(edit, cosine) + kLengthBonus * len;
+        if (score > best_score) {
+          best_score = score;
+          best = span;
+        }
+      }
+    }
+  }
+  if (best.empty()) return std::nullopt;
+  return best;
+}
+
+std::vector<ColumnMentionCandidate> Annotator::DetectColumnMentions(
+    const std::vector<std::string>& tokens, const sql::Table& table,
+    const NlMetadata* metadata) const {
+  const sql::Schema& schema = table.schema();
+  std::vector<bool> claimed(tokens.size(), false);
+  std::vector<bool> matched(schema.num_columns(), false);
+  std::vector<ColumnMentionCandidate> out =
+      ContextFreeColumnPass(tokens, schema, metadata, claimed, matched);
+  for (auto& cand : ClassifierColumnPass(tokens, schema, claimed, matched)) {
+    out.push_back(std::move(cand));
+  }
+  return out;
+}
+
+std::vector<ColumnMentionCandidate> Annotator::ClassifierColumnPass(
+    const std::vector<std::string>& tokens, const sql::Schema& schema,
+    std::vector<bool>& claimed, const std::vector<bool>& matched) const {
+  std::vector<ColumnMentionCandidate> out;
+  if (classifier_ == nullptr) return out;
+  AdversarialLocator locator(config_);
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    if (matched[c]) continue;
+    const std::vector<std::string> display = schema.column(c).DisplayTokens();
+    const float p = classifier_->Predict(tokens, display);
+    if (p < kClassifierThreshold) continue;
+    InfluenceProfile profile =
+        locator.ComputeInfluence(*classifier_, tokens, display);
+    // Tokens already claimed by higher-confidence evidence (exact values,
+    // context-free column matches, learned values) and stop words are
+    // masked out of the influence profile — a column mention is never
+    // made of function words alone, and a span landing on a value means
+    // the column is mentioned implicitly through its value (Fig. 1d).
+    float masked_max = 0.0f;
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      if (claimed[i] || text::IsStopWord(tokens[i])) profile.total[i] = 0.0f;
+      masked_max = std::max(masked_max, profile.total[i]);
+    }
+    text::Span span{};
+    if (masked_max > 0.0f) {
+      span = locator.LocateSpan(profile);
+      // Trim zeroed borders introduced by masking.
+      while (span.begin < span.end && profile.total[span.begin] == 0.0f) {
+        ++span.begin;
+      }
+      while (span.end > span.begin && profile.total[span.end - 1] == 0.0f) {
+        --span.end;
+      }
+    }
+    if (!span.empty()) Claim(claimed, span);
+    out.push_back({c, span, p});
+  }
+  return out;
+}
+
+Annotation Annotator::Annotate(
+    const std::vector<std::string>& tokens, const sql::Table& table,
+    const std::vector<sql::ColumnStatistics>& stats,
+    const NlMetadata* metadata) const {
+  // Confidence-ordered token claiming:
+  //  1. exact table-cell value matches,
+  //  2. context-free column matches,
+  //  3. learned value detections,
+  //  4. adversarial column spans (masked by everything above).
+  const sql::Schema& schema = table.schema();
+
+  // Stage 1: exact table-cell value matches claim their tokens.
+  std::vector<ValueDetector::Detection> values =
+      ExactCellValueMatches(tokens, table);
+  std::vector<bool> claimed(tokens.size(), false);
+  for (const auto& det : values) Claim(claimed, det.span);
+
+  // Stage 2: context-free column matches on unclaimed tokens.
+  std::vector<bool> matched(schema.num_columns(), false);
+  std::vector<ColumnMentionCandidate> columns =
+      ContextFreeColumnPass(tokens, schema, metadata, claimed, matched);
+
+  // Stage 3: learned value detections, longest span first so a full
+  // multi-word value is not blocked by its own sub-span.
+  if (value_detector_ != nullptr) {
+    std::vector<ValueDetector::Detection> learned =
+        value_detector_->Detect(tokens, stats);
+    std::sort(learned.begin(), learned.end(),
+              [](const ValueDetector::Detection& a,
+                 const ValueDetector::Detection& b) {
+                if (a.span.length() != b.span.length()) {
+                  return a.span.length() > b.span.length();
+                }
+                const float sa =
+                    a.column_scores.empty() ? 0 : a.column_scores[0].second;
+                const float sb =
+                    b.column_scores.empty() ? 0 : b.column_scores[0].second;
+                return sa > sb;
+              });
+    for (auto& det : learned) {
+      if (SpanClaimed(claimed, det.span)) continue;
+      Claim(claimed, det.span);
+      values.push_back(std::move(det));
+    }
+  }
+
+  // Stage 4: classifier + adversarial locator for unmatched columns.
+  for (auto& cand : ClassifierColumnPass(tokens, schema, claimed, matched)) {
+    columns.push_back(std::move(cand));
+  }
+  return resolver_.Resolve(tokens, columns, values);
+}
+
+}  // namespace core
+}  // namespace nlidb

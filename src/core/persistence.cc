@@ -1,0 +1,86 @@
+#include "core/persistence.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "nn/checkpoint.h"
+
+namespace nlidb {
+namespace core {
+
+namespace {
+constexpr char kClassifierCkpt[] = "classifier.ckpt";
+constexpr char kValueDetectorCkpt[] = "value_detector.ckpt";
+constexpr char kTranslatorCkpt[] = "translator.ckpt";
+constexpr char kClassifierVocab[] = "classifier.vocab";
+constexpr char kTranslatorVocab[] = "translator.vocab";
+}  // namespace
+
+Status SaveVocab(const text::Vocab& vocab, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  // Ids 0..3 are the fixed specials; persist the rest in id order so the
+  // loader reproduces identical ids.
+  for (int id = 4; id < vocab.size(); ++id) {
+    out << vocab.GetToken(id) << "\n";
+  }
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+StatusOr<std::vector<std::string>> LoadVocabTokens(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  std::vector<std::string> tokens;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) tokens.push_back(line);
+  }
+  return tokens;
+}
+
+Status SavePipeline(const NlidbPipeline& pipeline, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IoError("cannot create directory: " + dir);
+  const std::filesystem::path base(dir);
+  NLIDB_RETURN_IF_ERROR(SaveVocab(pipeline.classifier().vocab(),
+                                  (base / kClassifierVocab).string()));
+  NLIDB_RETURN_IF_ERROR(SaveVocab(pipeline.translator().vocab(),
+                                  (base / kTranslatorVocab).string()));
+  NLIDB_RETURN_IF_ERROR(nn::Checkpoint::Save(
+      (base / kClassifierCkpt).string(),
+      pipeline.classifier().Parameters()));
+  NLIDB_RETURN_IF_ERROR(nn::Checkpoint::Save(
+      (base / kValueDetectorCkpt).string(),
+      pipeline.value_detector().Parameters()));
+  NLIDB_RETURN_IF_ERROR(nn::Checkpoint::Save(
+      (base / kTranslatorCkpt).string(),
+      pipeline.translator().Parameters()));
+  return Status::Ok();
+}
+
+Status LoadPipeline(NlidbPipeline& pipeline, const std::string& dir) {
+  const std::filesystem::path base(dir);
+  // Vocabularies first: AddVocabulary assigns the same ids in file order
+  // (and initializes embedding rows, which the checkpoints then
+  // overwrite with the trained values).
+  auto clf_tokens = LoadVocabTokens((base / kClassifierVocab).string());
+  if (!clf_tokens.ok()) return clf_tokens.status();
+  pipeline.classifier().AddVocabulary(*clf_tokens);
+  auto tr_tokens = LoadVocabTokens((base / kTranslatorVocab).string());
+  if (!tr_tokens.ok()) return tr_tokens.status();
+  pipeline.translator().AddVocabulary(*tr_tokens);
+
+  NLIDB_RETURN_IF_ERROR(nn::Checkpoint::Load(
+      (base / kClassifierCkpt).string(), pipeline.classifier().Parameters()));
+  NLIDB_RETURN_IF_ERROR(nn::Checkpoint::Load(
+      (base / kValueDetectorCkpt).string(),
+      pipeline.value_detector().Parameters()));
+  NLIDB_RETURN_IF_ERROR(nn::Checkpoint::Load(
+      (base / kTranslatorCkpt).string(), pipeline.translator().Parameters()));
+  return Status::Ok();
+}
+
+}  // namespace core
+}  // namespace nlidb

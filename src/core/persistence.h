@@ -1,0 +1,30 @@
+#ifndef NLIDB_CORE_PERSISTENCE_H_
+#define NLIDB_CORE_PERSISTENCE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/pipeline.h"
+
+namespace nlidb {
+namespace core {
+
+/// Saves a trained pipeline into `dir` (created if absent): one
+/// checkpoint per learned component plus the word vocabularies the
+/// classifier and translator were trained with.
+Status SavePipeline(const NlidbPipeline& pipeline, const std::string& dir);
+
+/// Restores a pipeline previously saved with SavePipeline. The receiving
+/// pipeline must have been constructed with the same ModelConfig and an
+/// equivalently-configured EmbeddingProvider; mismatched architectures
+/// fail with FailedPrecondition (no partial loads).
+Status LoadPipeline(NlidbPipeline& pipeline, const std::string& dir);
+
+/// Writes / reads a vocabulary as one token per line (specials omitted).
+Status SaveVocab(const text::Vocab& vocab, const std::string& path);
+StatusOr<std::vector<std::string>> LoadVocabTokens(const std::string& path);
+
+}  // namespace core
+}  // namespace nlidb
+
+#endif  // NLIDB_CORE_PERSISTENCE_H_

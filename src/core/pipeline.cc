@@ -1,0 +1,83 @@
+#include "core/pipeline.h"
+
+#include "common/logging.h"
+#include "text/tokenizer.h"
+
+namespace nlidb {
+namespace core {
+
+NlidbPipeline::NlidbPipeline(const ModelConfig& config,
+                             std::shared_ptr<text::EmbeddingProvider> provider)
+    : config_(config), provider_(std::move(provider)) {
+  NLIDB_CHECK(provider_ != nullptr) << "pipeline needs an embedding provider";
+  classifier_ = std::make_unique<ColumnMentionClassifier>(config_, *provider_);
+  value_detector_ = std::make_unique<ValueDetector>(config_, *provider_);
+  translator_ = std::make_unique<Seq2SeqTranslator>(config_);
+  annotator_ = std::make_unique<Annotator>(config_, *provider_,
+                                           classifier_.get(),
+                                           value_detector_.get());
+  stats_cache_ = std::make_unique<TableStatsCache>(*provider_);
+}
+
+AnnotationOptions NlidbPipeline::annotation_options() const {
+  AnnotationOptions options;
+  options.column_name_appending = config_.column_name_appending;
+  options.table_header_encoding = config_.table_header_encoding;
+  return options;
+}
+
+TrainReport NlidbPipeline::Train(const data::Dataset& train) {
+  TrainReport report;
+  NLIDB_LOG(Info) << "training column mention classifier on "
+                  << train.examples.size() << " examples";
+  report.classifier_loss = TrainColumnMentionClassifier(
+      *classifier_, train, config_, &report.classifier_pairs);
+  NLIDB_LOG(Info) << "training value detector";
+  report.value_loss = TrainValueDetector(*value_detector_, train,
+                                         *stats_cache_, config_,
+                                         &report.value_pairs);
+  NLIDB_LOG(Info) << "training seq2seq translator";
+  report.seq2seq_loss = TrainSeq2Seq(*translator_, train,
+                                     annotation_options(), config_,
+                                     &report.seq2seq_pairs);
+  return report;
+}
+
+Annotation NlidbPipeline::Annotate(const std::vector<std::string>& tokens,
+                                   const sql::Table& table) const {
+  const auto& stats = stats_cache_->For(table);
+  return annotator_->Annotate(tokens, table, stats, metadata_);
+}
+
+std::vector<std::string> NlidbPipeline::TranslateToAnnotatedSql(
+    const std::vector<std::string>& tokens, const sql::Table& table,
+    Annotation* annotation_out) const {
+  Annotation annotation = Annotate(tokens, table);
+  const std::vector<std::string> annotated_question = BuildAnnotatedQuestion(
+      tokens, annotation, table.schema(), annotation_options());
+  std::vector<std::string> sa = translator_->Translate(annotated_question);
+  if (annotation_out != nullptr) *annotation_out = std::move(annotation);
+  return sa;
+}
+
+StatusOr<sql::SelectQuery> NlidbPipeline::TranslateTokens(
+    const std::vector<std::string>& tokens, const sql::Table& table) const {
+  if (tokens.empty()) {
+    return Status::InvalidArgument("empty question");
+  }
+  if (table.num_columns() == 0) {
+    return Status::InvalidArgument("table has no columns");
+  }
+  Annotation annotation;
+  const std::vector<std::string> sa =
+      TranslateToAnnotatedSql(tokens, table, &annotation);
+  return RecoverSql(sa, annotation, table.schema());
+}
+
+StatusOr<sql::SelectQuery> NlidbPipeline::Translate(
+    const std::string& question, const sql::Table& table) const {
+  return TranslateTokens(text::Tokenize(question), table);
+}
+
+}  // namespace core
+}  // namespace nlidb

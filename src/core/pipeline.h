@@ -1,0 +1,82 @@
+#ifndef NLIDB_CORE_PIPELINE_H_
+#define NLIDB_CORE_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/annotator.h"
+#include "core/trainer.h"
+
+namespace nlidb {
+namespace core {
+
+/// The end-to-end transfer-learnable NLIDB (the paper's full system):
+///
+///   question --(1. annotate: classifier + adversarial locator + value
+///   detector + dependency resolver)--> q^a --(2. seq2seq with copy)-->
+///   s^a --(3. deterministic recovery)--> SQL.
+///
+/// Train once on a corpus; `Translate` then works against any table,
+/// including tables from domains never seen in training (the
+/// transfer-learnability claim evaluated in Table IV).
+class NlidbPipeline {
+ public:
+  NlidbPipeline(const ModelConfig& config,
+                std::shared_ptr<text::EmbeddingProvider> provider);
+
+  NlidbPipeline(const NlidbPipeline&) = delete;
+  NlidbPipeline& operator=(const NlidbPipeline&) = delete;
+
+  /// Trains all three learned components on `train`.
+  TrainReport Train(const data::Dataset& train);
+
+  /// Full pipeline on a raw question string.
+  StatusOr<sql::SelectQuery> Translate(const std::string& question,
+                                       const sql::Table& table) const;
+
+  /// Full pipeline on pre-tokenized input.
+  StatusOr<sql::SelectQuery> TranslateTokens(
+      const std::vector<std::string>& tokens, const sql::Table& table) const;
+
+  /// Steps 1-2 only: returns the decoded annotated SQL tokens s^a and the
+  /// annotation used (for Table III's before/after-recovery comparison).
+  std::vector<std::string> TranslateToAnnotatedSql(
+      const std::vector<std::string>& tokens, const sql::Table& table,
+      Annotation* annotation_out) const;
+
+  /// Step 1 only.
+  Annotation Annotate(const std::vector<std::string>& tokens,
+                      const sql::Table& table) const;
+
+  const ModelConfig& config() const { return config_; }
+  AnnotationOptions annotation_options() const;
+  const text::EmbeddingProvider& provider() const { return *provider_; }
+  ColumnMentionClassifier& classifier() { return *classifier_; }
+  const ColumnMentionClassifier& classifier() const { return *classifier_; }
+  ValueDetector& value_detector() { return *value_detector_; }
+  const ValueDetector& value_detector() const { return *value_detector_; }
+  Seq2SeqTranslator& translator() { return *translator_; }
+  const Seq2SeqTranslator& translator() const { return *translator_; }
+  const Annotator& annotator() const { return *annotator_; }
+  TableStatsCache& stats_cache() const { return *stats_cache_; }
+
+  /// Optional database-specific NL metadata used at annotation time.
+  void set_metadata(const NlMetadata* metadata) { metadata_ = metadata; }
+
+ private:
+  ModelConfig config_;
+  std::shared_ptr<text::EmbeddingProvider> provider_;
+  std::unique_ptr<ColumnMentionClassifier> classifier_;
+  std::unique_ptr<ValueDetector> value_detector_;
+  std::unique_ptr<Seq2SeqTranslator> translator_;
+  std::unique_ptr<Annotator> annotator_;
+  std::unique_ptr<TableStatsCache> stats_cache_;
+  const NlMetadata* metadata_ = nullptr;
+};
+
+}  // namespace core
+}  // namespace nlidb
+
+#endif  // NLIDB_CORE_PIPELINE_H_

@@ -1,0 +1,249 @@
+#include "core/seq2seq.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "core/annotation.h"
+#include "tensor/ops.h"
+
+namespace nlidb {
+namespace core {
+
+namespace {
+
+constexpr int kVocabBudget = 1536;
+
+/// Deterministic unit-ish vector for structured symbol embeddings.
+std::vector<float> HashedVector(const std::string& key, int dim) {
+  Rng rng(Fnv1aHash(key));
+  std::vector<float> v(dim);
+  float norm = 0.0f;
+  for (float& x : v) {
+    x = rng.NextGaussian();
+    norm += x * x;
+  }
+  norm = std::sqrt(norm);
+  if (norm > 1e-6f) {
+    for (float& x : v) x = 0.5f * x / norm * std::sqrt(static_cast<float>(dim));
+  }
+  return v;
+}
+
+}  // namespace
+
+Seq2SeqTranslator::Seq2SeqTranslator(const ModelConfig& config)
+    : config_(config), symbol_rng_(config.seed + 2) {
+  Rng rng(config_.seed + 3);
+  const int d = config_.word_dim;
+  const int h = config_.seq2seq_hidden;
+  embedding_ = std::make_unique<nn::Embedding>(kVocabBudget, d, rng);
+  encoder_ = std::make_unique<nn::StackedBiGru>(d, h, config_.seq2seq_layers, rng);
+  init_proj_ = std::make_unique<nn::Linear>(2 * h, 2 * h, rng);
+  decoder_cell_ = std::make_unique<nn::GruCell>(d + 2 * h, 2 * h, rng);
+  attention_ = std::make_unique<nn::AdditiveAttention>(2 * h, h, rng);
+  query_proj_ = std::make_unique<nn::Linear>(2 * h, h, rng, /*use_bias=*/false);
+  output_proj_ = std::make_unique<nn::Linear>(4 * h, kVocabBudget, rng);
+}
+
+void Seq2SeqTranslator::AddVocabulary(const std::vector<std::string>& tokens) {
+  for (const auto& t : tokens) {
+    if (vocab_.Contains(t)) continue;
+    if (vocab_.size() >= kVocabBudget) break;  // budget full: map to <unk>
+    const int id = vocab_.AddToken(t);
+    if (id == text::Vocab::kUnk) continue;
+    if (IsAnnotationSymbol(t)) {
+      // Structured symbol embedding: [type vector ; index vector]
+      // (Sec. VII-A2: concatenation of annotation-type and index
+      // embeddings, each of half dimension).
+      const int half = config_.word_dim / 2;
+      std::vector<float> type_vec =
+          HashedVector("sym-type:" + t.substr(0, 1), half);
+      std::vector<float> index_vec =
+          HashedVector("sym-index:" + t.substr(1), config_.word_dim - half);
+      std::vector<float> row;
+      row.reserve(config_.word_dim);
+      row.insert(row.end(), type_vec.begin(), type_vec.end());
+      row.insert(row.end(), index_vec.begin(), index_vec.end());
+      embedding_->SetRow(id, row);
+    }
+  }
+}
+
+Seq2SeqTranslator::EncoderOutput Seq2SeqTranslator::Encode(
+    const std::vector<std::string>& source) const {
+  NLIDB_CHECK(!source.empty()) << "Encode of empty source";
+  EncoderOutput out;
+  out.source_ids = vocab_.Encode(source);
+  Var emb = embedding_->Forward(out.source_ids);
+  nn::StackedBiGru::Output enc = encoder_->Forward(emb);
+  out.states = enc.states;
+  out.memory_proj = attention_->ProjectMemory(enc.states);
+  out.d0 = ops::Tanh(init_proj_->Forward(
+      ops::ConcatCols({enc.final_forward, enc.final_backward})));
+  return out;
+}
+
+Seq2SeqTranslator::StepOutput Seq2SeqTranslator::DecodeStep(
+    const EncoderOutput& enc, const Var& prev_state, int prev_token) const {
+  // prev_state packs [d_{i-1} ; beta_{i-1}] is NOT how the paper defines
+  // it; instead the caller passes d_{i-1} and beta_{i-1} separately via
+  // this overloaded contract: prev_state is [1, 4h] = [d ; beta].
+  const int h2 = 2 * config_.seq2seq_hidden;
+  Var d_prev = ops::SliceCols(prev_state, 0, h2);
+  Var beta_prev = ops::SliceCols(prev_state, h2, h2);
+  Var emb = embedding_->Forward({prev_token});  // [1, d]
+  Var x = ops::ConcatCols({emb, beta_prev});
+  Var d_i = decoder_cell_->Step(x, d_prev);
+  Var energies = attention_->Energies(enc.memory_proj,
+                                      query_proj_->Forward(d_i));
+  Var weights = attention_->Weights(energies);
+  Var beta_i = attention_->Context(weights, enc.states);
+  Var logits = output_proj_->Forward(ops::ConcatCols({d_i, beta_i}));
+  Var scores = ops::Exp(logits);
+  if (config_.use_copy_mechanism) {
+    // M_i[token] += exp(e_ij) for every source position j carrying it.
+    Var copy_mass = ops::ScatterSumCols(ops::Exp(energies), enc.source_ids,
+                                        kVocabBudget);
+    scores = ops::Add(scores, copy_mass);
+  }
+  StepOutput out;
+  out.state = ops::ConcatCols({d_i, beta_i});
+  out.scores = scores;
+  out.energies = energies;
+  out.weights = weights;
+  return out;
+}
+
+Var Seq2SeqTranslator::Loss(const std::vector<std::string>& source,
+                            const std::vector<std::string>& target) const {
+  EncoderOutput enc = Encode(source);
+  const int h2 = 2 * config_.seq2seq_hidden;
+  Var state = ops::ConcatCols({enc.d0, MakeVar(Tensor::Zeros({1, h2}))});
+  std::vector<int> target_ids = vocab_.Encode(target);
+  target_ids.push_back(text::Vocab::kEos);
+  int prev = text::Vocab::kBos;
+  Var total;
+  for (int tid : target_ids) {
+    StepOutput step = DecodeStep(enc, state, prev);
+    Var step_loss = ops::NegLogNormalized(step.scores, tid);
+    total = total ? ops::Add(total, step_loss) : step_loss;
+    state = step.state;
+    prev = tid;  // teacher forcing
+  }
+  return ops::ScalarMul(total, 1.0f / static_cast<float>(target_ids.size()));
+}
+
+std::vector<std::string> Seq2SeqTranslator::BeamSearch(
+    const std::vector<std::string>& source, int beam_width) const {
+  EncoderOutput enc = Encode(source);
+  const int h2 = 2 * config_.seq2seq_hidden;
+
+  struct Beam {
+    Var state;
+    int prev_token = text::Vocab::kBos;
+    std::vector<std::string> tokens;
+    float log_prob = 0.0f;
+    bool finished = false;
+  };
+  Beam init;
+  init.state = ops::ConcatCols({enc.d0, MakeVar(Tensor::Zeros({1, h2}))});
+  std::vector<Beam> beams = {init};
+  std::vector<Beam> finished;
+
+  const int vocab_size = vocab_.size();
+  for (int step = 0; step < config_.max_decode_length; ++step) {
+    std::vector<Beam> candidates;
+    for (Beam& beam : beams) {
+      if (beam.finished) continue;
+      StepOutput so = DecodeStep(enc, beam.state, beam.prev_token);
+      const Tensor& scores = so.scores->value;
+      float sum = 0.0f;
+      for (int j = 0; j < vocab_size; ++j) sum += scores(0, j);
+      // Top beam_width tokens among the live vocabulary.
+      std::vector<int> order(vocab_size);
+      for (int j = 0; j < vocab_size; ++j) order[j] = j;
+      const int k = std::min(beam_width, vocab_size);
+      std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                        [&](int a, int b) { return scores(0, a) > scores(0, b); });
+      for (int c = 0; c < k; ++c) {
+        const int tok = order[c];
+        if (tok == text::Vocab::kPad || tok == text::Vocab::kBos) continue;
+        const float p = scores(0, tok) / (sum + 1e-9f);
+        Beam next = beam;
+        next.state = so.state;
+        next.prev_token = tok;
+        next.log_prob = beam.log_prob + std::log(p + 1e-12f);
+        if (tok == text::Vocab::kEos) {
+          next.finished = true;
+        } else if (tok == text::Vocab::kUnk) {
+          // Pointer fallback: emit the source token under the attention
+          // peak instead of a literal <unk>.
+          const Tensor& w = so.weights->value;
+          int peak = 0;
+          for (int j = 1; j < w.cols(); ++j) {
+            if (w(0, j) > w(0, peak)) peak = j;
+          }
+          next.tokens.push_back(source[peak]);
+        } else {
+          next.tokens.push_back(vocab_.GetToken(tok));
+        }
+        candidates.push_back(std::move(next));
+      }
+    }
+    if (candidates.empty()) break;
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Beam& a, const Beam& b) { return a.log_prob > b.log_prob; });
+    beams.clear();
+    for (Beam& c : candidates) {
+      if (c.finished) {
+        finished.push_back(std::move(c));
+      } else if (static_cast<int>(beams.size()) < beam_width) {
+        beams.push_back(std::move(c));
+      }
+      if (static_cast<int>(beams.size()) >= beam_width &&
+          static_cast<int>(finished.size()) >= beam_width) {
+        break;
+      }
+    }
+    if (beams.empty()) break;
+  }
+  for (Beam& b : beams) finished.push_back(std::move(b));
+  NLIDB_CHECK(!finished.empty()) << "beam search produced nothing";
+  // Length-normalized selection.
+  const Beam* best = &finished[0];
+  float best_score = -1e30f;
+  for (const Beam& b : finished) {
+    const float denom = static_cast<float>(std::max<size_t>(1, b.tokens.size()));
+    const float s = b.log_prob / denom;
+    if (s > best_score) {
+      best_score = s;
+      best = &b;
+    }
+  }
+  return best->tokens;
+}
+
+std::vector<std::string> Seq2SeqTranslator::Translate(
+    const std::vector<std::string>& source) const {
+  return BeamSearch(source, config_.beam_width);
+}
+
+std::vector<std::string> Seq2SeqTranslator::TranslateGreedy(
+    const std::vector<std::string>& source) const {
+  return BeamSearch(source, 1);
+}
+
+void Seq2SeqTranslator::CollectParameters(std::vector<Var>* out) const {
+  embedding_->CollectParameters(out);
+  encoder_->CollectParameters(out);
+  init_proj_->CollectParameters(out);
+  decoder_cell_->CollectParameters(out);
+  attention_->CollectParameters(out);
+  query_proj_->CollectParameters(out);
+  output_proj_->CollectParameters(out);
+}
+
+}  // namespace core
+}  // namespace nlidb

@@ -1,0 +1,99 @@
+#ifndef NLIDB_CORE_SEQ2SEQ_H_
+#define NLIDB_CORE_SEQ2SEQ_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/translator_interface.h"
+#include "nn/attention.h"
+#include "nn/layers.h"
+#include "nn/rnn.h"
+#include "text/vocab.h"
+
+namespace nlidb {
+namespace core {
+
+/// The sequence-to-sequence translator of Sec. V: annotated question q^a
+/// to annotated SQL s^a.
+///
+///  * Encoder: stacked bidirectional GRU with per-layer input affines.
+///  * Decoder: attentive GRU (Bahdanau attention) whose initial state is
+///    tanh(W1 [fw_N; bw_1]).
+///  * Copy mechanism: output scores are exp(U [d_i, beta_i]) + M_i with
+///    M_i[token] accumulating exp(e_ij) over source positions j holding
+///    that token — the paper's additive variant, not softmax-over-vocab.
+///  * Tied embeddings between encoder input, decoder input and output.
+///  * Annotation symbols (c_i / v_i / g_i) embed as the concatenation of
+///    a type vector and an index vector (Sec. VII-A2).
+///
+/// Inference is beam search (width `config.beam_width`); an emitted <unk>
+/// is replaced by the source token under the attention peak (pointer-style
+/// fallback for out-of-vocabulary literals).
+class Seq2SeqTranslator : public TranslatorInterface {
+ public:
+  explicit Seq2SeqTranslator(const ModelConfig& config);
+
+  /// Adds tokens of a training corpus to the shared vocabulary.
+  /// Annotation symbols receive structured type+index embeddings.
+  void AddVocabulary(const std::vector<std::string>& tokens) override;
+
+  /// Freezes the vocabulary (unseen tokens become <unk> afterwards).
+  void FreezeVocabulary() { vocab_.Freeze(); }
+
+  /// Teacher-forced loss (mean over target steps) for one pair.
+  Var Loss(const std::vector<std::string>& source,
+           const std::vector<std::string>& target) const override;
+
+  /// Beam-search translation of a source sequence.
+  std::vector<std::string> Translate(
+      const std::vector<std::string>& source) const override;
+
+  /// Greedy decode (beam width 1 shortcut, used in tests).
+  std::vector<std::string> TranslateGreedy(
+      const std::vector<std::string>& source) const;
+
+  void CollectParameters(std::vector<Var>* out) const override;
+
+  const text::Vocab& vocab() const { return vocab_; }
+  const ModelConfig& config() const { return config_; }
+
+ private:
+  struct EncoderOutput {
+    Var states;       // [n, 2h]
+    Var memory_proj;  // attention projection of states
+    Var d0;           // initial decoder state [1, 2h]
+    std::vector<int> source_ids;
+  };
+  EncoderOutput Encode(const std::vector<std::string>& source) const;
+
+  struct StepOutput {
+    Var state;     // next decoder state
+    Var scores;    // [1, V] positive scores (copy-augmented)
+    Var energies;  // [1, n] raw attention energies
+    Var weights;   // [1, n] attention weights
+  };
+  StepOutput DecodeStep(const EncoderOutput& enc, const Var& prev_state,
+                        int prev_token) const;
+
+  std::vector<std::string> BeamSearch(const std::vector<std::string>& source,
+                                      int beam_width) const;
+
+  ModelConfig config_;
+  text::Vocab vocab_;
+  mutable Rng symbol_rng_;
+
+  std::unique_ptr<nn::Embedding> embedding_;
+  std::unique_ptr<nn::StackedBiGru> encoder_;
+  std::unique_ptr<nn::Linear> init_proj_;      // W1 for d_0
+  std::unique_ptr<nn::GruCell> decoder_cell_;
+  std::unique_ptr<nn::AdditiveAttention> attention_;
+  std::unique_ptr<nn::Linear> query_proj_;     // W3 d_i
+  std::unique_ptr<nn::Linear> output_proj_;    // U
+};
+
+}  // namespace core
+}  // namespace nlidb
+
+#endif  // NLIDB_CORE_SEQ2SEQ_H_

@@ -1,0 +1,267 @@
+#include "core/trainer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace nlidb {
+namespace core {
+
+Annotation GoldAnnotation(const data::Example& example) {
+  struct Proto {
+    MentionPair pair;
+    int position;
+  };
+  std::vector<Proto> protos;
+  // Select-column pair (value-less).
+  {
+    Proto p;
+    p.pair.column = example.query.select_column;
+    p.pair.column_span = example.select_mention;
+    p.position = example.select_mention.empty() ? (1 << 20)
+                                                : example.select_mention.begin;
+    protos.push_back(std::move(p));
+  }
+  for (size_t i = 0; i < example.where_mentions.size(); ++i) {
+    const data::MentionInfo& m = example.where_mentions[i];
+    // A column can appear both as select and condition; conditions own
+    // the value, so merge into the existing pair when present.
+    Proto* target = nullptr;
+    for (auto& p : protos) {
+      if (p.pair.column == m.column) target = &p;
+    }
+    if (target == nullptr) {
+      protos.push_back(Proto{MentionPair{}, 1 << 20});
+      target = &protos.back();
+      target->pair.column = m.column;
+    }
+    if (m.column_explicit && !m.column_span.empty()) {
+      target->pair.column_span = m.column_span;
+      target->position = std::min(target->position, m.column_span.begin);
+    }
+    if (!m.value_span.empty()) {
+      target->pair.value_span = m.value_span;
+      target->pair.value_text = text::SpanText(example.tokens, m.value_span);
+      target->position = std::min(target->position, m.value_span.begin);
+    }
+  }
+  std::sort(protos.begin(), protos.end(),
+            [](const Proto& a, const Proto& b) { return a.position < b.position; });
+  Annotation annotation;
+  for (auto& p : protos) annotation.pairs.push_back(std::move(p.pair));
+  return annotation;
+}
+
+const std::vector<sql::ColumnStatistics>& TableStatsCache::For(
+    const sql::Table& table) {
+  auto it = cache_.find(&table);
+  if (it != cache_.end()) return it->second;
+  auto [pos, inserted] =
+      cache_.emplace(&table, sql::ComputeTableStatistics(table, *provider_));
+  return pos->second;
+}
+
+float TrainColumnMentionClassifier(ColumnMentionClassifier& classifier,
+                                   const data::Dataset& dataset,
+                                   const ModelConfig& config, int* num_pairs) {
+  struct Pair {
+    const data::Example* example;
+    std::vector<std::string> column;
+    float label;
+  };
+  std::vector<Pair> pairs;
+  for (const data::Example& ex : dataset.examples) {
+    classifier.AddVocabulary(ex.tokens);
+    std::vector<bool> referenced(ex.schema().num_columns(), false);
+    referenced[ex.query.select_column] = true;
+    for (const auto& c : ex.query.conditions) referenced[c.column] = true;
+    for (int c = 0; c < ex.schema().num_columns(); ++c) {
+      const std::vector<std::string> col_tokens =
+          ex.schema().column(c).DisplayTokens();
+      classifier.AddVocabulary(col_tokens);
+      pairs.push_back({&ex, col_tokens, referenced[c] ? 1.0f : 0.0f});
+    }
+  }
+  if (num_pairs != nullptr) *num_pairs = static_cast<int>(pairs.size());
+  if (pairs.empty()) return 0.0f;
+
+  nn::Adam optimizer(classifier.Parameters(), config.classifier_lr);
+  Rng rng(config.seed + 11);
+  float final_epoch_loss = 0.0f;
+  for (int epoch = 0; epoch < config.classifier_epochs; ++epoch) {
+    rng.Shuffle(pairs);
+    float total = 0.0f;
+    for (const Pair& p : pairs) {
+      auto fr = classifier.Forward(p.example->tokens, p.column);
+      Var loss = ops::BceWithLogits(fr.logit, p.label);
+      optimizer.ZeroGrad();
+      Backward(loss);
+      nn::ClipGradNorm(optimizer.params(), config.grad_clip);
+      optimizer.Step();
+      total += loss->value(0);
+    }
+    final_epoch_loss = total / static_cast<float>(pairs.size());
+    NLIDB_LOG(Debug) << "classifier epoch " << epoch << " loss "
+                     << final_epoch_loss;
+  }
+  return final_epoch_loss;
+}
+
+float TrainValueDetector(ValueDetector& detector, const data::Dataset& dataset,
+                         TableStatsCache& stats_cache,
+                         const ModelConfig& config, int* num_pairs) {
+  const text::EmbeddingProvider& provider = detector.provider();
+  struct Pair {
+    std::vector<float> span_emb;
+    std::vector<float> stats_emb;
+    float label;
+    float weight;
+  };
+  std::vector<Pair> pairs;
+  Rng rng(config.seed + 12);
+  for (const data::Example& ex : dataset.examples) {
+    const auto& stats = stats_cache.For(*ex.table);
+    for (const data::MentionInfo& m : ex.where_mentions) {
+      if (m.value_span.empty()) continue;
+      std::vector<std::string> span_tokens(
+          ex.tokens.begin() + m.value_span.begin,
+          ex.tokens.begin() + m.value_span.end);
+      const std::vector<float> span_emb = provider.PhraseVector(span_tokens);
+      // Positive, oversampled: ambiguous same-kind columns (actor vs
+      // director) must stay above threshold.
+      pairs.push_back({span_emb, stats[m.column].embedding, 1.0f, 2.0f});
+      // Negative against a random other column.
+      if (stats.size() > 1) {
+        int other = static_cast<int>(rng.NextUint64(stats.size()));
+        if (other == m.column) other = (other + 1) % static_cast<int>(stats.size());
+        pairs.push_back({span_emb, stats[other].embedding, 0.0f, 1.0f});
+      }
+    }
+    // Negative spans: non-value candidate spans against a random column.
+    const auto candidates = detector.CandidateSpans(ex.tokens);
+    for (const auto& span : candidates) {
+      bool is_value = false;
+      for (const auto& m : ex.where_mentions) {
+        if (span.Overlaps(m.value_span)) is_value = true;
+      }
+      if (is_value || !rng.NextBool(0.25f)) continue;
+      std::vector<std::string> span_tokens(ex.tokens.begin() + span.begin,
+                                           ex.tokens.begin() + span.end);
+      const int col = static_cast<int>(rng.NextUint64(stats.size()));
+      pairs.push_back({provider.PhraseVector(span_tokens),
+                       stats[col].embedding, 0.0f, 1.0f});
+    }
+  }
+  if (num_pairs != nullptr) *num_pairs = static_cast<int>(pairs.size());
+  if (pairs.empty()) return 0.0f;
+
+  nn::Adam optimizer(detector.Parameters(), config.value_lr);
+  float final_epoch_loss = 0.0f;
+  for (int epoch = 0; epoch < config.value_epochs; ++epoch) {
+    rng.Shuffle(pairs);
+    float total = 0.0f;
+    for (const Pair& p : pairs) {
+      Var logit = detector.ForwardFromVectors(p.span_emb, p.stats_emb);
+      Var loss = ops::ScalarMul(ops::BceWithLogits(logit, p.label), p.weight);
+      optimizer.ZeroGrad();
+      Backward(loss);
+      nn::ClipGradNorm(optimizer.params(), config.grad_clip);
+      optimizer.Step();
+      total += loss->value(0);
+    }
+    final_epoch_loss = total / static_cast<float>(pairs.size());
+    NLIDB_LOG(Debug) << "value detector epoch " << epoch << " loss "
+                     << final_epoch_loss;
+  }
+  return final_epoch_loss;
+}
+
+namespace {
+
+/// Randomly degrades a gold annotation to mimic inference-time annotator
+/// errors: a pair may lose its column span (becoming implicit), lose its
+/// value span (forcing the decoder to emit the literal), or disappear.
+/// Training against degraded annotations makes the decoder robust to the
+/// exposure gap between gold and predicted annotations.
+Annotation DegradeAnnotation(const Annotation& gold, Rng& rng) {
+  Annotation out = gold;
+  if (out.pairs.empty()) return out;
+  const size_t victim = rng.NextUint64(out.pairs.size());
+  const float r = rng.NextFloat();
+  if (r < 0.45f) {
+    out.pairs[victim].column_span = text::Span{};  // implicit mention
+  } else if (r < 0.8f) {
+    out.pairs[victim].value_span = text::Span{};
+    out.pairs[victim].value_text.clear();  // value goes literal
+  } else {
+    out.pairs.erase(out.pairs.begin() + victim);  // pair fully missed
+  }
+  return out;
+}
+
+}  // namespace
+
+float TrainSeq2Seq(TranslatorInterface& translator,
+                   const data::Dataset& dataset,
+                   const AnnotationOptions& options, const ModelConfig& config,
+                   int* num_pairs) {
+  struct Pair {
+    const data::Example* example;
+    Annotation gold;
+    std::vector<std::string> source;
+    std::vector<std::string> target;
+  };
+  std::vector<Pair> pairs;
+  pairs.reserve(dataset.examples.size());
+  for (const data::Example& ex : dataset.examples) {
+    Pair p;
+    p.example = &ex;
+    p.gold = GoldAnnotation(ex);
+    p.source = BuildAnnotatedQuestion(ex.tokens, p.gold, ex.schema(), options);
+    p.target = BuildAnnotatedSql(ex.query, p.gold, ex.schema(), options);
+    translator.AddVocabulary(p.source);
+    translator.AddVocabulary(p.target);
+    // Degraded variants use g-symbols and literal tokens; make sure the
+    // vocabulary has seen them.
+    translator.AddVocabulary(BuildAnnotatedSql(ex.query, Annotation{},
+                                               ex.schema(), options));
+    pairs.push_back(std::move(p));
+  }
+  if (num_pairs != nullptr) *num_pairs = static_cast<int>(pairs.size());
+  if (pairs.empty()) return 0.0f;
+
+  nn::Adam optimizer(translator.Parameters(), config.seq2seq_lr);
+  Rng rng(config.seed + 13);
+  float final_epoch_loss = 0.0f;
+  for (int epoch = 0; epoch < config.seq2seq_epochs; ++epoch) {
+    rng.Shuffle(pairs);
+    float total = 0.0f;
+    for (const Pair& p : pairs) {
+      Var loss;
+      if (rng.NextBool(config.annotation_noise_probability)) {
+        Annotation degraded = DegradeAnnotation(p.gold, rng);
+        const auto src = BuildAnnotatedQuestion(p.example->tokens, degraded,
+                                                p.example->schema(), options);
+        const auto tgt = BuildAnnotatedSql(p.example->query, degraded,
+                                           p.example->schema(), options);
+        loss = translator.Loss(src, tgt);
+      } else {
+        loss = translator.Loss(p.source, p.target);
+      }
+      optimizer.ZeroGrad();
+      Backward(loss);
+      nn::ClipGradNorm(optimizer.params(), config.grad_clip);
+      optimizer.Step();
+      total += loss->value(0);
+    }
+    final_epoch_loss = total / static_cast<float>(pairs.size());
+    NLIDB_LOG(Debug) << "seq2seq epoch " << epoch << " loss "
+                     << final_epoch_loss;
+  }
+  return final_epoch_loss;
+}
+
+}  // namespace core
+}  // namespace nlidb

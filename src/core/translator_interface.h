@@ -1,0 +1,32 @@
+#ifndef NLIDB_CORE_TRANSLATOR_INTERFACE_H_
+#define NLIDB_CORE_TRANSLATOR_INTERFACE_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace nlidb {
+namespace core {
+
+/// Common contract for sequence translation models (the GRU seq2seq of
+/// Sec. V and the transformer ablation of Table II), so training and
+/// evaluation harnesses are model-agnostic.
+class TranslatorInterface : public nn::Module {
+ public:
+  /// Adds corpus tokens to the model vocabulary.
+  virtual void AddVocabulary(const std::vector<std::string>& tokens) = 0;
+
+  /// Teacher-forced loss for one (source, target) pair.
+  virtual Var Loss(const std::vector<std::string>& source,
+                   const std::vector<std::string>& target) const = 0;
+
+  /// Decodes a translation of `source`.
+  virtual std::vector<std::string> Translate(
+      const std::vector<std::string>& source) const = 0;
+};
+
+}  // namespace core
+}  // namespace nlidb
+
+#endif  // NLIDB_CORE_TRANSLATOR_INTERFACE_H_

@@ -1,0 +1,91 @@
+#include "core/value_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "tensor/ops.h"
+
+namespace nlidb {
+namespace core {
+
+ValueDetector::ValueDetector(const ModelConfig& config,
+                             const text::EmbeddingProvider& provider)
+    : config_(config), provider_(&provider) {
+  Rng rng(config_.seed + 1);
+  mlp_ = std::make_unique<nn::Mlp>(
+      std::vector<int>{2 * provider.dim(), config_.value_mlp_hidden, 1}, rng);
+}
+
+Var ValueDetector::ForwardFromVectors(
+    const std::vector<float>& span_embedding,
+    const std::vector<float>& column_stats) const {
+  const int d = provider_->dim();
+  NLIDB_CHECK(static_cast<int>(span_embedding.size()) == d &&
+              static_cast<int>(column_stats.size()) == d)
+      << "ValueDetector input dims";
+  // Input features: [s_c - s_span, s_c * s_span] (paper Sec. IV-D).
+  Tensor input({1, 2 * d});
+  for (int j = 0; j < d; ++j) {
+    input(0, j) = column_stats[j] - span_embedding[j];
+    input(0, d + j) = column_stats[j] * span_embedding[j];
+  }
+  return mlp_->Forward(MakeVar(std::move(input)));
+}
+
+float ValueDetector::Score(const std::vector<std::string>& span_tokens,
+                           const sql::ColumnStatistics& stats) const {
+  const std::vector<float> span_emb = provider_->PhraseVector(span_tokens);
+  Var logit = ForwardFromVectors(span_emb, stats.embedding);
+  return 1.0f / (1.0f + std::exp(-logit->value.vec()[0]));
+}
+
+std::vector<text::Span> ValueDetector::CandidateSpans(
+    const std::vector<std::string>& tokens) const {
+  std::vector<text::Span> spans;
+  const int n = static_cast<int>(tokens.size());
+  for (int i = 0; i < n; ++i) {
+    if (text::IsStopWord(tokens[i])) continue;
+    for (int j = i + 1; j <= std::min(n, i + config_.max_value_span); ++j) {
+      if (text::IsStopWord(tokens[j - 1])) break;
+      spans.push_back(text::Span{i, j});
+    }
+  }
+  return spans;
+}
+
+std::vector<ValueDetector::Detection> ValueDetector::Detect(
+    const std::vector<std::string>& tokens,
+    const std::vector<sql::ColumnStatistics>& table_stats) const {
+  std::vector<Detection> detections;
+  for (const text::Span& span : CandidateSpans(tokens)) {
+    std::vector<std::string> span_tokens(tokens.begin() + span.begin,
+                                         tokens.begin() + span.end);
+    bool all_numeric = true;
+    for (const auto& t : span_tokens) all_numeric = all_numeric && LooksNumeric(t);
+    Detection det;
+    det.span = span;
+    for (size_t c = 0; c < table_stats.size(); ++c) {
+      // Type compatibility: a real column only takes all-numeric spans
+      // ("june 23" can never be a laps value).
+      if (table_stats[c].type == sql::DataType::kReal && !all_numeric) continue;
+      const float score = Score(span_tokens, table_stats[c]);
+      if (score > 0.5f) {
+        det.column_scores.push_back({static_cast<int>(c), score});
+      }
+    }
+    if (det.column_scores.empty()) continue;
+    std::sort(det.column_scores.begin(), det.column_scores.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    detections.push_back(std::move(det));
+  }
+  return detections;
+}
+
+void ValueDetector::CollectParameters(std::vector<Var>* out) const {
+  mlp_->CollectParameters(out);
+}
+
+}  // namespace core
+}  // namespace nlidb

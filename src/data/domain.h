@@ -1,0 +1,92 @@
+#ifndef NLIDB_DATA_DOMAIN_H_
+#define NLIDB_DATA_DOMAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/value.h"
+#include "text/embedding_provider.h"
+
+namespace nlidb {
+namespace data {
+
+/// A pool of surface strings values are drawn from (film-title words,
+/// first names, cities, ...). Every pool doubles as an embedding cluster
+/// so that values of the same column land close in embedding space — the
+/// property the paper gets from GloVe and that the value detector's
+/// column statistics rely on.
+struct ValuePool {
+  std::string name;
+  std::vector<std::string> items;
+};
+
+/// How a column's values are produced.
+struct ValueSpec {
+  /// Text values: one item drawn from each pool in `compose_pools`
+  /// ("firstname" + "surname" makes a person name).
+  std::vector<std::string> compose_pools;
+  /// Real values: uniform in [num_lo, num_hi], rounded when `integer`.
+  double num_lo = 0.0;
+  double num_hi = 0.0;
+  bool integer = true;
+};
+
+/// Full linguistic profile of a column within a domain.
+struct ColumnSpec {
+  std::string name;               // canonical snake_case name
+  sql::DataType type = sql::DataType::kText;
+  ValueSpec values;
+
+  /// Question word used when this column is selected ("which", "who",
+  /// "when", "where", "what", "how many").
+  std::string wh_word = "what";
+
+  /// Noun phrases that mention the column (P_c); [0] is canonical.
+  /// Used in select phrases and "with <c> <v>" conditions.
+  std::vector<std::string> mention_phrases;
+
+  /// Complete select-phrase paraphrases that replace the generic
+  /// "what is the <c>" opener ("how many people live" for population) —
+  /// the paper's P_c metadata feeding paraphrase mentions (challenge 2).
+  std::vector<std::string> select_templates;
+
+  /// Verb-style condition phrases containing "{v}" ("directed by {v}",
+  /// "won by {v}"). These exercise paraphrase mentions (challenge 2).
+  std::vector<std::string> verb_templates;
+
+  /// Implicit condition phrases containing only "{v}" with no column
+  /// wording at all ("in {v}" for a county column) — challenge 3.
+  std::vector<std::string> implicit_templates;
+};
+
+/// A topical domain: a family of schemas plus its language.
+struct DomainSpec {
+  std::string name;
+  std::vector<ColumnSpec> columns;  // schema instances sample subsets
+};
+
+/// All value pools used across domains.
+const std::vector<ValuePool>& ValuePools();
+
+/// Training domains (WikiSQL-style corpus draws schemas from these).
+const std::vector<DomainSpec>& TrainDomains();
+
+/// OVERNIGHT-style transfer domains: basketball, calendar, housing,
+/// recipes, restaurants.
+const std::vector<DomainSpec>& OvernightDomains();
+
+/// The patients domain used by the ParaphraseBench-style benchmark.
+const DomainSpec& PatientsDomain();
+
+/// Looks up a pool by name (fatal if absent).
+const ValuePool& GetPool(const std::string& name);
+
+/// Registers every value pool and the default linguistic lexicon as
+/// clusters in `provider`. Call once before using the provider with data
+/// from these domains.
+void RegisterDomainClusters(text::EmbeddingProvider& provider);
+
+}  // namespace data
+}  // namespace nlidb
+
+#endif  // NLIDB_DATA_DOMAIN_H_

@@ -1,0 +1,824 @@
+#include "data/domain.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace nlidb {
+namespace data {
+
+namespace {
+
+/// Numeric helper pools are generated programmatically.
+std::vector<std::string> NumberStrings(int lo, int hi, int step = 1) {
+  std::vector<std::string> out;
+  for (int i = lo; i <= hi; i += step) out.push_back(std::to_string(i));
+  return out;
+}
+
+std::vector<std::string> SeasonSpans() {
+  std::vector<std::string> out;
+  for (int y = 1995; y <= 2019; ++y) {
+    const int next = (y + 1) % 100;
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%d-%02d", y, next);
+    out.push_back(buf);
+  }
+  return out;
+}
+
+std::vector<ValuePool> BuildPools() {
+  std::vector<ValuePool> pools = {
+      {"firstname",
+       {"piotr", "jerzy", "lebron", "barack", "maria", "chen", "aisha",
+        "lars", "sofia", "diego", "emma", "noah", "olivia", "liam", "ava",
+        "ethan", "mia", "lucas", "nora", "hugo", "ines", "omar", "yuki",
+        "levan", "nana", "seamus", "aoife"}},
+      {"surname",
+       {"adamczyk", "antczak", "james", "kowalski", "smith", "garcia",
+        "muller", "rossi", "tanaka", "novak", "silva", "dubois", "jensen",
+        "horvat", "popov", "costa", "schmidt", "murphy", "walsh", "byrne",
+        "kelly", "doyle", "uchaneishvili", "djordjadze", "ohara",
+        "fitzpatrick"}},
+      {"titleword",
+       {"chopin", "desire", "stolen", "kisses", "midnight", "river",
+        "shadow", "garden", "winter", "crown", "ember", "falcon", "harbor",
+        "voyage", "echo", "silence", "aurora", "thunder", "mirage",
+        "lantern"}},
+      {"county",
+       {"mayo", "galway", "kerry", "cork", "donegal", "clare", "sligo",
+        "leitrim", "kildare", "meath", "wicklow", "waterford"}},
+      {"placename",
+       {"carrowteige", "dublin", "westport", "athlone", "limerick",
+        "kilkenny", "tralee", "ennis", "shannon", "dingle", "cobh",
+        "bantry"}},
+      {"irishword",
+       {"ceathru", "thaidhg", "oileain", "arann", "gaoth", "dobhair",
+        "cois", "fharraige", "ros", "muc", "baile", "cliath"}},
+      {"award",
+       {"best actor in a leading role", "best actress in a supporting role",
+        "best director", "best picture", "best original score",
+        "best cinematography", "best foreign film",
+        "best adapted screenplay"}},
+      {"team",
+       {"ferrari", "mclaren", "williams", "mercedes", "lotus", "renault",
+        "tyrrell", "brabham", "benetton", "jordan"}},
+      {"racename",
+       {"monaco grand prix", "british grand prix", "italian grand prix",
+        "spanish grand prix", "german grand prix", "japanese grand prix",
+        "belgian grand prix", "austrian grand prix"}},
+      {"nation",
+       {"ireland", "poland", "spain", "italy", "japan", "brazil", "kenya",
+        "canada", "norway", "france", "germany", "mexico",
+        "northern ireland", "south korea"}},
+      {"month",
+       {"january", "february", "march", "april", "may", "june", "july",
+        "august", "september", "october", "november", "december"}},
+      {"label",
+       {"parlophone", "motown", "columbia", "decca", "atlantic", "verve",
+        "chess", "stax"}},
+      {"missionword",
+       {"apollo", "gemini", "soyuz", "artemis", "voyager", "luna",
+        "mariner", "skylab"}},
+      {"agency", {"nasa", "esa", "roscosmos", "jaxa", "isro", "cnsa"}},
+      {"outcome",
+       {"success", "failure", "partial success", "aborted", "ongoing"}},
+      {"party",
+       {"democratic", "republican", "labour", "green", "liberal",
+        "conservative", "independence"}},
+      {"yesno", {"yes", "no"}},
+      {"position",
+       {"guard", "forward", "center", "point guard", "shooting guard",
+        "small forward", "power forward"}},
+      {"nbateam",
+       {"raptors", "lakers", "celtics", "bulls", "heat", "spurs", "knicks",
+        "warriors"}},
+      {"meetingword",
+       {"budget", "planning", "review", "standup", "strategy", "design",
+        "hiring", "quarterly"}},
+      {"meetingnoun", {"meeting", "sync", "session", "review"}},
+      {"timeofday",
+       {"9 am", "10 am", "11 am", "noon", "2 pm", "4 pm", "5 pm"}},
+      {"streetword",
+       {"oak street", "main street", "park avenue", "river road",
+        "hill lane", "church road", "mill lane"}},
+      {"neighborhood",
+       {"soho", "tribeca", "harlem", "brooklyn", "queens", "chelsea",
+        "astoria", "bronx"}},
+      {"cuisine",
+       {"italian", "thai", "mexican", "japanese", "indian", "french",
+        "korean", "greek"}},
+      {"ingredient",
+       {"tomato", "basil", "chicken", "garlic", "ginger", "salmon",
+        "mushroom", "tofu", "lemon", "rice"}},
+      {"dishword",
+       {"soup", "salad", "curry", "stew", "pasta", "tacos", "bowl", "pie"}},
+      {"restaurantnoun", {"kitchen", "bistro", "grill", "cafe", "tavern"}},
+      {"pricerange", {"cheap", "moderate", "expensive"}},
+      {"diagnosis",
+       {"influenza", "diabetes", "asthma", "pneumonia", "migraine",
+        "fracture", "hypertension", "appendicitis"}},
+      {"author",
+       {"austen", "orwell", "tolstoy", "achebe", "murakami", "lessing",
+        "borges", "woolf"}},
+      {"publisher",
+       {"penguin", "vintage", "faber", "hachette", "scribner", "knopf"}},
+      {"genre",
+       {"mystery", "romance", "biography", "fantasy", "history",
+        "poetry"}},
+      {"airline",
+       {"aer lingus", "ryanair", "lufthansa", "klm", "iberia", "sas"}},
+      {"airport",
+       {"dublin airport", "heathrow", "schiphol", "frankfurt",
+        "madrid barajas", "arlanda"}},
+      {"industry",
+       {"software", "banking", "retail", "energy", "logistics",
+        "pharma"}},
+      {"companyword",
+       {"nova", "apex", "orbit", "delta", "crest", "summit", "vertex",
+        "prime"}},
+      {"companynoun", {"systems", "labs", "group", "holdings", "works"}},
+  };
+  pools.push_back({"daynum", NumberStrings(1, 28)});
+  pools.push_back({"yearnum", NumberStrings(1960, 2023)});
+  pools.push_back({"seasonspan", SeasonSpans()});
+  return pools;
+}
+
+// ---------------------------------------------------------------------------
+// Column builders
+// ---------------------------------------------------------------------------
+
+ColumnSpec TextCol(std::string name, std::vector<std::string> pools,
+                   std::string wh, std::vector<std::string> mentions) {
+  ColumnSpec c;
+  c.name = std::move(name);
+  c.type = sql::DataType::kText;
+  c.values.compose_pools = std::move(pools);
+  c.wh_word = std::move(wh);
+  c.mention_phrases = std::move(mentions);
+  return c;
+}
+
+ColumnSpec RealCol(std::string name, double lo, double hi,
+                   std::vector<std::string> mentions, bool integer = true) {
+  ColumnSpec c;
+  c.name = std::move(name);
+  c.type = sql::DataType::kReal;
+  c.values.num_lo = lo;
+  c.values.num_hi = hi;
+  c.values.integer = integer;
+  c.wh_word = "what";
+  c.mention_phrases = std::move(mentions);
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Train domains
+// ---------------------------------------------------------------------------
+
+DomainSpec FilmsDomain() {
+  DomainSpec d;
+  d.name = "films";
+  {
+    ColumnSpec c = TextCol("film_name", {"titleword", "titleword"}, "which",
+                           {"film name", "film", "movie", "picture"});
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("director", {"firstname", "surname"}, "who",
+                           {"director", "filmmaker"});
+    c.verb_templates = {"directed by {v}"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("actor", {"firstname", "surname"}, "who",
+                           {"actor", "actress", "star"});
+    c.verb_templates = {"starring {v}", "featuring {v}"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = RealCol("year", 1960, 2023, {"year"});
+    c.verb_templates = {"released in {v}"};
+    c.implicit_templates = {"in {v}", "from {v}"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("nomination", {"award"}, "which",
+                           {"nomination", "award"});
+    c.verb_templates = {"nominated for {v}", "nominated as {v}"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = RealCol("box_office", 1, 500, {"box office", "gross"});
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("nomination_date", {"month", "daynum", "yearnum"},
+                           "when", {"nomination date", "date"});
+    c.select_templates = {"when was the film nominated"};
+    c.verb_templates = {"nominated on {v}"};
+    c.implicit_templates = {"on {v}"};
+    d.columns.push_back(c);
+  }
+  return d;
+}
+
+DomainSpec GeographyDomain() {
+  DomainSpec d;
+  d.name = "geography";
+  {
+    ColumnSpec c = TextCol("county", {"county"}, "where",
+                           {"county", "region"});
+    c.implicit_templates = {"in {v}"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("english_name", {"placename"}, "which",
+                           {"english name", "name"});
+    c.verb_templates = {"with the english name {v}", "named {v}",
+                        "called {v}"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("irish_name", {"irishword", "irishword"}, "which",
+                           {"irish name"});
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = RealCol("population", 100, 9000,
+                           {"population", "number of residents"});
+    c.select_templates = {"how many people live", "how many inhabitants are"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c =
+        RealCol("irish_speakers", 1, 99, {"irish speakers", "speakers"});
+    c.select_templates = {"how many irish speakers are"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = RealCol("area", 10, 900, {"area", "size"});
+    d.columns.push_back(c);
+  }
+  return d;
+}
+
+DomainSpec RacingDomain() {
+  DomainSpec d;
+  d.name = "racing";
+  {
+    ColumnSpec c = TextCol("race", {"racename"}, "which",
+                           {"race", "grand prix"});
+    c.implicit_templates = {"at the {v}"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("winning_driver", {"firstname", "surname"}, "who",
+                           {"winning driver", "winner", "driver"});
+    c.verb_templates = {"won by {v}", "that {v} won"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("team", {"team"}, "which",
+                           {"team", "constructor"});
+    c.verb_templates = {"driving for {v}", "racing for {v}"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("date", {"month", "daynum"}, "when", {"date"});
+    c.select_templates = {"when was the race held",
+                          "when did the race take place"};
+    c.verb_templates = {"held on {v}", "played on {v}"};
+    c.implicit_templates = {"on {v}"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = RealCol("laps", 40, 80, {"laps"});
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = RealCol("points", 1, 50, {"points", "score"});
+    d.columns.push_back(c);
+  }
+  return d;
+}
+
+DomainSpec OlympicsDomain() {
+  DomainSpec d;
+  d.name = "olympics";
+  {
+    ColumnSpec c = TextCol("athlete", {"firstname", "surname"}, "who",
+                           {"athlete", "player", "golfer"});
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("nation", {"nation"}, "which",
+                           {"nation", "country"});
+    c.verb_templates = {"representing {v}", "competing for {v}",
+                        "that golfs for {v}"};
+    c.implicit_templates = {"from {v}"};
+    d.columns.push_back(c);
+  }
+  d.columns.push_back(RealCol("gold", 0, 12, {"gold", "gold medals"}));
+  d.columns.push_back(RealCol("silver", 0, 12, {"silver", "silver medals"}));
+  d.columns.push_back(RealCol("bronze", 0, 12, {"bronze", "bronze medals"}));
+  d.columns.push_back(RealCol("total", 0, 30, {"total", "total medals"}));
+  {
+    ColumnSpec c = RealCol("rank", 1, 60, {"rank", "ranking", "position"});
+    d.columns.push_back(c);
+  }
+  return d;
+}
+
+DomainSpec MusicDomain() {
+  DomainSpec d;
+  d.name = "music";
+  {
+    ColumnSpec c = TextCol("song", {"titleword", "titleword"}, "which",
+                           {"song", "single", "track"});
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("artist", {"firstname", "surname"}, "who",
+                           {"artist", "singer", "performer"});
+    c.verb_templates = {"performed by {v}", "sung by {v}", "by {v}"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("album", {"titleword", "titleword"}, "which",
+                           {"album", "record"});
+    c.implicit_templates = {"on the album {v}"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = RealCol("year", 1960, 2023, {"year"});
+    c.verb_templates = {"released in {v}", "recorded in {v}"};
+    c.implicit_templates = {"in {v}"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("label", {"label"}, "which",
+                           {"label", "record label"});
+    c.verb_templates = {"released by {v}", "issued by {v}"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = RealCol("peak_position", 1, 100,
+                           {"peak position", "peak", "chart position"});
+    d.columns.push_back(c);
+  }
+  return d;
+}
+
+DomainSpec SpaceDomain() {
+  DomainSpec d;
+  d.name = "space";
+  {
+    ColumnSpec c = TextCol("mission", {"missionword", "daynum"}, "which",
+                           {"mission", "missions", "flight"});
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("crew", {"firstname", "surname"}, "who",
+                           {"crew", "commander", "astronaut"});
+    c.verb_templates = {"commanded by {v}", "flown by {v}"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("launch_date", {"month", "daynum", "yearnum"},
+                           "when", {"launch date", "date"});
+    c.select_templates = {"when did the mission launch"};
+    c.verb_templates = {"scheduled to launch on {v}", "launched on {v}"};
+    c.implicit_templates = {"on {v}"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = RealCol("duration", 1, 400, {"duration", "length"});
+    c.select_templates = {"how many days did the mission last"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("agency", {"agency"}, "which",
+                           {"agency", "operator"});
+    c.verb_templates = {"operated by {v}"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("outcome", {"outcome"}, "what",
+                           {"outcome", "result", "status"});
+    d.columns.push_back(c);
+  }
+  return d;
+}
+
+DomainSpec PoliticsDomain() {
+  DomainSpec d;
+  d.name = "politics";
+  {
+    ColumnSpec c = TextCol("candidate", {"firstname", "surname"}, "who",
+                           {"candidate", "nominee"});
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("party", {"party"}, "which",
+                           {"party", "affiliation"});
+    c.verb_templates = {"affiliated with the {v} party",
+                        "running for the {v} party"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = RealCol("votes", 1000, 90000, {"votes", "ballots"});
+    c.select_templates = {"how many votes were cast"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("district", {"placename"}, "where",
+                           {"district", "constituency"});
+    c.implicit_templates = {"in {v}"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("incumbent", {"yesno"}, "what", {"incumbent"});
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = RealCol("year", 1960, 2023, {"year", "election year"});
+    c.verb_templates = {"elected in {v}"};
+    c.implicit_templates = {"in {v}"};
+    d.columns.push_back(c);
+  }
+  return d;
+}
+
+
+DomainSpec BooksDomain() {
+  DomainSpec d;
+  d.name = "books";
+  {
+    ColumnSpec c = TextCol("title", {"titleword", "titleword"}, "which",
+                           {"title", "book", "novel"});
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("author", {"author"}, "who",
+                           {"author", "writer"});
+    c.verb_templates = {"written by {v}", "authored by {v}"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("publisher", {"publisher"}, "which",
+                           {"publisher"});
+    c.verb_templates = {"published by {v}"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("genre", {"genre"}, "what", {"genre", "category"});
+    c.implicit_templates = {"in the {v} genre"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = RealCol("year", 1960, 2023, {"year"});
+    c.verb_templates = {"published in {v}"};
+    c.implicit_templates = {"in {v}", "from {v}"};
+    d.columns.push_back(c);
+  }
+  d.columns.push_back(RealCol("pages", 80, 900, {"pages", "length"}));
+  return d;
+}
+
+DomainSpec AviationDomain() {
+  DomainSpec d;
+  d.name = "aviation";
+  {
+    ColumnSpec c = TextCol("airline", {"airline"}, "which",
+                           {"airline", "carrier"});
+    c.verb_templates = {"operated by {v}", "flown by {v}"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("destination", {"airport"}, "where",
+                           {"destination", "airport"});
+    c.verb_templates = {"flying to {v}", "bound for {v}"};
+    c.implicit_templates = {"to {v}"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("departure_date", {"month", "daynum"}, "when",
+                           {"departure date", "date"});
+    c.select_templates = {"when does the flight leave"};
+    c.verb_templates = {"departing on {v}", "leaving on {v}"};
+    c.implicit_templates = {"on {v}"};
+    d.columns.push_back(c);
+  }
+  d.columns.push_back(RealCol("duration", 1, 15, {"duration", "flight time"}));
+  d.columns.push_back(RealCol("passengers", 50, 400,
+                              {"passengers", "seats"}));
+  return d;
+}
+
+DomainSpec CompaniesDomain() {
+  DomainSpec d;
+  d.name = "companies";
+  {
+    ColumnSpec c = TextCol("company", {"companyword", "companynoun"},
+                           "which", {"company", "firm"});
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("industry", {"industry"}, "what",
+                           {"industry", "sector"});
+    c.implicit_templates = {"in the {v} sector"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("ceo", {"firstname", "surname"}, "who",
+                           {"ceo", "chief"});
+    c.verb_templates = {"led by {v}", "run by {v}"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = RealCol("revenue", 1, 900, {"revenue", "sales"});
+    c.select_templates = {"how much revenue does the company make"};
+    d.columns.push_back(c);
+  }
+  d.columns.push_back(RealCol("employees", 10, 9000,
+                              {"employees", "staff", "headcount"}));
+  {
+    ColumnSpec c = RealCol("founded", 1900, 2020, {"founded", "year"});
+    c.verb_templates = {"founded in {v}"};
+    c.implicit_templates = {"from {v}"};
+    d.columns.push_back(c);
+  }
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Transfer (OVERNIGHT-style) domains
+// ---------------------------------------------------------------------------
+
+DomainSpec BasketballDomain() {
+  DomainSpec d;
+  d.name = "basketball";
+  {
+    ColumnSpec c = TextCol("player", {"firstname", "surname"}, "who",
+                           {"player"});
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("team", {"nbateam"}, "which", {"team", "club"});
+    c.verb_templates = {"playing for the {v}", "who played for the {v}"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("position", {"position"}, "what",
+                           {"position", "role"});
+    c.verb_templates = {"playing {v}"};
+    d.columns.push_back(c);
+  }
+  d.columns.push_back(RealCol("points", 0, 40, {"points", "score"}));
+  d.columns.push_back(RealCol("rebounds", 0, 20, {"rebounds", "boards"}));
+  {
+    ColumnSpec c = TextCol("years_in_toronto", {"seasonspan"}, "when",
+                           {"years in toronto", "toronto years"});
+    c.verb_templates = {"on the toronto team in {v}"};
+    c.implicit_templates = {"in {v}"};
+    d.columns.push_back(c);
+  }
+  return d;
+}
+
+DomainSpec CalendarDomain() {
+  DomainSpec d;
+  d.name = "calendar";
+  {
+    ColumnSpec c = TextCol("meeting", {"meetingword", "meetingnoun"},
+                           "which", {"meeting", "event"});
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("date", {"month", "daynum"}, "when", {"date"});
+    c.verb_templates = {"held on {v}", "scheduled for {v}"};
+    c.implicit_templates = {"on {v}"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("location", {"placename"}, "where",
+                           {"location", "venue"});
+    c.verb_templates = {"held in {v}"};
+    c.implicit_templates = {"in {v}"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("attendee", {"firstname", "surname"}, "who",
+                           {"attendee", "participant"});
+    c.verb_templates = {"attended by {v}"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("start_time", {"timeofday"}, "when",
+                           {"start time", "time"});
+    c.verb_templates = {"starting at {v}"};
+    c.implicit_templates = {"at {v}"};
+    d.columns.push_back(c);
+  }
+  return d;
+}
+
+DomainSpec HousingDomain() {
+  DomainSpec d;
+  d.name = "housing";
+  {
+    ColumnSpec c = TextCol("address", {"daynum", "streetword"}, "which",
+                           {"address", "listing"});
+    c.implicit_templates = {"at {v}"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("neighborhood", {"neighborhood"}, "where",
+                           {"neighborhood", "area"});
+    c.verb_templates = {"located in {v}"};
+    c.implicit_templates = {"in {v}"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = RealCol("price", 200, 990, {"price", "cost", "rent"});
+    c.select_templates = {"how much does the unit cost"};
+    d.columns.push_back(c);
+  }
+  d.columns.push_back(RealCol("bedrooms", 1, 6, {"bedrooms", "rooms"}));
+  d.columns.push_back(RealCol("size", 30, 400, {"size", "area"}));
+  return d;
+}
+
+DomainSpec RecipesDomain() {
+  DomainSpec d;
+  d.name = "recipes";
+  {
+    ColumnSpec c = TextCol("recipe", {"ingredient", "dishword"}, "which",
+                           {"recipe", "dish"});
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("ingredient", {"ingredient"}, "what",
+                           {"ingredient"});
+    c.verb_templates = {"containing {v}", "made with {v}"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("cuisine", {"cuisine"}, "which",
+                           {"cuisine", "style"});
+    c.implicit_templates = {"from the {v} cuisine"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = RealCol("cooking_time", 10, 120,
+                           {"cooking time", "preparation time"});
+    c.select_templates = {"how many minutes does it take to cook"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("posting_date", {"month", "daynum", "yearnum"},
+                           "when", {"posting date", "date"});
+    c.verb_templates = {"posted on {v}"};
+    c.implicit_templates = {"on {v}"};
+    d.columns.push_back(c);
+  }
+  return d;
+}
+
+DomainSpec RestaurantsDomain() {
+  DomainSpec d;
+  d.name = "restaurants";
+  {
+    ColumnSpec c = TextCol("restaurant", {"surname", "restaurantnoun"},
+                           "which", {"restaurant", "eatery"});
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("cuisine", {"cuisine"}, "which",
+                           {"cuisine", "food style"});
+    c.verb_templates = {"serving {v} food"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = RealCol("rating", 1, 5, {"rating", "stars"});
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("neighborhood", {"neighborhood"}, "where",
+                           {"neighborhood", "area"});
+    c.verb_templates = {"located in {v}"};
+    c.implicit_templates = {"in {v}"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("price_range", {"pricerange"}, "what",
+                           {"price range", "price"});
+    d.columns.push_back(c);
+  }
+  return d;
+}
+
+DomainSpec BuildPatientsDomain() {
+  DomainSpec d;
+  d.name = "patients";
+  {
+    ColumnSpec c = TextCol("patient", {"firstname", "surname"}, "who",
+                           {"patient", "name"});
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = RealCol("age", 1, 99, {"age"});
+    c.select_templates = {"how old is the patient"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("diagnosis", {"diagnosis"}, "what",
+                           {"diagnosis", "condition", "disease"});
+    c.verb_templates = {"diagnosed with {v}", "suffering from {v}"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = TextCol("doctor", {"firstname", "surname"}, "who",
+                           {"doctor", "physician"});
+    c.verb_templates = {"treated by {v}"};
+    d.columns.push_back(c);
+  }
+  {
+    ColumnSpec c = RealCol("length_of_stay", 1, 60,
+                           {"length of stay", "stay"});
+    c.select_templates = {"how many days did the patient stay"};
+    d.columns.push_back(c);
+  }
+  return d;
+}
+
+}  // namespace
+
+const std::vector<ValuePool>& ValuePools() {
+  static const std::vector<ValuePool>* kPools =
+      new std::vector<ValuePool>(BuildPools());
+  return *kPools;
+}
+
+const std::vector<DomainSpec>& TrainDomains() {
+  static const std::vector<DomainSpec>* kDomains = new std::vector<DomainSpec>{
+      FilmsDomain(),    GeographyDomain(), RacingDomain(), OlympicsDomain(),
+      MusicDomain(),    SpaceDomain(),     PoliticsDomain(), BooksDomain(),
+      AviationDomain(), CompaniesDomain(),
+  };
+  return *kDomains;
+}
+
+const std::vector<DomainSpec>& OvernightDomains() {
+  static const std::vector<DomainSpec>* kDomains = new std::vector<DomainSpec>{
+      BasketballDomain(), CalendarDomain(), HousingDomain(), RecipesDomain(),
+      RestaurantsDomain(),
+  };
+  return *kDomains;
+}
+
+const DomainSpec& PatientsDomain() {
+  static const DomainSpec* kDomain = new DomainSpec(BuildPatientsDomain());
+  return *kDomain;
+}
+
+const ValuePool& GetPool(const std::string& name) {
+  for (const auto& pool : ValuePools()) {
+    if (pool.name == name) return pool;
+  }
+  NLIDB_CHECK(false) << "unknown value pool: " << name;
+  static const ValuePool* kEmpty = new ValuePool{};
+  return *kEmpty;
+}
+
+void RegisterDomainClusters(text::EmbeddingProvider& provider) {
+  provider.AddClusters(text::DefaultLexicon());
+  // Lexicon words keep their linguistic cluster: a pool item like
+  // "best director" must not pull "director" toward the award pool.
+  std::unordered_set<std::string> lexicon_words;
+  for (const auto& cluster : text::DefaultLexicon()) {
+    for (const auto& w : cluster.members) lexicon_words.insert(w);
+  }
+  for (const auto& pool : ValuePools()) {
+    // Multi-word items cluster their component words.
+    std::vector<std::string> words;
+    for (const auto& item : pool.items) {
+      size_t start = 0;
+      for (size_t i = 0; i <= item.size(); ++i) {
+        if (i == item.size() || item[i] == ' ') {
+          if (i > start) {
+            std::string w = item.substr(start, i - start);
+            if (lexicon_words.count(w) == 0) words.push_back(std::move(w));
+          }
+          start = i + 1;
+        }
+      }
+    }
+    provider.AddCluster("pool:" + pool.name, words);
+  }
+}
+
+}  // namespace data
+}  // namespace nlidb

@@ -1,0 +1,54 @@
+#ifndef NLIDB_DATA_EXAMPLE_H_
+#define NLIDB_DATA_EXAMPLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sql/query.h"
+#include "sql/table.h"
+#include "text/tokenizer.h"
+
+namespace nlidb {
+namespace data {
+
+/// Gold mention annotation for one WHERE-clause condition.
+struct MentionInfo {
+  int column = 0;               // schema column index
+  text::Span column_span;       // tokens mentioning the column; empty when
+                                // the mention is implicit (challenge 3)
+  text::Span value_span;        // tokens carrying the condition value
+  bool column_explicit = true;  // false for implicit mentions
+};
+
+/// One (question, SQL) record with its table and gold annotations.
+///
+/// Gold spans come for free from the template generator; on real data they
+/// would be distant-supervised from the SQL as the paper does. They train
+/// the column-mention classifier and evaluate mention detection; the
+/// seq2seq translator never sees them at inference time.
+struct Example {
+  std::string question;
+  std::vector<std::string> tokens;
+  sql::SelectQuery query;
+  std::shared_ptr<const sql::Table> table;
+
+  std::vector<MentionInfo> where_mentions;  // one per query.conditions entry
+  text::Span select_mention;                // mention of the select column
+  bool select_explicit = true;
+
+  const sql::Schema& schema() const { return table->schema(); }
+};
+
+/// A split of examples over a set of tables.
+struct Dataset {
+  std::vector<std::shared_ptr<const sql::Table>> tables;
+  std::vector<Example> examples;
+
+  size_t size() const { return examples.size(); }
+};
+
+}  // namespace data
+}  // namespace nlidb
+
+#endif  // NLIDB_DATA_EXAMPLE_H_

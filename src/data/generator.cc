@@ -1,0 +1,509 @@
+#include "data/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "sql/value.h"
+
+namespace nlidb {
+namespace data {
+
+namespace {
+
+const char* kExplicitEqForms[] = {"with {c} {v}", "whose {c} is {v}",
+                                  "with the {c} {v}"};
+const char* kExplicitGtForms[] = {"with {c} over {v}",
+                                  "whose {c} is greater than {v}",
+                                  "with more than {v} {c}"};
+const char* kExplicitLtForms[] = {"with {c} under {v}",
+                                  "whose {c} is less than {v}",
+                                  "with fewer than {v} {c}"};
+
+/// Incrementally builds a tokenized question while recording spans.
+class QuestionAssembler {
+ public:
+  /// Appends the whitespace-tokenized words of `phrase`; returns their span.
+  text::Span Append(const std::string& phrase) {
+    const std::vector<std::string> words = SplitWhitespace(phrase);
+    text::Span span{static_cast<int>(tokens_.size()),
+                    static_cast<int>(tokens_.size() + words.size())};
+    for (const auto& w : words) tokens_.push_back(ToLower(w));
+    return span;
+  }
+
+  /// Instantiates a template containing "{v}" (and optionally "{c}").
+  /// Returns the value span via `value_span` and the column-mention span
+  /// (the longest contiguous run of non-value, non-function template
+  /// words; empty if the template has no column wording) via `col_span`.
+  void AppendTemplate(const std::string& tmpl, const std::string& col_phrase,
+                      const std::string& value_text, text::Span* value_span,
+                      text::Span* col_span) {
+    *value_span = text::Span{};
+    *col_span = text::Span{};
+    text::Span before{static_cast<int>(tokens_.size()),
+                      static_cast<int>(tokens_.size())};
+    bool seen_value = false;
+    text::Span after{};
+    for (const auto& piece : SplitWhitespace(tmpl)) {
+      if (piece == "{v}") {
+        *value_span = Append(value_text);
+        seen_value = true;
+        after = text::Span{static_cast<int>(tokens_.size()),
+                           static_cast<int>(tokens_.size())};
+      } else if (piece == "{c}") {
+        text::Span s = Append(col_phrase);
+        if (!seen_value) {
+          before.end = s.end;
+        } else {
+          after.end = s.end;
+        }
+        // An explicit {c} placeholder pins the column span exactly.
+        *col_span = s;
+      } else {
+        text::Span s = Append(piece);
+        if (!seen_value) {
+          before.end = s.end;
+        } else {
+          after.end = s.end;
+        }
+      }
+    }
+    if (col_span->empty()) {
+      // Verb template: the mention is the template's own wording; take the
+      // longer contiguous side around the value.
+      *col_span = (before.length() >= after.length()) ? before : after;
+    }
+  }
+
+  const std::vector<std::string>& tokens() const { return tokens_; }
+
+ private:
+  std::vector<std::string> tokens_;
+};
+
+std::string RenderValue(const sql::Value& value) {
+  return ToLower(value.ToString());
+}
+
+const ColumnSpec* FindSpec(const DomainSpec& domain, const std::string& name) {
+  for (const auto& c : domain.columns) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+/// Inflects the last word of a phrase: toggles a plural-ish 's'.
+std::string MorphPhrase(const std::string& phrase) {
+  std::vector<std::string> words = SplitWhitespace(phrase);
+  if (words.empty()) return phrase;
+  std::string& last = words.back();
+  if (last.size() > 3 && last.back() == 's') {
+    last.pop_back();
+  } else {
+    last += 's';
+  }
+  return Join(words, " ");
+}
+
+}  // namespace
+
+const char* QuestionStyleName(QuestionStyle style) {
+  switch (style) {
+    case QuestionStyle::kMixed:
+      return "mixed";
+    case QuestionStyle::kNaive:
+      return "naive";
+    case QuestionStyle::kSyntactic:
+      return "syntactic";
+    case QuestionStyle::kLexical:
+      return "lexical";
+    case QuestionStyle::kMorphological:
+      return "morphological";
+    case QuestionStyle::kSemantic:
+      return "semantic";
+    case QuestionStyle::kMissing:
+      return "missing";
+  }
+  return "?";
+}
+
+WikiSqlGenerator::WikiSqlGenerator(GeneratorConfig config,
+                                   std::vector<DomainSpec> domains)
+    : config_(config), domains_(std::move(domains)), rng_(config.seed) {
+  NLIDB_CHECK(!domains_.empty()) << "generator needs domains";
+  NLIDB_CHECK(config_.min_columns >= 2) << "need at least two columns";
+}
+
+namespace {
+
+sql::Value ComposeValue(const ColumnSpec& spec, Rng& rng) {
+  if (spec.type == sql::DataType::kReal) {
+    if (spec.values.integer) {
+      return sql::Value::Real(static_cast<double>(rng.NextInt(
+          static_cast<int>(spec.values.num_lo),
+          static_cast<int>(spec.values.num_hi))));
+    }
+    return sql::Value::Real(rng.NextFloat(
+        static_cast<float>(spec.values.num_lo),
+        static_cast<float>(spec.values.num_hi)));
+  }
+  std::string text;
+  for (const auto& pool_name : spec.values.compose_pools) {
+    const ValuePool& pool = GetPool(pool_name);
+    if (!text.empty()) text += ' ';
+    text += rng.Choice(pool.items);
+  }
+  return sql::Value::Text(text);
+}
+
+}  // namespace
+
+std::shared_ptr<sql::Table> WikiSqlGenerator::GenerateTable(int table_id) {
+  const int domain_idx = static_cast<int>(rng_.NextUint64(domains_.size()));
+  if (static_cast<int>(table_domain_.size()) <= table_id) {
+    table_domain_.resize(table_id + 1, 0);
+  }
+  table_domain_[table_id] = domain_idx;
+  const DomainSpec& domain = domains_[domain_idx];
+
+  const int total = static_cast<int>(domain.columns.size());
+  const int want = std::min(
+      total, rng_.NextInt(config_.min_columns,
+                          std::min(config_.max_columns, total)));
+  std::vector<int> indices(total);
+  for (int i = 0; i < total; ++i) indices[i] = i;
+  rng_.Shuffle(indices);
+  indices.resize(want);
+  std::sort(indices.begin(), indices.end());
+
+  sql::Schema schema;
+  std::vector<const ColumnSpec*> specs;
+  for (int idx : indices) {
+    const ColumnSpec& spec = domain.columns[idx];
+    schema.AddColumn({spec.name, spec.type});
+    specs.push_back(&spec);
+  }
+  auto table = std::make_shared<sql::Table>(
+      domain.name + "_" + std::to_string(table_id), schema);
+  for (int r = 0; r < config_.rows_per_table; ++r) {
+    std::vector<sql::Value> row;
+    row.reserve(specs.size());
+    for (const ColumnSpec* spec : specs) {
+      row.push_back(ComposeValue(*spec, rng_));
+    }
+    NLIDB_CHECK(table->AddRow(std::move(row)).ok()) << "generated row invalid";
+  }
+  return table;
+}
+
+Example WikiSqlGenerator::GenerateExample(
+    const std::shared_ptr<const sql::Table>& table, const DomainSpec& domain) {
+  const sql::Schema& schema = table->schema();
+  const int ncols = schema.num_columns();
+  NLIDB_CHECK(ncols >= 2) << "table too narrow for question generation";
+
+  // --- choose the logical query -----------------------------------------
+  const int select_col = static_cast<int>(rng_.NextUint64(ncols));
+  const int max_conds =
+      std::min(config_.max_conditions, ncols - 1);
+  int num_conds = 1;
+  {
+    const float r = rng_.NextFloat();
+    if (max_conds >= 3 && r > 0.80f) num_conds = 3;
+    else if (max_conds >= 2 && r > 0.45f) num_conds = 2;
+  }
+  std::vector<int> cond_cols;
+  {
+    std::vector<int> candidates;
+    for (int i = 0; i < ncols; ++i) {
+      if (i != select_col) candidates.push_back(i);
+    }
+    rng_.Shuffle(candidates);
+    candidates.resize(num_conds);
+    cond_cols = candidates;
+  }
+
+  Example ex;
+  ex.table = table;
+  ex.query.select_column = select_col;
+
+  const ColumnSpec* select_spec = FindSpec(domain, schema.column(select_col).name);
+  NLIDB_CHECK(select_spec != nullptr) << "missing spec for select column";
+
+  // Aggregate only on numeric select columns (plus the occasional COUNT).
+  sql::Aggregate agg = sql::Aggregate::kNone;
+  if (select_spec->type == sql::DataType::kReal &&
+      rng_.NextBool(config_.agg_probability)) {
+    const sql::Aggregate choices[] = {sql::Aggregate::kMax, sql::Aggregate::kMin,
+                                      sql::Aggregate::kSum, sql::Aggregate::kAvg};
+    agg = choices[rng_.NextUint64(4)];
+  } else if (rng_.NextBool(0.07f)) {
+    agg = sql::Aggregate::kCount;
+  }
+  ex.query.agg = agg;
+
+  // --- choose conditions --------------------------------------------------
+  struct PlannedCond {
+    const ColumnSpec* spec;
+    sql::Condition cond;
+  };
+  std::vector<PlannedCond> planned;
+  for (int col : cond_cols) {
+    const ColumnSpec* spec = FindSpec(domain, schema.column(col).name);
+    NLIDB_CHECK(spec != nullptr) << "missing spec for condition column";
+    sql::Condition cond;
+    cond.column = col;
+    if (spec->type == sql::DataType::kReal) {
+      const float r = rng_.NextFloat();
+      cond.op = r < 0.6f ? sql::CondOp::kEq
+                         : (r < 0.8f ? sql::CondOp::kGt : sql::CondOp::kLt);
+    } else {
+      cond.op = sql::CondOp::kEq;
+    }
+    if (rng_.NextBool(config_.counterfactual_probability) ||
+        table->num_rows() == 0) {
+      cond.value = ComposeValue(*spec, rng_);  // possibly counterfactual
+    } else {
+      const int row = static_cast<int>(rng_.NextUint64(table->num_rows()));
+      cond.value = table->Cell(row, col);
+    }
+    planned.push_back({spec, cond});
+  }
+
+  // --- realize natural language -------------------------------------------
+  const QuestionStyle style = config_.style;
+  auto pick_mention = [&](const ColumnSpec& spec) -> std::string {
+    std::string phrase = spec.mention_phrases[0];
+    switch (style) {
+      case QuestionStyle::kLexical:
+        if (spec.mention_phrases.size() > 1) {
+          phrase = spec.mention_phrases[1 + rng_.NextUint64(
+                                                spec.mention_phrases.size() - 1)];
+        }
+        break;
+      case QuestionStyle::kMorphological:
+        phrase = MorphPhrase(phrase);
+        break;
+      case QuestionStyle::kMixed: {
+        const float r = rng_.NextFloat();
+        if (r < 0.25f && spec.mention_phrases.size() > 1) {
+          phrase = spec.mention_phrases[1 + rng_.NextUint64(
+                                                spec.mention_phrases.size() - 1)];
+        } else if (r < 0.33f) {
+          phrase = MorphPhrase(phrase);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    return phrase;
+  };
+
+  QuestionAssembler qa;
+
+  // Condition renderer used by both orderings.
+  auto render_cond = [&](const PlannedCond& pc, MentionInfo* info) {
+    const ColumnSpec& spec = *pc.spec;
+    const std::string value_text = RenderValue(pc.cond.value);
+    const std::string col_phrase = pick_mention(spec);
+    std::string tmpl;
+    bool implicit = false;
+
+    const bool has_verb = !spec.verb_templates.empty() &&
+                          pc.cond.op == sql::CondOp::kEq;
+    const bool has_implicit = !spec.implicit_templates.empty() &&
+                              pc.cond.op == sql::CondOp::kEq;
+    auto explicit_form = [&]() -> std::string {
+      switch (pc.cond.op) {
+        case sql::CondOp::kGt:
+          return kExplicitGtForms[rng_.NextUint64(3)];
+        case sql::CondOp::kLt:
+          return kExplicitLtForms[rng_.NextUint64(3)];
+        case sql::CondOp::kEq:
+        default:
+          return kExplicitEqForms[rng_.NextUint64(3)];
+      }
+    };
+
+    switch (style) {
+      case QuestionStyle::kNaive:
+      case QuestionStyle::kSyntactic:
+      case QuestionStyle::kLexical:
+      case QuestionStyle::kMorphological:
+        tmpl = explicit_form();
+        break;
+      case QuestionStyle::kSemantic:
+        if (has_verb) {
+          tmpl = spec.verb_templates[rng_.NextUint64(spec.verb_templates.size())];
+        } else {
+          tmpl = explicit_form();
+        }
+        break;
+      case QuestionStyle::kMissing:
+        if (has_implicit) {
+          tmpl = spec.implicit_templates[rng_.NextUint64(
+              spec.implicit_templates.size())];
+          implicit = true;
+        } else {
+          tmpl = "for {v}";
+          implicit = true;
+        }
+        break;
+      case QuestionStyle::kMixed: {
+        const float r = rng_.NextFloat();
+        if (has_verb && r < 0.35f) {
+          tmpl = spec.verb_templates[rng_.NextUint64(spec.verb_templates.size())];
+        } else if (has_implicit && r < 0.50f) {
+          tmpl = spec.implicit_templates[rng_.NextUint64(
+              spec.implicit_templates.size())];
+          implicit = true;
+        } else {
+          tmpl = explicit_form();
+        }
+        break;
+      }
+    }
+
+    text::Span value_span, col_span;
+    qa.AppendTemplate(tmpl, col_phrase, value_text, &value_span, &col_span);
+    info->column = pc.cond.column;
+    info->value_span = value_span;
+    if (implicit) {
+      info->column_explicit = false;
+      info->column_span = text::Span{};
+    } else {
+      info->column_explicit = true;
+      info->column_span = col_span;
+    }
+  };
+
+  // Select phrase renderer.
+  auto render_select = [&]() {
+    const ColumnSpec& spec = *select_spec;
+    const std::string mention = pick_mention(spec);
+    switch (agg) {
+      case sql::Aggregate::kMax:
+        qa.Append("what is the highest");
+        ex.select_mention = qa.Append(mention);
+        return;
+      case sql::Aggregate::kMin:
+        qa.Append("what is the lowest");
+        ex.select_mention = qa.Append(mention);
+        return;
+      case sql::Aggregate::kSum:
+        qa.Append("what is the total");
+        ex.select_mention = qa.Append(mention);
+        return;
+      case sql::Aggregate::kAvg:
+        qa.Append("what is the average");
+        ex.select_mention = qa.Append(mention);
+        return;
+      case sql::Aggregate::kCount:
+        qa.Append("how many");
+        ex.select_mention = qa.Append(mention);
+        qa.Append("entries are there");
+        return;
+      case sql::Aggregate::kNone:
+        break;
+    }
+    const bool use_template =
+        !spec.select_templates.empty() &&
+        (style == QuestionStyle::kSemantic ||
+         (style == QuestionStyle::kMixed && rng_.NextBool(0.2f)));
+    if (use_template) {
+      ex.select_mention = qa.Append(
+          spec.select_templates[rng_.NextUint64(spec.select_templates.size())]);
+      ex.select_explicit = true;
+      return;
+    }
+    const bool wh_variant =
+        style == QuestionStyle::kMixed && rng_.NextBool(0.4f);
+    if (wh_variant && spec.wh_word == "who") {
+      qa.Append("who is the");
+      ex.select_mention = qa.Append(mention);
+    } else if (wh_variant && spec.wh_word == "which") {
+      qa.Append("which");
+      ex.select_mention = qa.Append(mention);
+    } else if (wh_variant && spec.wh_word == "when") {
+      qa.Append("when is the");
+      ex.select_mention = qa.Append(mention);
+    } else if (wh_variant && spec.wh_word == "where") {
+      qa.Append("where is the");
+      ex.select_mention = qa.Append(mention);
+    } else {
+      qa.Append("what is the");
+      ex.select_mention = qa.Append(mention);
+    }
+  };
+
+  ex.where_mentions.resize(planned.size());
+  if (style == QuestionStyle::kSyntactic) {
+    // Fronted conditions: "for the entry <cond> and <cond> , what is ... ?"
+    qa.Append("for the entry");
+    for (size_t i = 0; i < planned.size(); ++i) {
+      if (i > 0) qa.Append("and");
+      render_cond(planned[i], &ex.where_mentions[i]);
+    }
+    qa.Append(",");
+    render_select();
+  } else {
+    render_select();
+    for (size_t i = 0; i < planned.size(); ++i) {
+      if (i > 0) qa.Append("and");
+      render_cond(planned[i], &ex.where_mentions[i]);
+    }
+  }
+  qa.Append("?");
+
+  for (const auto& pc : planned) ex.query.conditions.push_back(pc.cond);
+  ex.tokens = qa.tokens();
+  ex.question = Join(ex.tokens, " ");
+  return ex;
+}
+
+Dataset WikiSqlGenerator::Generate() {
+  Dataset ds;
+  for (int t = 0; t < config_.num_tables; ++t) {
+    std::shared_ptr<sql::Table> table = GenerateTable(t);
+    ds.tables.push_back(table);
+    const DomainSpec& domain = domains_[table_domain_[t]];
+    for (int q = 0; q < config_.questions_per_table; ++q) {
+      ds.examples.push_back(GenerateExample(table, domain));
+    }
+  }
+  return ds;
+}
+
+Splits GenerateWikiSqlSplits(const GeneratorConfig& config) {
+  WikiSqlGenerator gen(config, TrainDomains());
+  Dataset all = gen.Generate();
+  Splits splits;
+  const int n = static_cast<int>(all.tables.size());
+  const int train_end = (n * 7) / 10;
+  const int dev_end = train_end + std::max(1, (n * 15) / 100);
+  for (int t = 0; t < n; ++t) {
+    Dataset* target = t < train_end ? &splits.train
+                      : t < dev_end ? &splits.dev
+                                    : &splits.test;
+    target->tables.push_back(all.tables[t]);
+  }
+  for (auto& ex : all.examples) {
+    // Examples follow their table.
+    for (int t = 0; t < n; ++t) {
+      if (all.tables[t] == ex.table) {
+        Dataset* target = t < train_end ? &splits.train
+                          : t < dev_end ? &splits.dev
+                                        : &splits.test;
+        target->examples.push_back(std::move(ex));
+        break;
+      }
+    }
+  }
+  return splits;
+}
+
+}  // namespace data
+}  // namespace nlidb

@@ -1,0 +1,92 @@
+#ifndef NLIDB_DATA_GENERATOR_H_
+#define NLIDB_DATA_GENERATOR_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/domain.h"
+#include "data/example.h"
+
+namespace nlidb {
+namespace data {
+
+/// Linguistic style of generated questions. `kMixed` draws freely (the
+/// WikiSQL-style corpus); the specific styles generate the six
+/// ParaphraseBench categories.
+enum class QuestionStyle {
+  kMixed,
+  kNaive,          // plain "what is the <c> with <c> <v>"
+  kSyntactic,      // conditions fronted: "for the entry <cond>, what ..."
+  kLexical,        // non-canonical synonym column mentions
+  kMorphological,  // inflected column mentions ("films", "directors")
+  kSemantic,       // paraphrase select/verb templates
+  kMissing,        // implicit mentions only (column wording dropped)
+};
+
+const char* QuestionStyleName(QuestionStyle style);
+
+/// Knobs for the synthetic corpus generator.
+struct GeneratorConfig {
+  int num_tables = 60;
+  int rows_per_table = 12;
+  int questions_per_table = 8;
+  int min_columns = 4;
+  int max_columns = 6;
+  int max_conditions = 3;
+  /// Probability of an aggregate on a numeric select column.
+  float agg_probability = 0.25f;
+  /// Probability a condition value is counterfactual (absent from the
+  /// table) — challenge 4.
+  float counterfactual_probability = 0.3f;
+  QuestionStyle style = QuestionStyle::kMixed;
+  uint64_t seed = 42;
+};
+
+/// Generates WikiSQL-style (question, SQL, table) corpora from domain
+/// specifications, with gold mention spans tracked through template
+/// instantiation.
+///
+/// Substitutes for the WikiSQL dataset (unavailable offline) while
+/// preserving the properties the paper's evaluation depends on: unseen
+/// tables at test time, paraphrased/implicit/counterfactual mentions,
+/// multi-condition conjunctive WHERE clauses. See DESIGN.md.
+class WikiSqlGenerator {
+ public:
+  WikiSqlGenerator(GeneratorConfig config, std::vector<DomainSpec> domains);
+
+  /// Generates `config.num_tables` tables with examples attached.
+  Dataset Generate();
+
+  /// Generates one table from a randomly chosen domain.
+  std::shared_ptr<sql::Table> GenerateTable(int table_id);
+
+  /// Generates one example against `table` (whose domain spec is the one
+  /// used to create it). Exposed for tests.
+  Example GenerateExample(const std::shared_ptr<const sql::Table>& table,
+                          const DomainSpec& domain);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  GeneratorConfig config_;
+  std::vector<DomainSpec> domains_;
+  std::vector<int> table_domain_;  // table id -> domain index
+  Rng rng_;
+};
+
+/// Train/dev/test with table-disjoint splits (the WikiSQL protocol:
+/// "tables are not shared among the train/validation/test splits").
+struct Splits {
+  Dataset train;
+  Dataset dev;
+  Dataset test;
+};
+
+/// Builds the full WikiSQL-style corpus and splits its tables 70/15/15.
+Splits GenerateWikiSqlSplits(const GeneratorConfig& config);
+
+}  // namespace data
+}  // namespace nlidb
+
+#endif  // NLIDB_DATA_GENERATOR_H_

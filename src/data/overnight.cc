@@ -1,0 +1,34 @@
+#include "data/overnight.h"
+
+namespace nlidb {
+namespace data {
+
+OvernightCorpus GenerateOvernight(const GeneratorConfig& config) {
+  OvernightCorpus corpus;
+  uint64_t seed = config.seed;
+  for (const DomainSpec& domain : OvernightDomains()) {
+    GeneratorConfig sub = config;
+    sub.seed = seed++;
+    WikiSqlGenerator gen(sub, {domain});
+    Dataset all = gen.Generate();
+    OvernightCorpus::Subdomain out;
+    out.name = domain.name;
+    const int n = static_cast<int>(all.tables.size());
+    const int train_end = (n * 7) / 10;
+    for (int t = 0; t < n; ++t) {
+      (t < train_end ? out.train : out.test).tables.push_back(all.tables[t]);
+    }
+    for (auto& ex : all.examples) {
+      bool in_train = false;
+      for (int t = 0; t < train_end && !in_train; ++t) {
+        in_train = all.tables[t] == ex.table;
+      }
+      (in_train ? out.train : out.test).examples.push_back(std::move(ex));
+    }
+    corpus.subdomains.push_back(std::move(out));
+  }
+  return corpus;
+}
+
+}  // namespace data
+}  // namespace nlidb

@@ -1,0 +1,34 @@
+#ifndef NLIDB_DATA_OVERNIGHT_H_
+#define NLIDB_DATA_OVERNIGHT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/generator.h"
+
+namespace nlidb {
+namespace data {
+
+/// An OVERNIGHT-style corpus: five sub-domain datasets evaluated
+/// zero-shot by a model trained on the WikiSQL-style corpus (paper
+/// Sec. VII-B1). Only sketch-compatible queries are generated, mirroring
+/// the paper's "only the sketch compatible ones are considered".
+struct OvernightCorpus {
+  struct Subdomain {
+    std::string name;
+    Dataset train;
+    Dataset test;
+  };
+  std::vector<Subdomain> subdomains;
+};
+
+/// Generates all five sub-domains (basketball, calendar, housing,
+/// recipes, restaurants) with per-sub-domain train/test splits; `config`
+/// controls per-sub-domain sizes (num_tables is per sub-domain).
+OvernightCorpus GenerateOvernight(const GeneratorConfig& config);
+
+}  // namespace data
+}  // namespace nlidb
+
+#endif  // NLIDB_DATA_OVERNIGHT_H_

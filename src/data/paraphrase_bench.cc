@@ -1,0 +1,28 @@
+#include "data/paraphrase_bench.h"
+
+namespace nlidb {
+namespace data {
+
+ParaphraseBenchCorpus GenerateParaphraseBench(const GeneratorConfig& config) {
+  ParaphraseBenchCorpus corpus;
+  const QuestionStyle styles[] = {
+      QuestionStyle::kNaive,         QuestionStyle::kSyntactic,
+      QuestionStyle::kLexical,       QuestionStyle::kMorphological,
+      QuestionStyle::kSemantic,      QuestionStyle::kMissing,
+  };
+  uint64_t seed = config.seed;
+  for (QuestionStyle style : styles) {
+    GeneratorConfig sub = config;
+    sub.style = style;
+    sub.seed = seed++;
+    WikiSqlGenerator gen(sub, {PatientsDomain()});
+    ParaphraseBenchCorpus::Category cat;
+    cat.style = style;
+    cat.dataset = gen.Generate();
+    corpus.categories.push_back(std::move(cat));
+  }
+  return corpus;
+}
+
+}  // namespace data
+}  // namespace nlidb

@@ -1,0 +1,33 @@
+#ifndef NLIDB_DATA_PARAPHRASE_BENCH_H_
+#define NLIDB_DATA_PARAPHRASE_BENCH_H_
+
+#include <string>
+#include <vector>
+
+#include "data/generator.h"
+
+namespace nlidb {
+namespace data {
+
+/// A ParaphraseBench-style corpus (Utama et al. [40]): the same patients
+/// domain asked in six linguistic-variation categories. The paper
+/// evaluates its WikiSQL-trained model zero-shot per category
+/// (Table IV(b)); the expected degradation order is
+/// naive > syntactic > morphological > lexical > semantic >> missing.
+struct ParaphraseBenchCorpus {
+  struct Category {
+    QuestionStyle style = QuestionStyle::kNaive;
+    Dataset dataset;
+  };
+  std::vector<Category> categories;
+};
+
+/// Generates all six categories over shared patients-domain tables;
+/// `config.num_tables` tables and `config.questions_per_table` questions
+/// per category.
+ParaphraseBenchCorpus GenerateParaphraseBench(const GeneratorConfig& config);
+
+}  // namespace data
+}  // namespace nlidb
+
+#endif  // NLIDB_DATA_PARAPHRASE_BENCH_H_

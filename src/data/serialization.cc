@@ -1,0 +1,184 @@
+#include "data/serialization.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <unordered_map>
+
+#include "common/strings.h"
+#include "sql/parser.h"
+
+namespace nlidb {
+namespace data {
+
+namespace {
+
+std::string CellToField(const sql::Value& v) {
+  if (v.is_real()) return "R:" + v.ToString();
+  return "T:" + v.text();
+}
+
+StatusOr<sql::Value> FieldToCell(const std::string& field) {
+  if (StartsWith(field, "R:")) {
+    return sql::Value::Real(std::strtod(field.c_str() + 2, nullptr));
+  }
+  if (StartsWith(field, "T:")) {
+    return sql::Value::Text(field.substr(2));
+  }
+  return Status::ParseError("bad cell field: " + field);
+}
+
+}  // namespace
+
+Status SaveDataset(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  std::unordered_map<const sql::Table*, int> table_index;
+  out << "TABLES " << dataset.tables.size() << "\n";
+  for (size_t t = 0; t < dataset.tables.size(); ++t) {
+    const sql::Table& table = *dataset.tables[t];
+    table_index[&table] = static_cast<int>(t);
+    out << "TABLE\t" << table.name() << "\t" << table.num_columns() << "\t"
+        << table.num_rows() << "\n";
+    for (int c = 0; c < table.num_columns(); ++c) {
+      const auto& col = table.schema().column(c);
+      out << "COL\t" << col.name << "\t" << sql::DataTypeName(col.type) << "\n";
+    }
+    for (int r = 0; r < table.num_rows(); ++r) {
+      out << "ROW";
+      for (int c = 0; c < table.num_columns(); ++c) {
+        out << "\t" << CellToField(table.Cell(r, c));
+      }
+      out << "\n";
+    }
+  }
+  out << "EXAMPLES " << dataset.examples.size() << "\n";
+  for (const Example& ex : dataset.examples) {
+    auto it = table_index.find(ex.table.get());
+    if (it == table_index.end()) {
+      return Status::InvalidArgument("example references unknown table");
+    }
+    out << "EXAMPLE\t" << it->second << "\n";
+    out << "Q\t" << ex.question << "\n";
+    out << "SQL\t" << sql::ToSql(ex.query, ex.schema()) << "\n";
+    out << "SEL\t" << ex.select_mention.begin << "\t" << ex.select_mention.end
+        << "\t" << (ex.select_explicit ? 1 : 0) << "\n";
+    for (const MentionInfo& m : ex.where_mentions) {
+      out << "MEN\t" << m.column << "\t" << m.column_span.begin << "\t"
+          << m.column_span.end << "\t" << (m.column_explicit ? 1 : 0) << "\t"
+          << m.value_span.begin << "\t" << m.value_span.end << "\n";
+    }
+    out << "END\n";
+  }
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+StatusOr<Dataset> LoadDataset(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  Dataset ds;
+  std::string line;
+
+  if (!std::getline(in, line)) return Status::ParseError("empty file");
+  auto header = SplitWhitespace(line);
+  if (header.size() != 2 || header[0] != "TABLES") {
+    return Status::ParseError("expected TABLES header");
+  }
+  const int num_tables = std::atoi(header[1].c_str());
+  for (int t = 0; t < num_tables; ++t) {
+    if (!std::getline(in, line)) return Status::ParseError("truncated table");
+    auto fields = Split(line, '\t', /*keep_empty=*/true);
+    if (fields.size() != 4 || fields[0] != "TABLE") {
+      return Status::ParseError("expected TABLE line: " + line);
+    }
+    const std::string name = fields[1];
+    const int ncols = std::atoi(fields[2].c_str());
+    const int nrows = std::atoi(fields[3].c_str());
+    sql::Schema schema;
+    for (int c = 0; c < ncols; ++c) {
+      if (!std::getline(in, line)) return Status::ParseError("truncated COL");
+      auto cf = Split(line, '\t', true);
+      if (cf.size() != 3 || cf[0] != "COL") {
+        return Status::ParseError("expected COL line: " + line);
+      }
+      schema.AddColumn({cf[1], cf[2] == "real" ? sql::DataType::kReal
+                                               : sql::DataType::kText});
+    }
+    auto table = std::make_shared<sql::Table>(name, schema);
+    for (int r = 0; r < nrows; ++r) {
+      if (!std::getline(in, line)) return Status::ParseError("truncated ROW");
+      auto rf = Split(line, '\t', true);
+      if (rf.empty() || rf[0] != "ROW" ||
+          static_cast<int>(rf.size()) != ncols + 1) {
+        return Status::ParseError("bad ROW line: " + line);
+      }
+      std::vector<sql::Value> cells;
+      for (int c = 0; c < ncols; ++c) {
+        auto cell = FieldToCell(rf[c + 1]);
+        if (!cell.ok()) return cell.status();
+        cells.push_back(std::move(cell).value());
+      }
+      NLIDB_RETURN_IF_ERROR(table->AddRow(std::move(cells)));
+    }
+    ds.tables.push_back(table);
+  }
+
+  if (!std::getline(in, line)) return Status::ParseError("missing EXAMPLES");
+  header = SplitWhitespace(line);
+  if (header.size() != 2 || header[0] != "EXAMPLES") {
+    return Status::ParseError("expected EXAMPLES header");
+  }
+  const int num_examples = std::atoi(header[1].c_str());
+  for (int e = 0; e < num_examples; ++e) {
+    if (!std::getline(in, line)) return Status::ParseError("truncated example");
+    auto ef = Split(line, '\t', true);
+    if (ef.size() != 2 || ef[0] != "EXAMPLE") {
+      return Status::ParseError("expected EXAMPLE line: " + line);
+    }
+    const int t = std::atoi(ef[1].c_str());
+    if (t < 0 || t >= static_cast<int>(ds.tables.size())) {
+      return Status::ParseError("example table index out of range");
+    }
+    Example ex;
+    ex.table = ds.tables[t];
+    if (!std::getline(in, line) || !StartsWith(line, "Q\t")) {
+      return Status::ParseError("expected Q line");
+    }
+    ex.question = line.substr(2);
+    ex.tokens = SplitWhitespace(ex.question);
+    if (!std::getline(in, line) || !StartsWith(line, "SQL\t")) {
+      return Status::ParseError("expected SQL line");
+    }
+    auto query = sql::ParseSql(line.substr(4), ex.table->schema());
+    if (!query.ok()) return query.status();
+    ex.query = std::move(query).value();
+    if (!std::getline(in, line) || !StartsWith(line, "SEL\t")) {
+      return Status::ParseError("expected SEL line");
+    }
+    {
+      auto sf = Split(line, '\t', true);
+      if (sf.size() != 4) return Status::ParseError("bad SEL line");
+      ex.select_mention = {std::atoi(sf[1].c_str()), std::atoi(sf[2].c_str())};
+      ex.select_explicit = sf[3] == "1";
+    }
+    for (;;) {
+      if (!std::getline(in, line)) return Status::ParseError("truncated MEN");
+      if (line == "END") break;
+      auto mf = Split(line, '\t', true);
+      if (mf.size() != 7 || mf[0] != "MEN") {
+        return Status::ParseError("bad MEN line: " + line);
+      }
+      MentionInfo m;
+      m.column = std::atoi(mf[1].c_str());
+      m.column_span = {std::atoi(mf[2].c_str()), std::atoi(mf[3].c_str())};
+      m.column_explicit = mf[4] == "1";
+      m.value_span = {std::atoi(mf[5].c_str()), std::atoi(mf[6].c_str())};
+      ex.where_mentions.push_back(m);
+    }
+    ds.examples.push_back(std::move(ex));
+  }
+  return ds;
+}
+
+}  // namespace data
+}  // namespace nlidb

@@ -1,0 +1,23 @@
+#ifndef NLIDB_DATA_SERIALIZATION_H_
+#define NLIDB_DATA_SERIALIZATION_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "data/example.h"
+
+namespace nlidb {
+namespace data {
+
+/// Writes a dataset to a line-oriented text file (tables, then examples
+/// with gold SQL and mention spans). Tab is the in-record separator, so
+/// cell text must not contain tabs (generated data never does).
+Status SaveDataset(const Dataset& dataset, const std::string& path);
+
+/// Reads a dataset previously written by SaveDataset.
+StatusOr<Dataset> LoadDataset(const std::string& path);
+
+}  // namespace data
+}  // namespace nlidb
+
+#endif  // NLIDB_DATA_SERIALIZATION_H_

@@ -1,0 +1,168 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "common/strings.h"
+#include "sql/executor.h"
+
+namespace nlidb {
+namespace eval {
+
+std::string AccuracyReport::ToString() const {
+  std::ostringstream os;
+  os.precision(1);
+  os << std::fixed << "Acc_lf " << 100 * acc_lf << "%  Acc_qm "
+     << 100 * acc_qm << "%  Acc_ex " << 100 * acc_ex << "%  (n=" << count
+     << ", failures=" << translation_failures << ")";
+  return os.str();
+}
+
+bool LogicalFormMatch(const sql::SelectQuery& predicted,
+                      const sql::SelectQuery& gold) {
+  return predicted == gold;
+}
+
+bool QueryMatch(const sql::SelectQuery& predicted, const sql::SelectQuery& gold,
+                const sql::Schema& schema) {
+  return sql::CanonicalSql(predicted, schema) ==
+         sql::CanonicalSql(gold, schema);
+}
+
+bool ExecutionMatch(const sql::SelectQuery& predicted,
+                    const sql::SelectQuery& gold, const sql::Table& table) {
+  auto pr = sql::Execute(predicted, table);
+  auto gr = sql::Execute(gold, table);
+  if (!pr.ok() || !gr.ok()) return false;
+  return sql::ResultsEqual(*pr, *gr);
+}
+
+AccuracyReport Evaluate(const data::Dataset& dataset,
+                        const TranslateFn& translate) {
+  AccuracyReport report;
+  report.count = static_cast<int>(dataset.examples.size());
+  if (report.count == 0) return report;
+  int lf = 0, qm = 0, ex_ok = 0;
+  for (const data::Example& example : dataset.examples) {
+    StatusOr<sql::SelectQuery> predicted = translate(example);
+    if (!predicted.ok()) {
+      ++report.translation_failures;
+      continue;
+    }
+    if (LogicalFormMatch(*predicted, example.query)) ++lf;
+    if (QueryMatch(*predicted, example.query, example.schema())) ++qm;
+    if (ExecutionMatch(*predicted, example.query, *example.table)) ++ex_ok;
+  }
+  report.acc_lf = static_cast<float>(lf) / report.count;
+  report.acc_qm = static_cast<float>(qm) / report.count;
+  report.acc_ex = static_cast<float>(ex_ok) / report.count;
+  return report;
+}
+
+AccuracyReport EvaluatePipeline(const core::NlidbPipeline& pipeline,
+                                const data::Dataset& dataset) {
+  return Evaluate(dataset, [&pipeline](const data::Example& example) {
+    return pipeline.TranslateTokens(example.tokens, *example.table);
+  });
+}
+
+MentionReport EvaluateMentions(const core::NlidbPipeline& pipeline,
+                               const data::Dataset& dataset) {
+  MentionReport report;
+  report.count = static_cast<int>(dataset.examples.size());
+  if (report.count == 0) return report;
+  int cond_ok = 0;
+  int span_tp = 0, span_fp = 0, span_fn = 0;
+  for (const data::Example& example : dataset.examples) {
+    // --- ($COND_COL, $COND_VAL) accuracy through the full pipeline ------
+    auto predicted = pipeline.TranslateTokens(example.tokens, *example.table);
+    if (predicted.ok()) {
+      auto key_set = [](const sql::SelectQuery& q) {
+        std::set<std::string> keys;
+        for (const auto& c : q.conditions) {
+          keys.insert(std::to_string(c.column) + "|" +
+                      ToLower(c.value.ToString()));
+        }
+        return keys;
+      };
+      if (key_set(*predicted) == key_set(example.query)) ++cond_ok;
+    }
+
+    // --- span-level column mention detection -----------------------------
+    const auto candidates = pipeline.annotator().DetectColumnMentions(
+        example.tokens, *example.table);
+    struct GoldSpan {
+      int column;
+      text::Span span;
+    };
+    std::vector<GoldSpan> gold;
+    if (!example.select_mention.empty()) {
+      gold.push_back({example.query.select_column, example.select_mention});
+    }
+    for (const auto& m : example.where_mentions) {
+      if (m.column_explicit && !m.column_span.empty()) {
+        gold.push_back({m.column, m.column_span});
+      }
+    }
+    std::vector<bool> gold_hit(gold.size(), false);
+    for (const auto& cand : candidates) {
+      if (cand.span.empty()) continue;
+      bool matched = false;
+      for (size_t g = 0; g < gold.size(); ++g) {
+        if (gold[g].column == cand.column &&
+            gold[g].span.Overlaps(cand.span)) {
+          matched = true;
+          gold_hit[g] = true;
+        }
+      }
+      if (matched) {
+        ++span_tp;
+      } else {
+        ++span_fp;
+      }
+    }
+    for (bool hit : gold_hit) {
+      if (!hit) ++span_fn;
+    }
+  }
+  report.cond_col_val_acc = static_cast<float>(cond_ok) / report.count;
+  const float p_den = static_cast<float>(span_tp + span_fp);
+  const float r_den = static_cast<float>(span_tp + span_fn);
+  report.span_precision = p_den > 0 ? span_tp / p_den : 0.0f;
+  report.span_recall = r_den > 0 ? span_tp / r_den : 0.0f;
+  const float pr = report.span_precision + report.span_recall;
+  report.span_f1 = pr > 0 ? 2 * report.span_precision * report.span_recall / pr
+                          : 0.0f;
+  return report;
+}
+
+RecoveryReport EvaluateRecovery(const core::NlidbPipeline& pipeline,
+                                const data::Dataset& dataset) {
+  RecoveryReport report;
+  report.count = static_cast<int>(dataset.examples.size());
+  if (report.count == 0) return report;
+  int before = 0, after = 0;
+  for (const data::Example& example : dataset.examples) {
+    core::Annotation annotation;
+    const std::vector<std::string> sa = pipeline.TranslateToAnnotatedSql(
+        example.tokens, *example.table, &annotation);
+    // Before recovery: decoded s^a must equal the gold query rendered
+    // under the same (predicted) annotation.
+    const std::vector<std::string> gold_sa = core::BuildAnnotatedSql(
+        example.query, annotation, example.schema(),
+        pipeline.annotation_options());
+    if (sa == gold_sa) ++before;
+    auto recovered = core::RecoverSql(sa, annotation, example.schema());
+    if (recovered.ok() &&
+        QueryMatch(*recovered, example.query, example.schema())) {
+      ++after;
+    }
+  }
+  report.acc_before = static_cast<float>(before) / report.count;
+  report.acc_after = static_cast<float>(after) / report.count;
+  return report;
+}
+
+}  // namespace eval
+}  // namespace nlidb

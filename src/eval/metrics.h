@@ -1,0 +1,81 @@
+#ifndef NLIDB_EVAL_METRICS_H_
+#define NLIDB_EVAL_METRICS_H_
+
+#include <functional>
+#include <string>
+
+#include "core/pipeline.h"
+#include "data/example.h"
+
+namespace nlidb {
+namespace eval {
+
+/// The three metrics of Sec. VII: logical-form accuracy (token-by-token
+/// agreement, condition order included), query-match accuracy (agreement
+/// of canonical representations) and execution accuracy (result-set
+/// agreement when both queries run against the table).
+struct AccuracyReport {
+  float acc_lf = 0.0f;
+  float acc_qm = 0.0f;
+  float acc_ex = 0.0f;
+  int count = 0;
+  int translation_failures = 0;  // recovery/decode errors (counted wrong)
+
+  std::string ToString() const;
+};
+
+/// Per-example comparisons.
+bool LogicalFormMatch(const sql::SelectQuery& predicted,
+                      const sql::SelectQuery& gold);
+bool QueryMatch(const sql::SelectQuery& predicted, const sql::SelectQuery& gold,
+                const sql::Schema& schema);
+bool ExecutionMatch(const sql::SelectQuery& predicted,
+                    const sql::SelectQuery& gold, const sql::Table& table);
+
+/// A model under evaluation: anything that maps an example to a query.
+using TranslateFn =
+    std::function<StatusOr<sql::SelectQuery>(const data::Example&)>;
+
+/// Evaluates `translate` over a dataset on all three metrics.
+AccuracyReport Evaluate(const data::Dataset& dataset,
+                        const TranslateFn& translate);
+
+/// Convenience: evaluates a trained pipeline.
+AccuracyReport EvaluatePipeline(const core::NlidbPipeline& pipeline,
+                                const data::Dataset& dataset);
+
+/// Mention-detection quality (Sec. VII-A1).
+struct MentionReport {
+  /// Fraction of examples whose predicted ($COND_COL, $COND_VAL) pairs
+  /// match the gold conditions exactly (canonical, order-free) — the
+  /// 91.8%-vs-87.9% comparison against TypeSQL.
+  float cond_col_val_acc = 0.0f;
+  /// Span-level column mention detection quality over explicit mentions.
+  float span_precision = 0.0f;
+  float span_recall = 0.0f;
+  float span_f1 = 0.0f;
+  int count = 0;
+};
+
+/// Evaluates mention detection of `pipeline.annotator()` on a dataset.
+/// A predicted span counts as matching a gold span when they overlap
+/// (partial-credit criterion used for span case studies).
+MentionReport EvaluateMentions(const core::NlidbPipeline& pipeline,
+                               const data::Dataset& dataset);
+
+/// Table III support: accuracy of the raw annotated SQL s^a (before
+/// recovery) — the decoded tokens must equal the gold query rendered
+/// under the *predicted* annotation — and Acc_qm after recovery.
+struct RecoveryReport {
+  float acc_before = 0.0f;
+  float acc_after = 0.0f;
+  int count = 0;
+};
+
+RecoveryReport EvaluateRecovery(const core::NlidbPipeline& pipeline,
+                                const data::Dataset& dataset);
+
+}  // namespace eval
+}  // namespace nlidb
+
+#endif  // NLIDB_EVAL_METRICS_H_

@@ -1,0 +1,45 @@
+#include "nn/attention.h"
+
+#include "common/logging.h"
+
+namespace nlidb {
+namespace nn {
+
+AdditiveAttention::AdditiveAttention(int memory_dim, int attention_dim,
+                                     Rng& rng)
+    : attention_dim_(attention_dim) {
+  memory_proj_ = std::make_unique<Linear>(memory_dim, attention_dim, rng,
+                                          /*use_bias=*/false);
+  v_ = std::make_unique<Linear>(attention_dim, 1, rng, /*use_bias=*/false);
+}
+
+Var AdditiveAttention::ProjectMemory(const Var& memory) const {
+  return memory_proj_->Forward(memory);
+}
+
+Var AdditiveAttention::Energies(const Var& projected_memory,
+                                const Var& query_contrib) const {
+  NLIDB_CHECK(query_contrib->value.rows() == 1 &&
+              query_contrib->value.cols() == attention_dim_)
+      << "Energies query shape";
+  // Broadcast-add the query to every memory row, squash, project to scalar.
+  Var scores = v_->Forward(ops::Tanh(ops::AddRowBroadcast(
+      projected_memory, ops::PickRow(query_contrib, 0))));
+  return ops::Transpose(scores);  // [n,1] -> [1,n]
+}
+
+Var AdditiveAttention::Weights(const Var& energies) const {
+  return ops::SoftmaxRows(energies);
+}
+
+Var AdditiveAttention::Context(const Var& weights, const Var& memory) const {
+  return ops::MatMul(weights, memory);
+}
+
+void AdditiveAttention::CollectParameters(std::vector<Var>* out) const {
+  memory_proj_->CollectParameters(out);
+  v_->CollectParameters(out);
+}
+
+}  // namespace nn
+}  // namespace nlidb

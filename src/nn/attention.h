@@ -1,0 +1,50 @@
+#ifndef NLIDB_NN_ATTENTION_H_
+#define NLIDB_NN_ATTENTION_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+
+namespace nlidb {
+namespace nn {
+
+/// Additive (Bahdanau) attention:
+///   e_j   = v^T tanh(W_mem m_j + q)
+///   alpha = softmax(e)
+///   ctx   = sum_j alpha_j m_j
+/// where `q` is an arbitrary query contribution the caller builds from its
+/// own projections (the paper's column classifier uses W2 s_t^c + W3 d_{t-1}
+/// + b; the decoder uses W3 d_i). Exposing raw energies is required by the
+/// copy mechanism, which adds exp(e_ij) to output token scores.
+class AdditiveAttention : public Module {
+ public:
+  AdditiveAttention(int memory_dim, int attention_dim, Rng& rng);
+
+  /// W_mem m_j for all rows: [n, d_mem] -> [n, d_att]. Compute once per
+  /// memory, reuse across decode steps.
+  Var ProjectMemory(const Var& memory) const;
+
+  /// Raw scores e as a [1, n] row. `query_contrib` is [1, d_att].
+  Var Energies(const Var& projected_memory, const Var& query_contrib) const;
+
+  /// softmax(e): [1, n].
+  Var Weights(const Var& energies) const;
+
+  /// alpha-weighted sum of memory rows: ([1,n], [n,d]) -> [1,d].
+  Var Context(const Var& weights, const Var& memory) const;
+
+  void CollectParameters(std::vector<Var>* out) const override;
+
+  int attention_dim() const { return attention_dim_; }
+
+ private:
+  int attention_dim_;
+  std::unique_ptr<Linear> memory_proj_;  // no bias
+  std::unique_ptr<Linear> v_;            // [d_att -> 1], no bias
+};
+
+}  // namespace nn
+}  // namespace nlidb
+
+#endif  // NLIDB_NN_ATTENTION_H_

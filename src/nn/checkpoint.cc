@@ -1,0 +1,69 @@
+#include "nn/checkpoint.h"
+
+#include <cstdint>
+#include <fstream>
+
+namespace nlidb {
+namespace nn {
+
+namespace {
+constexpr uint32_t kMagic = 0x4E4C434Bu;  // "NLCK"
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+Status Checkpoint::Save(const std::string& path,
+                        const std::vector<Var>& params) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for write: " + path);
+  auto write_u32 = [&out](uint32_t v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  write_u32(kMagic);
+  write_u32(kVersion);
+  write_u32(static_cast<uint32_t>(params.size()));
+  for (const auto& p : params) {
+    const auto& shape = p->value.shape();
+    write_u32(static_cast<uint32_t>(shape.size()));
+    for (int d : shape) write_u32(static_cast<uint32_t>(d));
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+  }
+  if (!out.good()) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+Status Checkpoint::Load(const std::string& path,
+                        const std::vector<Var>& params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for read: " + path);
+  auto read_u32 = [&in]() {
+    uint32_t v = 0;
+    in.read(reinterpret_cast<char*>(&v), sizeof(v));
+    return v;
+  };
+  if (read_u32() != kMagic) return Status::ParseError("bad magic: " + path);
+  if (read_u32() != kVersion) {
+    return Status::ParseError("unsupported checkpoint version: " + path);
+  }
+  const uint32_t count = read_u32();
+  if (count != params.size()) {
+    return Status::FailedPrecondition(
+        "checkpoint has " + std::to_string(count) + " tensors, model has " +
+        std::to_string(params.size()));
+  }
+  for (const auto& p : params) {
+    const uint32_t rank = read_u32();
+    std::vector<int> shape(rank);
+    for (uint32_t d = 0; d < rank; ++d) shape[d] = static_cast<int>(read_u32());
+    if (shape != p->value.shape()) {
+      return Status::FailedPrecondition("checkpoint shape mismatch in " + path);
+    }
+    in.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+    if (!in.good()) return Status::IoError("truncated checkpoint: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace nn
+}  // namespace nlidb

@@ -1,0 +1,31 @@
+#ifndef NLIDB_NN_CHECKPOINT_H_
+#define NLIDB_NN_CHECKPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tensor/autograd.h"
+
+namespace nlidb {
+namespace nn {
+
+/// Order-based model checkpointing.
+///
+/// Parameters are stored in the deterministic order produced by
+/// `Module::CollectParameters`; loading validates tensor count and shapes
+/// against the receiving model, so mismatched architectures fail loudly
+/// instead of loading garbage.
+class Checkpoint {
+ public:
+  /// Writes `params` to `path` in a small binary format.
+  static Status Save(const std::string& path, const std::vector<Var>& params);
+
+  /// Reads tensors from `path` into `params` (in order).
+  static Status Load(const std::string& path, const std::vector<Var>& params);
+};
+
+}  // namespace nn
+}  // namespace nlidb
+
+#endif  // NLIDB_NN_CHECKPOINT_H_

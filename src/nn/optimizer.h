@@ -1,0 +1,77 @@
+#ifndef NLIDB_NN_OPTIMIZER_H_
+#define NLIDB_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/autograd.h"
+
+namespace nlidb {
+namespace nn {
+
+/// Rescales gradients in place so their global L2 norm is at most
+/// `max_norm` (the paper trains with clipping threshold 5.0). Returns the
+/// pre-clip global norm.
+float ClipGradNorm(const std::vector<Var>& params, float max_norm);
+
+/// Base optimizer over a fixed parameter list.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Var> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update using the gradients currently stored on params.
+  virtual void Step() = 0;
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrad();
+
+  const std::vector<Var>& params() const { return params_; }
+
+ protected:
+  std::vector<Var> params_;
+};
+
+/// Stochastic gradient descent with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Var> params, float lr, float momentum = 0.0f);
+
+  void Step() override;
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Var> params, float lr = 1e-3f, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f);
+
+  void Step() override;
+
+  float lr() const { return lr_; }
+  void set_lr(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  int t_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+}  // namespace nn
+}  // namespace nlidb
+
+#endif  // NLIDB_NN_OPTIMIZER_H_

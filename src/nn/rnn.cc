@@ -1,0 +1,179 @@
+#include "nn/rnn.h"
+
+#include "common/logging.h"
+
+namespace nlidb {
+namespace nn {
+
+LstmCell::LstmCell(int input_size, int hidden_size, Rng& rng)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  w_ih_ = MakeVar(Tensor::Xavier(input_size, 4 * hidden_size, rng),
+                  /*requires_grad=*/true);
+  w_hh_ = MakeVar(Tensor::Xavier(hidden_size, 4 * hidden_size, rng),
+                  /*requires_grad=*/true);
+  Tensor b = Tensor::Zeros({4 * hidden_size});
+  // Forget-gate bias = 1 eases gradient flow early in training.
+  for (int j = hidden_size; j < 2 * hidden_size; ++j) b(j) = 1.0f;
+  bias_ = MakeVar(std::move(b), /*requires_grad=*/true);
+}
+
+LstmCell::State LstmCell::InitialState() const {
+  return State{MakeVar(Tensor::Zeros({1, hidden_size_})),
+               MakeVar(Tensor::Zeros({1, hidden_size_}))};
+}
+
+LstmCell::State LstmCell::Step(const Var& x, const State& state) const {
+  NLIDB_CHECK(x->value.cols() == input_size_) << "LstmCell input width";
+  Var gates = ops::AddRowBroadcast(
+      ops::Add(ops::MatMul(x, w_ih_), ops::MatMul(state.h, w_hh_)), bias_);
+  const int h = hidden_size_;
+  Var i = ops::Sigmoid(ops::SliceCols(gates, 0, h));
+  Var f = ops::Sigmoid(ops::SliceCols(gates, h, h));
+  Var g = ops::Tanh(ops::SliceCols(gates, 2 * h, h));
+  Var o = ops::Sigmoid(ops::SliceCols(gates, 3 * h, h));
+  Var c_next = ops::Add(ops::Mul(f, state.c), ops::Mul(i, g));
+  Var h_next = ops::Mul(o, ops::Tanh(c_next));
+  return State{h_next, c_next};
+}
+
+void LstmCell::CollectParameters(std::vector<Var>* out) const {
+  out->push_back(w_ih_);
+  out->push_back(w_hh_);
+  out->push_back(bias_);
+}
+
+GruCell::GruCell(int input_size, int hidden_size, Rng& rng)
+    : input_size_(input_size), hidden_size_(hidden_size) {
+  w_ih_ = MakeVar(Tensor::Xavier(input_size, 3 * hidden_size, rng),
+                  /*requires_grad=*/true);
+  w_hh_ = MakeVar(Tensor::Xavier(hidden_size, 3 * hidden_size, rng),
+                  /*requires_grad=*/true);
+  b_ih_ = MakeVar(Tensor::Zeros({3 * hidden_size}), /*requires_grad=*/true);
+  b_hh_ = MakeVar(Tensor::Zeros({3 * hidden_size}), /*requires_grad=*/true);
+}
+
+Var GruCell::InitialState() const {
+  return MakeVar(Tensor::Zeros({1, hidden_size_}));
+}
+
+Var GruCell::Step(const Var& x, const Var& h) const {
+  NLIDB_CHECK(x->value.cols() == input_size_) << "GruCell input width";
+  const int hs = hidden_size_;
+  Var gi = ops::AddRowBroadcast(ops::MatMul(x, w_ih_), b_ih_);
+  Var gh = ops::AddRowBroadcast(ops::MatMul(h, w_hh_), b_hh_);
+  Var r = ops::Sigmoid(
+      ops::Add(ops::SliceCols(gi, 0, hs), ops::SliceCols(gh, 0, hs)));
+  Var z = ops::Sigmoid(
+      ops::Add(ops::SliceCols(gi, hs, hs), ops::SliceCols(gh, hs, hs)));
+  Var n = ops::Tanh(ops::Add(ops::SliceCols(gi, 2 * hs, hs),
+                             ops::Mul(r, ops::SliceCols(gh, 2 * hs, hs))));
+  // h' = (1 - z) * n + z * h = n - z*n + z*h
+  return ops::Add(ops::Sub(n, ops::Mul(z, n)), ops::Mul(z, h));
+}
+
+void GruCell::CollectParameters(std::vector<Var>* out) const {
+  out->push_back(w_ih_);
+  out->push_back(w_hh_);
+  out->push_back(b_ih_);
+  out->push_back(b_hh_);
+}
+
+StackedLstm::StackedLstm(int input_size, int hidden_size, int num_layers,
+                         Rng& rng)
+    : hidden_size_(hidden_size) {
+  NLIDB_CHECK(num_layers >= 1) << "StackedLstm needs >= 1 layer";
+  int in = input_size;
+  for (int l = 0; l < num_layers; ++l) {
+    input_affines_.push_back(std::make_unique<Linear>(in, hidden_size, rng));
+    cells_.push_back(std::make_unique<LstmCell>(hidden_size, hidden_size, rng));
+    in = hidden_size;
+  }
+}
+
+Var StackedLstm::Forward(const Var& sequence) const {
+  NLIDB_CHECK(sequence->value.rank() == 2 && sequence->value.rows() > 0)
+      << "StackedLstm input";
+  const int n = sequence->value.rows();
+  Var layer_input = sequence;
+  Var states;
+  for (size_t l = 0; l < cells_.size(); ++l) {
+    LstmCell::State state = cells_[l]->InitialState();
+    std::vector<Var> outputs;
+    outputs.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      Var x = input_affines_[l]->Forward(ops::PickRow(layer_input, i));
+      state = cells_[l]->Step(x, state);
+      outputs.push_back(state.h);
+    }
+    states = ops::ConcatRows(outputs);
+    layer_input = states;
+  }
+  return states;
+}
+
+void StackedLstm::CollectParameters(std::vector<Var>* out) const {
+  for (size_t l = 0; l < cells_.size(); ++l) {
+    input_affines_[l]->CollectParameters(out);
+    cells_[l]->CollectParameters(out);
+  }
+}
+
+StackedBiGru::StackedBiGru(int input_size, int hidden_size, int num_layers,
+                           Rng& rng)
+    : hidden_size_(hidden_size) {
+  NLIDB_CHECK(num_layers >= 1) << "StackedBiGru needs >= 1 layer";
+  int in = input_size;
+  for (int l = 0; l < num_layers; ++l) {
+    input_affines_.push_back(std::make_unique<Linear>(in, hidden_size, rng));
+    fw_cells_.push_back(std::make_unique<GruCell>(hidden_size, hidden_size, rng));
+    bw_cells_.push_back(std::make_unique<GruCell>(hidden_size, hidden_size, rng));
+    in = 2 * hidden_size;
+  }
+}
+
+StackedBiGru::Output StackedBiGru::Forward(const Var& sequence) const {
+  NLIDB_CHECK(sequence->value.rank() == 2 && sequence->value.rows() > 0)
+      << "StackedBiGru input";
+  const int n = sequence->value.rows();
+  Var layer_input = sequence;
+  Output out;
+  for (size_t l = 0; l < fw_cells_.size(); ++l) {
+    std::vector<Var> xs;
+    xs.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      xs.push_back(input_affines_[l]->Forward(ops::PickRow(layer_input, i)));
+    }
+    std::vector<Var> fw(n), bw(n);
+    Var h = fw_cells_[l]->InitialState();
+    for (int i = 0; i < n; ++i) {
+      h = fw_cells_[l]->Step(xs[i], h);
+      fw[i] = h;
+    }
+    out.final_forward = h;
+    h = bw_cells_[l]->InitialState();
+    for (int i = n - 1; i >= 0; --i) {
+      h = bw_cells_[l]->Step(xs[i], h);
+      bw[i] = h;
+    }
+    out.final_backward = h;
+    std::vector<Var> merged;
+    merged.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      merged.push_back(ops::ConcatCols({fw[i], bw[i]}));
+    }
+    out.states = ops::ConcatRows(merged);
+    layer_input = out.states;
+  }
+  return out;
+}
+
+void StackedBiGru::CollectParameters(std::vector<Var>* out) const {
+  for (size_t l = 0; l < fw_cells_.size(); ++l) {
+    input_affines_[l]->CollectParameters(out);
+    fw_cells_[l]->CollectParameters(out);
+    bw_cells_[l]->CollectParameters(out);
+  }
+}
+
+}  // namespace nn
+}  // namespace nlidb

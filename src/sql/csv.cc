@@ -1,0 +1,118 @@
+#include "sql/csv.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace nlidb {
+namespace sql {
+
+namespace {
+
+/// Splits one CSV line honoring double-quote quoting.
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;  // escaped quote
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(Strip(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(Strip(current));
+  return fields;
+}
+
+}  // namespace
+
+StatusOr<Table> ParseCsv(const std::string& csv_text,
+                         const std::string& table_name) {
+  std::istringstream in(csv_text);
+  std::string line;
+  if (!std::getline(in, line) || Strip(line).empty()) {
+    return Status::ParseError("CSV has no header line");
+  }
+  const std::vector<std::string> header = SplitCsvLine(line);
+  if (header.empty()) return Status::ParseError("empty CSV header");
+  for (const auto& name : header) {
+    if (name.empty()) return Status::ParseError("empty column name in header");
+  }
+
+  // First pass: collect raw rows and infer per-column types.
+  std::vector<std::vector<std::string>> raw_rows;
+  while (std::getline(in, line)) {
+    if (Strip(line).empty()) continue;
+    std::vector<std::string> fields = SplitCsvLine(line);
+    if (fields.size() != header.size()) {
+      return Status::ParseError("row has " + std::to_string(fields.size()) +
+                                " fields, header has " +
+                                std::to_string(header.size()));
+    }
+    raw_rows.push_back(std::move(fields));
+  }
+  std::vector<DataType> types(header.size(), DataType::kReal);
+  for (size_t c = 0; c < header.size(); ++c) {
+    bool any_value = false;
+    for (const auto& row : raw_rows) {
+      if (row[c].empty()) continue;
+      any_value = true;
+      if (!LooksNumeric(row[c])) {
+        types[c] = DataType::kText;
+        break;
+      }
+    }
+    if (!any_value) types[c] = DataType::kText;
+  }
+
+  Schema schema;
+  for (size_t c = 0; c < header.size(); ++c) {
+    schema.AddColumn({ToLower(ReplaceAll(header[c], " ", "_")), types[c]});
+  }
+  Table table(table_name, schema);
+  for (const auto& row : raw_rows) {
+    std::vector<Value> cells;
+    cells.reserve(row.size());
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (types[c] == DataType::kReal) {
+        cells.push_back(
+            Value::Real(std::strtod(row[c].c_str(), nullptr)));
+      } else {
+        cells.push_back(Value::Text(ToLower(row[c])));
+      }
+    }
+    NLIDB_RETURN_IF_ERROR(table.AddRow(std::move(cells)));
+  }
+  return table;
+}
+
+StatusOr<Table> LoadCsvTable(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open CSV: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::filesystem::path p(path);
+  return ParseCsv(buffer.str(), p.stem().string());
+}
+
+}  // namespace sql
+}  // namespace nlidb

@@ -1,0 +1,28 @@
+#ifndef NLIDB_SQL_CSV_H_
+#define NLIDB_SQL_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/table.h"
+
+namespace nlidb {
+namespace sql {
+
+/// Loads a table from simple CSV text:
+///   * first line: column names (snake_case recommended);
+///   * remaining lines: rows;
+///   * separator is ',' with double-quote quoting ("a, b" stays one cell;
+///     "" inside quotes is an escaped quote);
+///   * a column whose every non-empty cell parses as a number becomes
+///     kReal, everything else kText.
+StatusOr<Table> ParseCsv(const std::string& csv_text,
+                         const std::string& table_name = "table");
+
+/// ParseCsv over a file's contents.
+StatusOr<Table> LoadCsvTable(const std::string& path);
+
+}  // namespace sql
+}  // namespace nlidb
+
+#endif  // NLIDB_SQL_CSV_H_

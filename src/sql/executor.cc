@@ -1,0 +1,112 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace nlidb {
+namespace sql {
+
+namespace {
+
+bool ConditionHolds(const Condition& cond, const Value& cell) {
+  switch (cond.op) {
+    case CondOp::kEq:
+      // Equality across type boundaries (text "57" vs real 57) compares
+      // the display forms, matching WikiSQL's lenient execution.
+      if (cell.type() != cond.value.type()) {
+        return ToLower(cell.ToString()) == ToLower(cond.value.ToString());
+      }
+      return cell == cond.value;
+    case CondOp::kGt:
+      if (cell.type() != cond.value.type()) return false;
+      return cond.value.LessThan(cell);
+    case CondOp::kLt:
+      if (cell.type() != cond.value.type()) return false;
+      return cell.LessThan(cond.value);
+  }
+  return false;
+}
+
+}  // namespace
+
+StatusOr<std::vector<Value>> Execute(const SelectQuery& query,
+                                     const Table& table) {
+  const Schema& schema = table.schema();
+  if (query.select_column < 0 || query.select_column >= schema.num_columns()) {
+    return Status::InvalidArgument("select column out of range");
+  }
+  for (const auto& c : query.conditions) {
+    if (c.column < 0 || c.column >= schema.num_columns()) {
+      return Status::InvalidArgument("condition column out of range");
+    }
+  }
+  std::vector<Value> selected;
+  for (int r = 0; r < table.num_rows(); ++r) {
+    bool keep = true;
+    for (const auto& c : query.conditions) {
+      if (!ConditionHolds(c, table.Cell(r, c.column))) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) selected.push_back(table.Cell(r, query.select_column));
+  }
+
+  switch (query.agg) {
+    case Aggregate::kNone:
+      return selected;
+    case Aggregate::kCount:
+      return std::vector<Value>{Value::Real(static_cast<double>(selected.size()))};
+    case Aggregate::kMax:
+    case Aggregate::kMin: {
+      if (selected.empty()) return std::vector<Value>{};
+      const Value* best = &selected[0];
+      for (const auto& v : selected) {
+        if (v.type() != best->type()) {
+          return Status::InvalidArgument("mixed types under MAX/MIN");
+        }
+        const bool less = v.LessThan(*best);
+        if ((query.agg == Aggregate::kMax && !less && !(v == *best)) ||
+            (query.agg == Aggregate::kMin && less)) {
+          best = &v;
+        }
+      }
+      return std::vector<Value>{*best};
+    }
+    case Aggregate::kSum:
+    case Aggregate::kAvg: {
+      double sum = 0.0;
+      int count = 0;
+      for (const auto& v : selected) {
+        if (!v.is_real()) {
+          return Status::InvalidArgument("SUM/AVG over non-numeric column");
+        }
+        sum += v.number();
+        ++count;
+      }
+      if (query.agg == Aggregate::kSum) {
+        return std::vector<Value>{Value::Real(sum)};
+      }
+      if (count == 0) return std::vector<Value>{};
+      return std::vector<Value>{Value::Real(sum / count)};
+    }
+  }
+  return Status::Internal("unreachable aggregate");
+}
+
+bool ResultsEqual(const std::vector<Value>& a, const std::vector<Value>& b) {
+  if (a.size() != b.size()) return false;
+  auto key = [](const Value& v) { return ToLower(v.ToString()); };
+  std::vector<std::string> ka, kb;
+  ka.reserve(a.size());
+  kb.reserve(b.size());
+  for (const auto& v : a) ka.push_back(key(v));
+  for (const auto& v : b) kb.push_back(key(v));
+  std::sort(ka.begin(), ka.end());
+  std::sort(kb.begin(), kb.end());
+  return ka == kb;
+}
+
+}  // namespace sql
+}  // namespace nlidb

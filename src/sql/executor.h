@@ -1,0 +1,29 @@
+#ifndef NLIDB_SQL_EXECUTOR_H_
+#define NLIDB_SQL_EXECUTOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "sql/query.h"
+#include "sql/table.h"
+
+namespace nlidb {
+namespace sql {
+
+/// Executes a WikiSQL-class query against a table.
+///
+/// Result is the multiset of selected values (one aggregated value for
+/// aggregate queries; COUNT/SUM/AVG over empty matches yield 0/0/NULL-free
+/// empty result respectively, MAX/MIN over empty matches yield an empty
+/// result).
+StatusOr<std::vector<Value>> Execute(const SelectQuery& query,
+                                     const Table& table);
+
+/// Execution-accuracy comparison: results agree as multisets (order
+/// independent), the comparison used for Acc_ex in [49].
+bool ResultsEqual(const std::vector<Value>& a, const std::vector<Value>& b);
+
+}  // namespace sql
+}  // namespace nlidb
+
+#endif  // NLIDB_SQL_EXECUTOR_H_

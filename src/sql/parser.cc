@@ -1,0 +1,162 @@
+#include "sql/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace nlidb {
+namespace sql {
+
+namespace {
+
+bool IsAggToken(const std::string& t, Aggregate* agg) {
+  const std::string u = ToLower(t);
+  if (u == "max") *agg = Aggregate::kMax;
+  else if (u == "min") *agg = Aggregate::kMin;
+  else if (u == "count") *agg = Aggregate::kCount;
+  else if (u == "sum") *agg = Aggregate::kSum;
+  else if (u == "avg") *agg = Aggregate::kAvg;
+  else return false;
+  return true;
+}
+
+bool IsOpToken(const std::string& t, CondOp* op) {
+  if (t == "=") *op = CondOp::kEq;
+  else if (t == ">") *op = CondOp::kGt;
+  else if (t == "<") *op = CondOp::kLt;
+  else return false;
+  return true;
+}
+
+Value MakeConditionValue(const std::string& token, DataType column_type) {
+  if (token.size() >= 2 && token.front() == '"' && token.back() == '"') {
+    const std::string inner = token.substr(1, token.size() - 2);
+    if (column_type == DataType::kReal && LooksNumeric(inner)) {
+      return Value::Real(std::strtod(inner.c_str(), nullptr));
+    }
+    return Value::Text(inner);
+  }
+  if (LooksNumeric(token)) {
+    if (column_type == DataType::kText) return Value::Text(token);
+    return Value::Real(std::strtod(token.c_str(), nullptr));
+  }
+  if (column_type == DataType::kReal) {
+    // Non-numeric token against a real column: keep as text; execution
+    // will simply never match, mirroring a malformed WikiSQL condition.
+    return Value::Text(token);
+  }
+  return Value::Text(token);
+}
+
+}  // namespace
+
+std::vector<std::string> TokenizeSql(const std::string& sql) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      size_t j = i + 1;
+      while (j < n && sql[j] != '"') ++j;
+      tokens.push_back(sql.substr(i, j - i + (j < n ? 1 : 0)));
+      i = j + 1;
+      continue;
+    }
+    if (c == '=' || c == '>' || c == '<' || c == '(' || c == ')') {
+      tokens.push_back(std::string(1, c));
+      ++i;
+      continue;
+    }
+    size_t j = i;
+    while (j < n && !std::isspace(static_cast<unsigned char>(sql[j])) &&
+           sql[j] != '=' && sql[j] != '>' && sql[j] != '<' && sql[j] != '(' &&
+           sql[j] != ')' && sql[j] != '"') {
+      ++j;
+    }
+    tokens.push_back(sql.substr(i, j - i));
+    i = j;
+  }
+  return tokens;
+}
+
+StatusOr<SelectQuery> ParseSqlTokens(const std::vector<std::string>& tokens,
+                                     const Schema& schema) {
+  size_t pos = 0;
+  auto peek = [&]() -> const std::string* {
+    return pos < tokens.size() ? &tokens[pos] : nullptr;
+  };
+  auto next = [&]() -> const std::string* {
+    return pos < tokens.size() ? &tokens[pos++] : nullptr;
+  };
+
+  const std::string* tok = next();
+  if (tok == nullptr || ToLower(*tok) != "select") {
+    return Status::ParseError("expected SELECT");
+  }
+  SelectQuery query;
+  tok = next();
+  if (tok == nullptr) return Status::ParseError("truncated after SELECT");
+  Aggregate agg = Aggregate::kNone;
+  if (IsAggToken(*tok, &agg)) {
+    query.agg = agg;
+    // Accept both "MAX(col)" written as MAX ( col ) and "MAX col".
+    if (peek() != nullptr && *peek() == "(") next();
+    tok = next();
+    if (tok == nullptr) return Status::ParseError("missing select column");
+  }
+  const int col = schema.ColumnIndex(*tok);
+  if (col < 0) return Status::ParseError("unknown select column: " + *tok);
+  query.select_column = col;
+  if (peek() != nullptr && *peek() == ")") next();
+
+  // Optional FROM <table>: tolerated and ignored (single-table dialect).
+  if (peek() != nullptr && ToLower(*peek()) == "from") {
+    next();
+    if (next() == nullptr) return Status::ParseError("missing table name");
+  }
+
+  if (peek() == nullptr) return query;
+  tok = next();
+  if (ToLower(*tok) != "where") {
+    return Status::ParseError("expected WHERE, got: " + *tok);
+  }
+  for (;;) {
+    const std::string* col_tok = next();
+    if (col_tok == nullptr) return Status::ParseError("missing condition column");
+    const int ccol = schema.ColumnIndex(*col_tok);
+    if (ccol < 0) {
+      return Status::ParseError("unknown condition column: " + *col_tok);
+    }
+    const std::string* op_tok = next();
+    CondOp op = CondOp::kEq;
+    if (op_tok == nullptr || !IsOpToken(*op_tok, &op)) {
+      return Status::ParseError("expected comparison operator");
+    }
+    const std::string* val_tok = next();
+    if (val_tok == nullptr) return Status::ParseError("missing condition value");
+    Condition cond;
+    cond.column = ccol;
+    cond.op = op;
+    cond.value = MakeConditionValue(*val_tok, schema.column(ccol).type);
+    query.conditions.push_back(std::move(cond));
+    if (peek() == nullptr) break;
+    tok = next();
+    if (ToLower(*tok) != "and") {
+      return Status::ParseError("expected AND, got: " + *tok);
+    }
+  }
+  return query;
+}
+
+StatusOr<SelectQuery> ParseSql(const std::string& sql, const Schema& schema) {
+  return ParseSqlTokens(TokenizeSql(sql), schema);
+}
+
+}  // namespace sql
+}  // namespace nlidb

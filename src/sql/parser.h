@@ -1,0 +1,34 @@
+#ifndef NLIDB_SQL_PARSER_H_
+#define NLIDB_SQL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/query.h"
+
+namespace nlidb {
+namespace sql {
+
+/// Parses WikiSQL-class SQL text (the exact dialect `ToSql` prints):
+///
+///   SELECT [AGG] column [WHERE column OP value [AND column OP value]*]
+///
+/// Column names resolve against `schema` case-insensitively; quoted
+/// values become text, bare numerics become reals (coerced to the
+/// condition column's type when they disagree).
+StatusOr<SelectQuery> ParseSql(const std::string& sql, const Schema& schema);
+
+/// Tokenizes SQL text: identifiers/keywords, operators, quoted strings
+/// (quotes kept), numbers.
+std::vector<std::string> TokenizeSql(const std::string& sql);
+
+/// Parses a pre-tokenized query; used by the seq2seq decoder whose output
+/// is already a token sequence.
+StatusOr<SelectQuery> ParseSqlTokens(const std::vector<std::string>& tokens,
+                                     const Schema& schema);
+
+}  // namespace sql
+}  // namespace nlidb
+
+#endif  // NLIDB_SQL_PARSER_H_

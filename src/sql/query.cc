@@ -1,0 +1,89 @@
+#include "sql/query.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace nlidb {
+namespace sql {
+
+const char* AggregateName(Aggregate agg) {
+  switch (agg) {
+    case Aggregate::kNone:
+      return "";
+    case Aggregate::kMax:
+      return "MAX";
+    case Aggregate::kMin:
+      return "MIN";
+    case Aggregate::kCount:
+      return "COUNT";
+    case Aggregate::kSum:
+      return "SUM";
+    case Aggregate::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
+const char* CondOpName(CondOp op) {
+  switch (op) {
+    case CondOp::kEq:
+      return "=";
+    case CondOp::kGt:
+      return ">";
+    case CondOp::kLt:
+      return "<";
+  }
+  return "?";
+}
+
+std::vector<std::string> ToSqlTokens(const SelectQuery& query,
+                                     const Schema& schema) {
+  NLIDB_CHECK(query.select_column >= 0 &&
+              query.select_column < schema.num_columns())
+      << "select column out of schema";
+  std::vector<std::string> out;
+  out.push_back("SELECT");
+  if (query.agg != Aggregate::kNone) out.push_back(AggregateName(query.agg));
+  out.push_back(schema.column(query.select_column).name);
+  if (!query.conditions.empty()) {
+    out.push_back("WHERE");
+    for (size_t i = 0; i < query.conditions.size(); ++i) {
+      const Condition& c = query.conditions[i];
+      if (i > 0) out.push_back("AND");
+      NLIDB_CHECK(c.column >= 0 && c.column < schema.num_columns())
+          << "condition column out of schema";
+      out.push_back(schema.column(c.column).name);
+      out.push_back(CondOpName(c.op));
+      if (c.value.is_text()) {
+        out.push_back("\"" + c.value.text() + "\"");
+      } else {
+        out.push_back(c.value.ToString());
+      }
+    }
+  }
+  return out;
+}
+
+std::string ToSql(const SelectQuery& query, const Schema& schema) {
+  return Join(ToSqlTokens(query, schema), " ");
+}
+
+SelectQuery Canonicalize(const SelectQuery& query) {
+  SelectQuery out = query;
+  std::sort(out.conditions.begin(), out.conditions.end(),
+            [](const Condition& a, const Condition& b) {
+              if (a.column != b.column) return a.column < b.column;
+              if (a.op != b.op) return static_cast<int>(a.op) < static_cast<int>(b.op);
+              return ToLower(a.value.ToString()) < ToLower(b.value.ToString());
+            });
+  return out;
+}
+
+std::string CanonicalSql(const SelectQuery& query, const Schema& schema) {
+  return ToLower(ToSql(Canonicalize(query), schema));
+}
+
+}  // namespace sql
+}  // namespace nlidb

@@ -1,0 +1,70 @@
+#ifndef NLIDB_SQL_QUERY_H_
+#define NLIDB_SQL_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/schema.h"
+#include "sql/value.h"
+
+namespace nlidb {
+namespace sql {
+
+/// Aggregation operators of the WikiSQL query class.
+enum class Aggregate { kNone, kMax, kMin, kCount, kSum, kAvg };
+
+const char* AggregateName(Aggregate agg);
+
+/// Condition comparison operators of the WikiSQL query class.
+enum class CondOp { kEq, kGt, kLt };
+
+const char* CondOpName(CondOp op);
+
+/// One conjunct of the WHERE clause: column <op> value.
+struct Condition {
+  int column = 0;
+  CondOp op = CondOp::kEq;
+  Value value;
+
+  friend bool operator==(const Condition& a, const Condition& b) {
+    return a.column == b.column && a.op == b.op && a.value == b.value;
+  }
+};
+
+/// The WikiSQL query class:
+///   SELECT <agg>(<column>) FROM t WHERE cond AND cond AND ...
+/// Exactly one select column, optional aggregate, conjunctive conditions.
+struct SelectQuery {
+  Aggregate agg = Aggregate::kNone;
+  int select_column = 0;
+  std::vector<Condition> conditions;
+
+  /// Token-exact equality (the "logical form" comparison of [49]):
+  /// conditions must appear in the same order.
+  friend bool operator==(const SelectQuery& a, const SelectQuery& b) {
+    return a.agg == b.agg && a.select_column == b.select_column &&
+           a.conditions == b.conditions;
+  }
+};
+
+/// Renders the query as WikiSQL-style SQL text, e.g.
+///   SELECT MAX(points) WHERE team = "ferrari" AND laps > 50
+std::string ToSql(const SelectQuery& query, const Schema& schema);
+
+/// Renders the query as a token sequence (the seq2seq target alphabet
+/// uses the same tokens).
+std::vector<std::string> ToSqlTokens(const SelectQuery& query,
+                                     const Schema& schema);
+
+/// Canonical form: conditions sorted by (column, op, value string),
+/// identifiers lowercased. Two queries are a "query match" (Acc_qm) when
+/// their canonical forms are equal.
+SelectQuery Canonicalize(const SelectQuery& query);
+
+/// Canonical SQL text of `query` (ToSql of Canonicalize).
+std::string CanonicalSql(const SelectQuery& query, const Schema& schema);
+
+}  // namespace sql
+}  // namespace nlidb
+
+#endif  // NLIDB_SQL_QUERY_H_

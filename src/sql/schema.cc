@@ -1,0 +1,36 @@
+#include "sql/schema.h"
+
+#include "common/strings.h"
+
+namespace nlidb {
+namespace sql {
+
+std::string ColumnDef::Display() const {
+  return ReplaceAll(name, "_", " ");
+}
+
+std::vector<std::string> ColumnDef::DisplayTokens() const {
+  return Split(Display(), ' ');
+}
+
+int Schema::ColumnIndex(const std::string& name) const {
+  const std::string needle = ToLower(name);
+  for (int i = 0; i < num_columns(); ++i) {
+    if (ToLower(columns_[i].name) == needle) return i;
+  }
+  return -1;
+}
+
+bool operator==(const Schema& a, const Schema& b) {
+  if (a.columns_.size() != b.columns_.size()) return false;
+  for (size_t i = 0; i < a.columns_.size(); ++i) {
+    if (a.columns_[i].name != b.columns_[i].name ||
+        a.columns_[i].type != b.columns_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace sql
+}  // namespace nlidb

@@ -1,0 +1,50 @@
+#ifndef NLIDB_SQL_SCHEMA_H_
+#define NLIDB_SQL_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "sql/value.h"
+
+namespace nlidb {
+namespace sql {
+
+/// A column definition. `name` is the canonical snake_case identifier
+/// (e.g. "film_name"); `display` is its natural-language surface form
+/// ("film name") used when matching column mentions in questions.
+struct ColumnDef {
+  std::string name;
+  DataType type = DataType::kText;
+
+  /// `name` with underscores replaced by spaces.
+  std::string Display() const;
+  /// The display form split on spaces.
+  std::vector<std::string> DisplayTokens() const;
+};
+
+/// An ordered set of columns, i.e. the paper's C = {c_1, ..., c_k}.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns)
+      : columns_(std::move(columns)) {}
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const ColumnDef& column(int i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  void AddColumn(ColumnDef column) { columns_.push_back(std::move(column)); }
+
+  /// Index of the column with the given canonical name; -1 when absent.
+  int ColumnIndex(const std::string& name) const;
+
+  friend bool operator==(const Schema& a, const Schema& b);
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace sql
+}  // namespace nlidb
+
+#endif  // NLIDB_SQL_SCHEMA_H_

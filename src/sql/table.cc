@@ -1,0 +1,52 @@
+#include "sql/table.h"
+
+#include "common/logging.h"
+
+namespace nlidb {
+namespace sql {
+
+Status Table::AddRow(std::vector<Value> cells) {
+  if (static_cast<int>(cells.size()) != schema_.num_columns()) {
+    return Status::InvalidArgument("row arity " + std::to_string(cells.size()) +
+                                   " != schema arity " +
+                                   std::to_string(schema_.num_columns()));
+  }
+  for (int i = 0; i < schema_.num_columns(); ++i) {
+    if (cells[i].type() != schema_.column(i).type) {
+      return Status::InvalidArgument("type mismatch in column " +
+                                     schema_.column(i).name);
+    }
+  }
+  rows_.push_back(std::move(cells));
+  return Status::Ok();
+}
+
+const Value& Table::Cell(int row, int col) const {
+  NLIDB_CHECK(row >= 0 && row < num_rows() && col >= 0 && col < num_columns())
+      << "Cell(" << row << "," << col << ") out of range";
+  return rows_[row][col];
+}
+
+const std::vector<Value>& Table::Row(int row) const {
+  NLIDB_CHECK(row >= 0 && row < num_rows()) << "Row out of range";
+  return rows_[row];
+}
+
+std::vector<Value> Table::ColumnValues(int col) const {
+  NLIDB_CHECK(col >= 0 && col < num_columns()) << "ColumnValues out of range";
+  std::vector<Value> out;
+  out.reserve(rows_.size());
+  for (const auto& row : rows_) out.push_back(row[col]);
+  return out;
+}
+
+bool Table::ColumnContains(int col, const Value& value) const {
+  NLIDB_CHECK(col >= 0 && col < num_columns()) << "ColumnContains range";
+  for (const auto& row : rows_) {
+    if (row[col] == value) return true;
+  }
+  return false;
+}
+
+}  // namespace sql
+}  // namespace nlidb

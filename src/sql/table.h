@@ -1,0 +1,47 @@
+#ifndef NLIDB_SQL_TABLE_H_
+#define NLIDB_SQL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sql/schema.h"
+
+namespace nlidb {
+namespace sql {
+
+/// An in-memory relational table with typed cells.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+  int num_columns() const { return schema_.num_columns(); }
+
+  /// Appends a row; cells must match the schema's arity and types.
+  Status AddRow(std::vector<Value> cells);
+
+  const Value& Cell(int row, int col) const;
+  const std::vector<Value>& Row(int row) const;
+
+  /// All values of one column (copy).
+  std::vector<Value> ColumnValues(int col) const;
+
+  /// True if `value` occurs in column `col`.
+  bool ColumnContains(int col, const Value& value) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<std::vector<Value>> rows_;
+};
+
+}  // namespace sql
+}  // namespace nlidb
+
+#endif  // NLIDB_SQL_TABLE_H_

@@ -1,0 +1,74 @@
+#include "sql/value.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace nlidb {
+namespace sql {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kText:
+      return "text";
+    case DataType::kReal:
+      return "real";
+  }
+  return "?";
+}
+
+Value Value::Text(std::string text) {
+  Value v;
+  v.type_ = DataType::kText;
+  v.text_ = std::move(text);
+  return v;
+}
+
+Value Value::Real(double number) {
+  Value v;
+  v.type_ = DataType::kReal;
+  v.number_ = number;
+  return v;
+}
+
+const std::string& Value::text() const {
+  NLIDB_CHECK(is_text()) << "text() on real value";
+  return text_;
+}
+
+double Value::number() const {
+  NLIDB_CHECK(is_real()) << "number() on text value";
+  return number_;
+}
+
+std::string FormatNumber(double number) {
+  if (number == std::floor(number) && std::fabs(number) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", number);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", number);
+  return buf;
+}
+
+std::string Value::ToString() const {
+  return is_text() ? text_ : FormatNumber(number_);
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.type_ != b.type_) return false;
+  if (a.is_real()) return a.number_ == b.number_;
+  return ToLower(a.text_) == ToLower(b.text_);
+}
+
+bool Value::LessThan(const Value& other) const {
+  NLIDB_CHECK(type_ == other.type_) << "LessThan across types";
+  if (is_real()) return number_ < other.number_;
+  return ToLower(text_) < ToLower(other.text_);
+}
+
+}  // namespace sql
+}  // namespace nlidb

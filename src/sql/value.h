@@ -1,0 +1,56 @@
+#ifndef NLIDB_SQL_VALUE_H_
+#define NLIDB_SQL_VALUE_H_
+
+#include <string>
+
+namespace nlidb {
+namespace sql {
+
+/// Column data types. WikiSQL tables distinguish exactly text and real.
+enum class DataType { kText, kReal };
+
+const char* DataTypeName(DataType type);
+
+/// A single cell value: text or real.
+class Value {
+ public:
+  Value() : type_(DataType::kText) {}
+
+  static Value Text(std::string text);
+  static Value Real(double number);
+
+  DataType type() const { return type_; }
+  bool is_text() const { return type_ == DataType::kText; }
+  bool is_real() const { return type_ == DataType::kReal; }
+
+  /// Requires is_text().
+  const std::string& text() const;
+  /// Requires is_real().
+  double number() const;
+
+  /// Display form: text as-is, reals with trailing zeros trimmed
+  /// ("3" not "3.000000").
+  std::string ToString() const;
+
+  /// Equality: same type and equal payload (text comparison is
+  /// case-insensitive, as WikiSQL execution comparison is).
+  friend bool operator==(const Value& a, const Value& b);
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+
+  /// Ordering for > / < conditions; only defined for two reals or two
+  /// texts (lexicographic, case-insensitive).
+  bool LessThan(const Value& other) const;
+
+ private:
+  DataType type_;
+  std::string text_;
+  double number_ = 0.0;
+};
+
+/// Formats a double the way Value::ToString does.
+std::string FormatNumber(double number);
+
+}  // namespace sql
+}  // namespace nlidb
+
+#endif  // NLIDB_SQL_VALUE_H_

@@ -1,0 +1,257 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace nlidb {
+
+size_t NumElements(const std::vector<int>& shape) {
+  size_t n = 1;
+  for (int d : shape) {
+    NLIDB_CHECK(d >= 0) << "negative dimension " << d;
+    n *= static_cast<size_t>(d);
+  }
+  return n;
+}
+
+Tensor::Tensor(std::vector<int> shape)
+    : shape_(std::move(shape)), data_(NumElements(shape_), 0.0f) {}
+
+Tensor::Tensor(std::vector<int> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  NLIDB_CHECK(data_.size() == NumElements(shape_))
+      << "shape/data mismatch: " << data_.size() << " elements vs shape "
+      << NumElements(shape_);
+}
+
+Tensor Tensor::Zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::Ones(std::vector<int> shape) {
+  Tensor t(std::move(shape));
+  t.Fill(1.0f);
+  return t;
+}
+
+Tensor Tensor::Full(std::vector<int> shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Gaussian(std::vector<int> shape, float stddev, Rng& rng) {
+  Tensor t(std::move(shape));
+  for (float& x : t.data_) x = stddev * rng.NextGaussian();
+  return t;
+}
+
+Tensor Tensor::Uniform(std::vector<int> shape, float lo, float hi, Rng& rng) {
+  Tensor t(std::move(shape));
+  for (float& x : t.data_) x = rng.NextFloat(lo, hi);
+  return t;
+}
+
+Tensor Tensor::Xavier(int fan_in, int fan_out, Rng& rng) {
+  float bound = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return Uniform({fan_in, fan_out}, -bound, bound, rng);
+}
+
+Tensor Tensor::FromVector(const std::vector<float>& values) {
+  return Tensor({static_cast<int>(values.size())}, values);
+}
+
+float& Tensor::at(int i, int j) {
+  NLIDB_CHECK(rank() == 2 && i >= 0 && i < rows() && j >= 0 && j < cols())
+      << "at(" << i << "," << j << ") out of bounds";
+  return (*this)(i, j);
+}
+
+float Tensor::at(int i, int j) const {
+  NLIDB_CHECK(rank() == 2 && i >= 0 && i < rows() && j >= 0 && j < cols())
+      << "at(" << i << "," << j << ") out of bounds";
+  return (*this)(i, j);
+}
+
+void Tensor::Fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+void Tensor::Scale(float factor) {
+  for (float& x : data_) x *= factor;
+}
+
+void Tensor::Add(const Tensor& other) {
+  NLIDB_CHECK(shape_ == other.shape_) << "Add shape mismatch";
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::Axpy(float factor, const Tensor& other) {
+  NLIDB_CHECK(shape_ == other.shape_) << "Axpy shape mismatch";
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += factor * other.data_[i];
+  }
+}
+
+float Tensor::Sum() const {
+  float s = 0.0f;
+  for (float x : data_) s += x;
+  return s;
+}
+
+float Tensor::Max() const {
+  NLIDB_CHECK(!data_.empty()) << "Max of empty tensor";
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::AbsMax() const {
+  float m = 0.0f;
+  for (float x : data_) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+float Tensor::Norm2() const {
+  float s = 0.0f;
+  for (float x : data_) s += x * x;
+  return std::sqrt(s);
+}
+
+float Tensor::NormP(float p) const {
+  NLIDB_CHECK(p >= 1.0f) << "NormP requires p >= 1";
+  float s = 0.0f;
+  for (float x : data_) s += std::pow(std::fabs(x), p);
+  return std::pow(s, 1.0f / p);
+}
+
+Tensor Tensor::Row(int i) const {
+  NLIDB_CHECK(rank() == 2 && i >= 0 && i < rows()) << "Row out of bounds";
+  Tensor out({cols()});
+  std::copy(data_.begin() + static_cast<size_t>(i) * cols(),
+            data_.begin() + static_cast<size_t>(i + 1) * cols(),
+            out.data_.begin());
+  return out;
+}
+
+void Tensor::SetRow(int i, const Tensor& row) {
+  NLIDB_CHECK(rank() == 2 && i >= 0 && i < rows()) << "SetRow out of bounds";
+  NLIDB_CHECK(static_cast<int>(row.size()) == cols()) << "SetRow width mismatch";
+  std::copy(row.data_.begin(), row.data_.end(),
+            data_.begin() + static_cast<size_t>(i) * cols());
+}
+
+Tensor Tensor::Reshaped(std::vector<int> new_shape) const {
+  NLIDB_CHECK(NumElements(new_shape) == data_.size()) << "Reshape size mismatch";
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.data_ = data_;
+  return out;
+}
+
+Tensor Tensor::Transposed() const {
+  NLIDB_CHECK(rank() == 2) << "Transposed requires rank 2";
+  Tensor out({cols(), rows()});
+  for (int i = 0; i < rows(); ++i) {
+    for (int j = 0; j < cols(); ++j) {
+      out(j, i) = (*this)(i, j);
+    }
+  }
+  return out;
+}
+
+bool Tensor::AllClose(const Tensor& other, float tol) const {
+  if (shape_ != other.shape_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+std::string Tensor::ToString(int max_entries) const {
+  std::ostringstream os;
+  os << "Tensor[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) os << "x";
+    os << shape_[i];
+  }
+  os << "]{";
+  int n = std::min<int>(max_entries, static_cast<int>(data_.size()));
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) os << ", ";
+    os << data_[i];
+  }
+  if (static_cast<size_t>(n) < data_.size()) os << ", ...";
+  os << "}";
+  return os.str();
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  NLIDB_CHECK(a.rank() == 2 && b.rank() == 2 && a.cols() == b.rows())
+      << "MatMul shape mismatch";
+  Tensor out({a.rows(), b.cols()});
+  MatMulAccumulate(a, b, out);
+  return out;
+}
+
+void MatMulAccumulate(const Tensor& a, const Tensor& b, Tensor& out) {
+  const int m = a.rows();
+  const int k = a.cols();
+  const int n = b.cols();
+  NLIDB_CHECK(out.rows() == m && out.cols() == n) << "MatMulAccumulate shape";
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows
+  // of b and out, which is the whole optimization budget we need at the
+  // matrix sizes these models use.
+  for (int i = 0; i < m; ++i) {
+    for (int kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* orow = po + i * n;
+      for (int j = 0; j < n; ++j) orow[j] += aik * brow[j];
+    }
+  }
+}
+
+void MatMulTransposeAAccumulate(const Tensor& a, const Tensor& b, Tensor& out) {
+  const int k = a.rows();
+  const int m = a.cols();
+  const int n = b.cols();
+  NLIDB_CHECK(b.rows() == k && out.rows() == m && out.cols() == n)
+      << "MatMulTransposeAAccumulate shape";
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (int i = 0; i < m; ++i) {
+      const float v = arow[i];
+      if (v == 0.0f) continue;
+      float* orow = po + i * n;
+      for (int j = 0; j < n; ++j) orow[j] += v * brow[j];
+    }
+  }
+}
+
+void MatMulTransposeBAccumulate(const Tensor& a, const Tensor& b, Tensor& out) {
+  const int m = a.rows();
+  const int k = a.cols();
+  const int n = b.rows();
+  NLIDB_CHECK(b.cols() == k && out.rows() == m && out.cols() == n)
+      << "MatMulTransposeBAccumulate shape";
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float dot = 0.0f;
+      for (int kk = 0; kk < k; ++kk) dot += arow[kk] * brow[kk];
+      po[i * n + j] += dot;
+    }
+  }
+}
+
+}  // namespace nlidb

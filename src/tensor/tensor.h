@@ -1,0 +1,126 @@
+#ifndef NLIDB_TENSOR_TENSOR_H_
+#define NLIDB_TENSOR_TENSOR_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace nlidb {
+
+/// A dense row-major float tensor.
+///
+/// This is the numeric substrate for the from-scratch neural network stack
+/// (the paper used PyTorch-class frameworks; none is available offline, so
+/// the library ships its own — see DESIGN.md "Substitutions").
+/// Rank 1 and rank 2 cover every model in the paper; rank-3 is supported
+/// for batched intermediates.
+class Tensor {
+ public:
+  /// An empty (rank-0, zero-element) tensor.
+  Tensor() = default;
+
+  /// Zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<int> shape);
+
+  /// Tensor with explicit contents; `data.size()` must equal the product
+  /// of `shape`.
+  Tensor(std::vector<int> shape, std::vector<float> data);
+
+  Tensor(const Tensor&) = default;
+  Tensor& operator=(const Tensor&) = default;
+  Tensor(Tensor&&) = default;
+  Tensor& operator=(Tensor&&) = default;
+
+  /// Factory helpers.
+  static Tensor Zeros(std::vector<int> shape);
+  static Tensor Ones(std::vector<int> shape);
+  static Tensor Full(std::vector<int> shape, float value);
+  /// I.i.d. N(0, stddev^2) entries.
+  static Tensor Gaussian(std::vector<int> shape, float stddev, Rng& rng);
+  /// I.i.d. U(lo, hi) entries.
+  static Tensor Uniform(std::vector<int> shape, float lo, float hi, Rng& rng);
+  /// Xavier/Glorot uniform init for a [fan_in, fan_out] weight matrix.
+  static Tensor Xavier(int fan_in, int fan_out, Rng& rng);
+  /// Rank-1 tensor from values.
+  static Tensor FromVector(const std::vector<float>& values);
+
+  const std::vector<int>& shape() const { return shape_; }
+  int rank() const { return static_cast<int>(shape_.size()); }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// Dimension `d` of the shape. Requires d < rank().
+  int dim(int d) const { return shape_[d]; }
+  /// Rank-2 conveniences. Require rank() == 2.
+  int rows() const { return shape_[0]; }
+  int cols() const { return shape_[1]; }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  /// Element access. Bounds are checked with NLIDB_CHECK in at(); the
+  /// operator() variants are unchecked hot-path accessors.
+  float& operator()(int i) { return data_[i]; }
+  float operator()(int i) const { return data_[i]; }
+  float& operator()(int i, int j) { return data_[i * shape_[1] + j]; }
+  float operator()(int i, int j) const { return data_[i * shape_[1] + j]; }
+  float& at(int i, int j);
+  float at(int i, int j) const;
+
+  /// Whole-tensor in-place operations.
+  void Fill(float value);
+  void Scale(float factor);
+  /// this += other. Shapes must match exactly.
+  void Add(const Tensor& other);
+  /// this += factor * other. Shapes must match exactly.
+  void Axpy(float factor, const Tensor& other);
+
+  /// Reductions.
+  float Sum() const;
+  float Max() const;
+  float AbsMax() const;
+  /// L2 norm of all entries.
+  float Norm2() const;
+  /// Lp norm (p >= 1) of all entries.
+  float NormP(float p) const;
+
+  /// Returns a copy of row `i` (rank-2 only) as a rank-1 tensor.
+  Tensor Row(int i) const;
+  /// Overwrites row `i` with `row` (rank-2 only; row.size() == cols()).
+  void SetRow(int i, const Tensor& row);
+
+  /// Reshape without copying data; product of new shape must equal size().
+  Tensor Reshaped(std::vector<int> new_shape) const;
+  /// Transpose of a rank-2 tensor.
+  Tensor Transposed() const;
+
+  /// True when shapes are equal and all entries differ by at most `tol`.
+  bool AllClose(const Tensor& other, float tol = 1e-5f) const;
+
+  /// Compact debug string: "Tensor[2x3]{1, 2, ...}".
+  std::string ToString(int max_entries = 8) const;
+
+ private:
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+/// out = a * b for rank-2 tensors ([m,k] x [k,n] -> [m,n]).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+/// out += a * b. `out` must already be [m,n].
+void MatMulAccumulate(const Tensor& a, const Tensor& b, Tensor& out);
+/// out += a^T * b ([k,m]^T x [k,n] -> [m,n]).
+void MatMulTransposeAAccumulate(const Tensor& a, const Tensor& b, Tensor& out);
+/// out += a * b^T ([m,k] x [n,k]^T -> [m,n]).
+void MatMulTransposeBAccumulate(const Tensor& a, const Tensor& b, Tensor& out);
+
+size_t NumElements(const std::vector<int>& shape);
+
+}  // namespace nlidb
+
+#endif  // NLIDB_TENSOR_TENSOR_H_

@@ -1,0 +1,235 @@
+#include "text/dependency.h"
+
+#include <queue>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace nlidb {
+namespace text {
+
+namespace {
+
+const std::unordered_set<std::string>& VerbLexicon() {
+  static const std::unordered_set<std::string>* kVerbs =
+      new std::unordered_set<std::string>{
+          "directed", "direct",   "directs",   "star",     "starred",
+          "starring", "won",      "win",       "wins",     "winning",
+          "played",   "play",     "plays",     "live",     "lives",
+          "lived",    "living",   "launched",  "launch",   "launches",
+          "scheduled","elected",  "ran",       "run",      "runs",
+          "running",  "sang",     "sing",      "sings",    "performed",
+          "perform",  "released", "release",   "peaked",   "peak",
+          "nominated","awarded",  "grossed",   "earned",   "cost",
+          "costs",    "rated",    "cooked",    "cook",     "cooks",
+          "contains", "contain",  "made",      "make",     "uses",
+          "use",      "treated",  "treats",    "diagnosed","admitted",
+          "stayed",   "stay",     "attended",  "attend",   "hosted",
+          "held",     "golfs",    "golfed",    "drove",    "drives",
+          "represents","represented","speak",  "speaks",   "spoken",
+          "finished", "scored",   "score",     "recorded", "charted",
+          "issued",   "operated", "lasted",    "located",  "priced",
+          "belong",   "belongs",  "hospitalized",
+      };
+  return *kVerbs;
+}
+
+bool IsDeterminer(const std::string& t) {
+  return t == "the" || t == "a" || t == "an" || t == "this" || t == "that" ||
+         t == "these" || t == "those" || t == "their" || t == "his" ||
+         t == "her" || t == "its" || t == "each" || t == "every";
+}
+
+bool IsWh(const std::string& t) {
+  return t == "who" || t == "whom" || t == "whose" || t == "what" ||
+         t == "which" || t == "when" || t == "where" || t == "how" ||
+         t == "why" || t == "whats";
+}
+
+bool IsAux(const std::string& t) {
+  return t == "did" || t == "do" || t == "does" || t == "is" || t == "are" ||
+         t == "was" || t == "were" || t == "be" || t == "been" ||
+         t == "has" || t == "have" || t == "had" || t == "can" ||
+         t == "could" || t == "will" || t == "would";
+}
+
+bool IsPrep(const std::string& t) {
+  return t == "of" || t == "in" || t == "on" || t == "at" || t == "by" ||
+         t == "for" || t == "to" || t == "with" || t == "from" ||
+         t == "as" || t == "during" || t == "under" || t == "over";
+}
+
+bool IsPunct(const std::string& t) {
+  return t.size() == 1 && !std::isalnum(static_cast<unsigned char>(t[0]));
+}
+
+}  // namespace
+
+Pos TagToken(const std::string& token) {
+  if (IsPunct(token)) return Pos::kPunct;
+  if (IsDeterminer(token)) return Pos::kDet;
+  if (IsWh(token)) return Pos::kWh;
+  if (IsAux(token)) return Pos::kAux;
+  if (IsPrep(token)) return Pos::kPrep;
+  if (LooksNumeric(token)) return Pos::kNum;
+  if (VerbLexicon().count(token) > 0) return Pos::kVerb;
+  return Pos::kNoun;
+}
+
+DependencyTree DependencyTree::Parse(const std::vector<std::string>& tokens) {
+  DependencyTree tree;
+  const int n = static_cast<int>(tokens.size());
+  if (n == 0) return tree;
+  tree.pos_.reserve(n);
+  for (const auto& t : tokens) tree.pos_.push_back(TagToken(t));
+  tree.heads_.assign(n, 0);
+
+  // Root: first main verb, else first noun, else token 0.
+  int root = -1;
+  for (int i = 0; i < n && root < 0; ++i) {
+    if (tree.pos_[i] == Pos::kVerb) root = i;
+  }
+  for (int i = 0; i < n && root < 0; ++i) {
+    if (tree.pos_[i] == Pos::kNoun) root = i;
+  }
+  if (root < 0) root = 0;
+  tree.root_ = root;
+  tree.heads_[root] = root;
+
+  auto next_of = [&](int from, Pos want) {
+    for (int j = from + 1; j < n; ++j) {
+      if (tree.pos_[j] == want) return j;
+    }
+    return -1;
+  };
+  auto prev_content = [&](int from) {
+    for (int j = from - 1; j >= 0; --j) {
+      if (tree.pos_[j] == Pos::kVerb || tree.pos_[j] == Pos::kNoun ||
+          tree.pos_[j] == Pos::kNum) {
+        return j;
+      }
+    }
+    return -1;
+  };
+
+  for (int i = 0; i < n; ++i) {
+    if (i == root) continue;
+    const Pos p = tree.pos_[i];
+    int head = root;
+    switch (p) {
+      case Pos::kDet: {
+        const int noun = next_of(i, Pos::kNoun);
+        head = noun >= 0 ? noun : root;
+        break;
+      }
+      case Pos::kPrep: {
+        const int content = prev_content(i);
+        head = content >= 0 ? content : root;
+        break;
+      }
+      case Pos::kNoun:
+      case Pos::kNum: {
+        // Noun compounds chain rightward to the chunk head (the last
+        // noun/number of the run).
+        if (i + 1 < n &&
+            (tree.pos_[i + 1] == Pos::kNoun || tree.pos_[i + 1] == Pos::kNum) &&
+            i + 1 != root) {
+          head = i + 1;
+          break;
+        }
+        // Chunk head: object of a preceding preposition...
+        if (i > 0 && tree.pos_[i - 1] == Pos::kPrep) {
+          head = i - 1;
+          break;
+        }
+        int j = i - 1;
+        while (j >= 0 && (tree.pos_[j] == Pos::kNoun || tree.pos_[j] == Pos::kNum)) {
+          --j;
+        }
+        if (j >= 0 && tree.pos_[j] == Pos::kPrep) {
+          head = j;
+          break;
+        }
+        // ... or a subject: attach to the next verb in the clause if any.
+        const int verb_after = next_of(i, Pos::kVerb);
+        if (verb_after >= 0) {
+          head = verb_after;
+          break;
+        }
+        const int content = prev_content(i);
+        head = (content >= 0 && content != i) ? content : root;
+        break;
+      }
+      case Pos::kVerb:
+      case Pos::kAux:
+      case Pos::kWh:
+      case Pos::kPunct:
+        head = root;
+        break;
+    }
+    if (head == i) head = root;
+    tree.heads_[i] = head;
+  }
+
+  // Break accidental cycles (possible when heuristics point forward and
+  // backward into each other): any node whose head-chain does not reach
+  // the root gets re-attached to the root.
+  for (int i = 0; i < n; ++i) {
+    int cur = i;
+    int steps = 0;
+    while (cur != root && steps <= n) {
+      cur = tree.heads_[cur];
+      ++steps;
+    }
+    if (cur != root) tree.heads_[i] = root;
+  }
+  return tree;
+}
+
+int DependencyTree::Distance(int a, int b) const {
+  NLIDB_CHECK(a >= 0 && a < size() && b >= 0 && b < size())
+      << "Distance index out of range";
+  if (a == b) return 0;
+  // Depth of each node, then classic LCA walk over head chains.
+  auto depth = [this](int x) {
+    int d = 0;
+    while (x != root_) {
+      x = heads_[x];
+      ++d;
+    }
+    return d;
+  };
+  int da = depth(a);
+  int db = depth(b);
+  int dist = 0;
+  while (da > db) {
+    a = heads_[a];
+    --da;
+    ++dist;
+  }
+  while (db > da) {
+    b = heads_[b];
+    --db;
+    ++dist;
+  }
+  while (a != b) {
+    a = heads_[a];
+    b = heads_[b];
+    dist += 2;
+  }
+  return dist;
+}
+
+int DependencyTree::SpanDistance(const Span& a, const Span& b) const {
+  int best = 1 << 20;
+  for (int i = a.begin; i < a.end; ++i) {
+    for (int j = b.begin; j < b.end; ++j) {
+      best = std::min(best, Distance(i, j));
+    }
+  }
+  return best;
+}
+
+}  // namespace text
+}  // namespace nlidb

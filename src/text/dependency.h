@@ -1,0 +1,54 @@
+#ifndef NLIDB_TEXT_DEPENDENCY_H_
+#define NLIDB_TEXT_DEPENDENCY_H_
+
+#include <string>
+#include <vector>
+
+#include "text/tokenizer.h"
+
+namespace nlidb {
+namespace text {
+
+/// Coarse part-of-speech classes used by the heuristic dependency parser.
+enum class Pos { kDet, kWh, kAux, kPrep, kVerb, kNum, kPunct, kNoun };
+
+/// Tags a single token.
+Pos TagToken(const std::string& token);
+
+/// A dependency tree over question tokens.
+///
+/// Mention resolution (paper Sec. IV-E) consumes only *distances* between
+/// nodes ("a value is often the closest child node of the paired column"),
+/// so instead of a full statistical parser — unavailable offline — this is
+/// a deterministic head-finding heuristic that preserves the locality
+/// structure of English questions: noun compounds chain to their head
+/// noun, objects of prepositions attach to the preposition, prepositions
+/// to the nearest previous content word, subjects to their following verb.
+class DependencyTree {
+ public:
+  /// Builds a tree over `tokens`. Never fails; degenerate inputs produce a
+  /// flat tree rooted at token 0.
+  static DependencyTree Parse(const std::vector<std::string>& tokens);
+
+  int size() const { return static_cast<int>(heads_.size()); }
+  int root() const { return root_; }
+  /// Head index of token `i`; the root's head is itself.
+  int head(int i) const { return heads_[i]; }
+  Pos pos(int i) const { return pos_[i]; }
+
+  /// Number of edges on the undirected path between tokens `a` and `b`.
+  int Distance(int a, int b) const;
+
+  /// Minimum token-pair distance between two spans.
+  int SpanDistance(const Span& a, const Span& b) const;
+
+ private:
+  std::vector<int> heads_;
+  std::vector<Pos> pos_;
+  int root_ = 0;
+};
+
+}  // namespace text
+}  // namespace nlidb
+
+#endif  // NLIDB_TEXT_DEPENDENCY_H_

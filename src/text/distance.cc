@@ -1,0 +1,53 @@
+#include "text/distance.h"
+
+#include <algorithm>
+
+namespace nlidb {
+namespace text {
+
+int EditDistance(std::string_view a, std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return static_cast<int>(m);
+  if (m == 0) return static_cast<int>(n);
+  std::vector<int> prev(m + 1), cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      const int sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({sub, prev[j] + 1, cur[j - 1] + 1});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+float EditSimilarity(std::string_view a, std::string_view b) {
+  const size_t mx = std::max(a.size(), b.size());
+  if (mx == 0) return 1.0f;
+  return 1.0f - static_cast<float>(EditDistance(a, b)) /
+                    static_cast<float>(mx);
+}
+
+float SemanticDistance(const EmbeddingProvider& provider, const std::string& a,
+                       const std::string& b) {
+  return EmbeddingProvider::L2Distance(provider.Vector(a), provider.Vector(b));
+}
+
+float PhraseSemanticDistance(const EmbeddingProvider& provider,
+                             const std::vector<std::string>& a,
+                             const std::vector<std::string>& b) {
+  return EmbeddingProvider::L2Distance(provider.PhraseVector(a),
+                                       provider.PhraseVector(b));
+}
+
+float PhraseCosine(const EmbeddingProvider& provider,
+                   const std::vector<std::string>& a,
+                   const std::vector<std::string>& b) {
+  return EmbeddingProvider::Cosine(provider.PhraseVector(a),
+                                   provider.PhraseVector(b));
+}
+
+}  // namespace text
+}  // namespace nlidb

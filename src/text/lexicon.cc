@@ -1,0 +1,167 @@
+#include "text/embedding_provider.h"
+
+namespace nlidb {
+namespace text {
+
+/// Domain-neutral linguistic clusters. Each cluster approximates a GloVe
+/// neighborhood: question words near the concepts they ask about, verbs
+/// near the columns they describe (the paper's P_c / D_c metadata, Sec. II),
+/// and morphological variants of the same lemma.
+const std::vector<LexiconCluster>& DefaultLexicon() {
+  static const std::vector<LexiconCluster>* kLexicon =
+      new std::vector<LexiconCluster>{
+          // --- question-word / column-concept bridges -------------------
+          {"date", {"date", "when", "day", "scheduled", "dated", "dates"}},
+          {"time", {"time", "start_time", "hour", "oclock", "clock"}},
+          {"year", {"year", "years", "season", "seasons", "annual"}},
+          {"place", {"where", "venue", "location", "place", "played", "held",
+                     "site", "hosted"}},
+          {"person", {"who", "whom", "person", "name"}},
+          {"count", {"how", "many", "number", "total", "count"}},
+          // --- film domain ----------------------------------------------
+          {"film", {"film", "movie", "picture", "films", "movies",
+                    "film_name", "title"}},
+          {"director", {"director", "directed", "directs", "filmmaker",
+                        "direction"}},
+          {"actor", {"actor", "actress", "star", "starred", "starring",
+                     "stars", "cast", "plays"}},
+          {"nomination", {"nomination", "nominated", "award", "awarded",
+                          "oscar", "prize", "nominations"}},
+          {"box_office", {"box_office", "gross", "grossed", "earnings",
+                          "revenue", "box", "office"}},
+          // --- geography domain -----------------------------------------
+          {"county", {"county", "counties", "region", "district",
+                      "province"}},
+          {"population", {"population", "people", "live", "lives", "living",
+                          "inhabitants", "residents", "populous",
+                          "density"}},
+          {"city", {"city", "town", "cities", "towns", "municipality"}},
+          {"area", {"area", "size", "acres", "hectares", "square"}},
+          {"speakers", {"speakers", "speak", "speaking", "spoken",
+                        "irish_speakers", "language"}},
+          {"official_name", {"english_name", "irish_name", "named",
+                             "called", "known"}},
+          // --- motorsport domain ----------------------------------------
+          {"race", {"race", "races", "grand", "prix", "racing",
+                    "competition"}},
+          {"driver", {"driver", "drivers", "drove", "driving",
+                      "winning_driver"}},
+          {"win", {"win", "won", "wins", "winner", "winning", "victor",
+                   "victory"}},
+          {"team", {"team", "teams", "constructor", "squad", "club"}},
+          {"laps", {"laps", "lap", "circuits", "rounds"}},
+          {"points", {"points", "point", "score", "scored", "scoring"}},
+          // --- athletics / olympics -------------------------------------
+          {"athlete", {"athlete", "athletes", "player", "players", "golfer",
+                       "golfers", "sportsman", "competitor"}},
+          {"nation", {"nation", "country", "nationality", "nations",
+                      "countries", "represents", "golfs"}},
+          // Medal colors get separate clusters (sharing only the generic
+          // "medal(s)" word) so gold/silver/bronze stay distinguishable.
+          {"gold_medal", {"gold", "medal", "medals"}},
+          {"silver_medal", {"silver", "medal", "medals"}},
+          {"bronze_medal", {"bronze", "medal", "medals"}},
+          {"rank", {"rank", "ranking", "position", "place", "finish",
+                    "standings"}},
+          // --- music domain ---------------------------------------------
+          {"song", {"song", "songs", "single", "track", "tracks", "tune"}},
+          {"artist", {"artist", "artists", "singer", "band", "musician",
+                      "performer", "performed", "sang", "sings"}},
+          {"album", {"album", "albums", "record", "lp"}},
+          {"label", {"label", "labels", "released", "release", "issued"}},
+          {"chart", {"chart", "peak", "peaked", "peak_position",
+                     "charted"}},
+          // --- space domain ---------------------------------------------
+          {"mission", {"mission", "missions", "flight", "flights",
+                       "expedition", "launch", "launched", "launches",
+                       "launch_date", "liftoff"}},
+          {"crew", {"crew", "astronaut", "astronauts", "cosmonaut",
+                    "commander"}},
+          {"duration", {"duration", "lasted", "length", "long", "days"}},
+          {"agency", {"agency", "nasa", "esa", "operator", "operated"}},
+          {"outcome", {"outcome", "result", "results", "status",
+                       "success", "successful", "failure"}},
+          // --- politics domain ------------------------------------------
+          {"candidate", {"candidate", "candidates", "nominee", "ran",
+                         "running", "contender"}},
+          {"party", {"party", "parties", "affiliation", "affiliated"}},
+          {"votes", {"votes", "vote", "voted", "ballots", "elected",
+                     "election"}},
+          {"incumbent", {"incumbent", "incumbents", "sitting",
+                         "officeholder"}},
+          // --- basketball (transfer) ------------------------------------
+          {"basketball_position", {"position", "guard", "forward", "center",
+                                   "played", "plays"}},
+          {"rebounds", {"rebounds", "rebound", "boards"}},
+          {"toronto", {"years_in_toronto", "toronto", "tenure", "stint"}},
+          // --- calendar (transfer) --------------------------------------
+          {"meeting", {"meeting", "meetings", "appointment", "event",
+                       "session"}},
+          {"attendee", {"attendee", "attendees", "attended", "attending",
+                        "invitee", "participant"}},
+          // --- housing (transfer) ---------------------------------------
+          {"housing", {"housing", "house", "home", "apartment", "unit",
+                       "listing", "address", "property"}},
+          {"price", {"price", "prices", "cost", "costs", "rent", "priced",
+                     "soar", "dive", "expensive", "cheap"}},
+          {"bedrooms", {"bedrooms", "bedroom", "rooms", "beds"}},
+          {"neighborhood", {"neighborhood", "neighbourhood", "located",
+                            "area"}},
+          // --- recipes (transfer) ---------------------------------------
+          {"recipe", {"recipe", "recipes", "dish", "dishes", "meal"}},
+          {"ingredient", {"ingredient", "ingredients", "contains",
+                          "made", "uses"}},
+          {"cuisine", {"cuisine", "cuisines", "style", "cooking",
+                       "culinary"}},
+          {"cooking_time", {"cooking_time", "cook", "cooked", "preparation",
+                            "prepare", "minutes"}},
+          // --- restaurants (transfer) -----------------------------------
+          {"restaurant", {"restaurant", "restaurants", "eatery", "diner",
+                          "cafe", "bistro"}},
+          {"rating", {"rating", "ratings", "rated", "stars", "reviews"}},
+          // --- patients (ParaphraseBench) -------------------------------
+          {"patient", {"patient", "patients", "admitted", "case"}},
+          {"age", {"age", "old", "older", "young", "aged"}},
+          {"diagnosis", {"diagnosis", "diagnosed", "disease", "condition",
+                         "suffering", "illness"}},
+          {"doctor", {"doctor", "physician", "treated", "treating",
+                      "doctors"}},
+          {"stay", {"length_of_stay", "stay", "stayed", "hospitalized",
+                    "discharge"}},
+          // --- books domain ---------------------------------------------
+          {"book", {"book", "books", "novel", "title", "titles"}},
+          {"author", {"author", "authors", "writer", "written", "wrote",
+                      "authored"}},
+          {"publisher", {"publisher", "published", "publishes",
+                         "publishing"}},
+          {"genre", {"genre", "genres", "category", "kind"}},
+          {"pages", {"pages", "page", "length"}},
+          // --- aviation domain ------------------------------------------
+          {"airline", {"airline", "airlines", "carrier", "flown"}},
+          {"destination", {"destination", "airport", "bound", "flying",
+                           "arrives"}},
+          {"departure", {"departure", "departure_date", "departing",
+                         "leaves", "leaving", "depart"}},
+          {"passengers", {"passengers", "passenger", "seats", "seat"}},
+          // --- companies domain -----------------------------------------
+          {"company", {"company", "companies", "firm", "firms",
+                       "business"}},
+          {"industry", {"industry", "industries", "sector", "sectors"}},
+          {"ceo", {"ceo", "chief", "executive", "led", "run", "leads"}},
+          {"revenue", {"revenue", "revenues", "sales", "turnover",
+                       "earnings"}},
+          {"employees", {"employees", "employee", "staff", "headcount",
+                         "workforce"}},
+          {"founded", {"founded", "established", "founding", "started"}},
+          // --- aggregates / comparatives --------------------------------
+          {"maximum", {"maximum", "most", "highest", "largest", "biggest",
+                       "max", "greatest", "top"}},
+          {"minimum", {"minimum", "least", "lowest", "smallest", "min",
+                       "fewest", "bottom"}},
+          {"average", {"average", "mean", "avg", "typical"}},
+      };
+  return *kLexicon;
+}
+
+}  // namespace text
+}  // namespace nlidb

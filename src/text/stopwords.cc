@@ -1,0 +1,26 @@
+#include "text/stopwords.h"
+
+#include <unordered_set>
+
+namespace nlidb {
+namespace text {
+
+bool IsStopWord(const std::string& word) {
+  static const std::unordered_set<std::string>* kStopWords =
+      new std::unordered_set<std::string>{
+          "a",     "an",    "the",   "of",    "in",    "on",    "at",
+          "by",    "for",   "to",    "with",  "from",  "as",    "is",
+          "are",   "was",   "were",  "be",    "been",  "did",   "do",
+          "does",  "has",   "have",  "had",   "who",   "whom",  "what",
+          "which", "when",  "where", "whats", "how",   "why",   "whose",
+          "many",  "much",  "and",   "or",    "not",   "no",    "that",
+          "more",  "less",  "fewer", "greater", "than", "over", "under",
+          "this",  "these", "those", "there", "their", "they",  "it",
+          "its",   "?",     ",",     ".",     "!",     "\"",    ";",
+          ":",     "(",     ")",     "'",     "s",
+      };
+  return kStopWords->count(word) > 0;
+}
+
+}  // namespace text
+}  // namespace nlidb

@@ -1,0 +1,18 @@
+#ifndef NLIDB_TEXT_STOPWORDS_H_
+#define NLIDB_TEXT_STOPWORDS_H_
+
+#include <string>
+
+namespace nlidb {
+namespace text {
+
+/// True for function words (determiners, prepositions, auxiliaries,
+/// question words, punctuation). The value detector only considers spans
+/// containing no stop words (paper Sec. IV-D: a value is "a short
+/// multi-word entity" free of stop words).
+bool IsStopWord(const std::string& word);
+
+}  // namespace text
+}  // namespace nlidb
+
+#endif  // NLIDB_TEXT_STOPWORDS_H_

@@ -1,0 +1,61 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace nlidb {
+namespace text {
+
+std::vector<std::string> Tokenize(std::string_view question) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&]() {
+    if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+  };
+  for (char raw : question) {
+    const char c = static_cast<char>(std::tolower(static_cast<unsigned char>(raw)));
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '.') {
+      // '.' participates in decimals; a bare trailing '.' is stripped below.
+      current += c;
+    } else if (c == '\'') {
+      continue;  // drop apostrophes: "what's" -> "whats"
+    } else if (std::isspace(static_cast<unsigned char>(c))) {
+      flush();
+    } else {
+      flush();
+      tokens.push_back(std::string(1, c));
+    }
+  }
+  flush();
+  // Strip sentence-final periods that glued onto words ("city." -> "city").
+  for (auto& t : tokens) {
+    while (t.size() > 1 && t.back() == '.' && !LooksNumeric(t)) {
+      t.pop_back();
+    }
+  }
+  return tokens;
+}
+
+std::string Detokenize(const std::vector<std::string>& tokens) {
+  return Join(tokens, " ");
+}
+
+std::string SpanText(const std::vector<std::string>& tokens, const Span& span) {
+  NLIDB_CHECK(span.begin >= 0 && span.end <= static_cast<int>(tokens.size()) &&
+              span.begin <= span.end)
+      << "SpanText out of range";
+  std::string out;
+  for (int i = span.begin; i < span.end; ++i) {
+    if (i > span.begin) out += ' ';
+    out += tokens[i];
+  }
+  return out;
+}
+
+}  // namespace text
+}  // namespace nlidb

@@ -1,0 +1,43 @@
+#ifndef NLIDB_TEXT_TOKENIZER_H_
+#define NLIDB_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nlidb {
+namespace text {
+
+/// Splits natural-language text into lowercase word tokens.
+///
+/// Punctuation characters become their own tokens (the paper's question
+/// examples keep the trailing "?"), hyphens inside words are preserved
+/// ("2006-07"), and apostrophes are dropped ("what's" -> "whats").
+std::vector<std::string> Tokenize(std::string_view question);
+
+/// Joins tokens back into display text with single spaces.
+std::string Detokenize(const std::vector<std::string>& tokens);
+
+/// A contiguous token span [begin, end) within a tokenized question.
+struct Span {
+  int begin = 0;
+  int end = 0;  // exclusive
+
+  int length() const { return end - begin; }
+  bool empty() const { return end <= begin; }
+  bool Contains(int index) const { return index >= begin && index < end; }
+  bool Overlaps(const Span& other) const {
+    return begin < other.end && other.begin < end;
+  }
+  friend bool operator==(const Span& a, const Span& b) {
+    return a.begin == b.begin && a.end == b.end;
+  }
+};
+
+/// The tokens covered by `span`, joined with spaces.
+std::string SpanText(const std::vector<std::string>& tokens, const Span& span);
+
+}  // namespace text
+}  // namespace nlidb
+
+#endif  // NLIDB_TEXT_TOKENIZER_H_

@@ -1,0 +1,46 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace nlidb {
+namespace {
+
+TEST(LoggingTest, LevelGateDropsBelowThreshold) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  // These must compile and be cheap no-ops below the threshold; the
+  // streamed expression still type-checks.
+  NLIDB_LOG(Debug) << "dropped " << 42;
+  NLIDB_LOG(Info) << "dropped " << 3.14;
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, SetGetRoundTrip) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kWarning);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, CheckPassesOnTrueCondition) {
+  NLIDB_CHECK(1 + 1 == 2) << "never shown";
+  SUCCEED();
+}
+
+TEST(LoggingDeathTest, CheckAbortsOnFalseCondition) {
+  EXPECT_DEATH({ NLIDB_CHECK(false) << "boom"; }, "Check failed");
+}
+
+TEST(LoggingDeathTest, FatalLogAborts) {
+  EXPECT_DEATH(
+      {
+        internal_logging::LogMessage(LogLevel::kFatal, "f.cc", 1).stream()
+            << "fatal";
+      },
+      "fatal");
+}
+
+}  // namespace
+}  // namespace nlidb

@@ -1,0 +1,75 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace nlidb {
+namespace {
+
+TEST(StringsTest, SplitBasic) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "c"}));
+  EXPECT_EQ(Split("a,,c", ',', /*keep_empty=*/true),
+            (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_TRUE(Split("", ',').empty());
+}
+
+TEST(StringsTest, SplitTrailingSeparator) {
+  EXPECT_EQ(Split("a,b,", ',', true), (std::vector<std::string>{"a", "b", ""}));
+}
+
+TEST(StringsTest, SplitWhitespaceCollapsesRuns) {
+  EXPECT_EQ(SplitWhitespace("  foo \t bar\nbaz "),
+            (std::vector<std::string>{"foo", "bar", "baz"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+}
+
+TEST(StringsTest, JoinRoundTripsSplit) {
+  const std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ", "), "x, y, z");
+  EXPECT_EQ(Split(Join(parts, "|"), '|'), parts);
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringsTest, Strip) {
+  EXPECT_EQ(Strip("  hi  "), "hi");
+  EXPECT_EQ(Strip("hi"), "hi");
+  EXPECT_EQ(Strip("   "), "");
+}
+
+TEST(StringsTest, ToLower) {
+  EXPECT_EQ(ToLower("MiXeD 42!"), "mixed 42!");
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("prefix_rest", "prefix"));
+  EXPECT_FALSE(StartsWith("pre", "prefix"));
+  EXPECT_TRUE(EndsWith("file.txt", ".txt"));
+  EXPECT_FALSE(EndsWith("txt", ".txt"));
+}
+
+TEST(StringsTest, LooksNumeric) {
+  EXPECT_TRUE(LooksNumeric("42"));
+  EXPECT_TRUE(LooksNumeric("-3.5"));
+  EXPECT_TRUE(LooksNumeric("0.25"));
+  EXPECT_FALSE(LooksNumeric("3.5.1"));
+  EXPECT_FALSE(LooksNumeric("12a"));
+  EXPECT_FALSE(LooksNumeric("2006-07"));
+  EXPECT_FALSE(LooksNumeric(""));
+  EXPECT_FALSE(LooksNumeric("-"));
+  EXPECT_FALSE(LooksNumeric("."));
+}
+
+TEST(StringsTest, ReplaceAll) {
+  EXPECT_EQ(ReplaceAll("a_b_c", "_", " "), "a b c");
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");  // non-overlapping greedy
+  EXPECT_EQ(ReplaceAll("none", "x", "y"), "none");
+}
+
+TEST(StringsTest, Fnv1aHashStableAndSpread) {
+  EXPECT_EQ(Fnv1aHash("director"), Fnv1aHash("director"));
+  EXPECT_NE(Fnv1aHash("director"), Fnv1aHash("directos"));
+  EXPECT_NE(Fnv1aHash(""), Fnv1aHash(" "));
+}
+
+}  // namespace
+}  // namespace nlidb

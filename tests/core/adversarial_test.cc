@@ -1,0 +1,117 @@
+#include "core/adversarial.h"
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "data/generator.h"
+
+namespace nlidb {
+namespace core {
+namespace {
+
+TEST(AdversarialTest, InfluenceProfileShapes) {
+  text::EmbeddingProvider provider(24);
+  ModelConfig config = ModelConfig::Tiny();
+  config.word_dim = 24;
+  ColumnMentionClassifier clf(config, provider);
+  clf.AddVocabulary({"who", "won", "driver"});
+  AdversarialLocator locator(config);
+  InfluenceProfile profile =
+      locator.ComputeInfluence(clf, {"who", "won", "?"}, {"driver"});
+  EXPECT_EQ(profile.total.size(), 3u);
+  EXPECT_EQ(profile.word_level.size(), 3u);
+  EXPECT_EQ(profile.char_level.size(), 3u);
+  for (float v : profile.total) EXPECT_GE(v, 0.0f);
+}
+
+TEST(AdversarialTest, AlphaBetaWeighting) {
+  text::EmbeddingProvider provider(24);
+  ModelConfig config = ModelConfig::Tiny();
+  config.word_dim = 24;
+  config.influence_alpha = 1.0f;
+  config.influence_beta = 0.0f;
+  ColumnMentionClassifier clf(config, provider);
+  clf.AddVocabulary({"a", "b", "c"});
+  AdversarialLocator locator(config);
+  InfluenceProfile p = locator.ComputeInfluence(clf, {"a", "b"}, {"c"});
+  // With beta = 0, total must equal the word-level norm exactly.
+  for (size_t i = 0; i < p.total.size(); ++i) {
+    EXPECT_FLOAT_EQ(p.total[i], p.word_level[i]);
+  }
+}
+
+TEST(AdversarialTest, LocateSpanPicksPeak) {
+  ModelConfig config;
+  config.max_mention_length = 3;
+  AdversarialLocator locator(config);
+  InfluenceProfile profile;
+  profile.total = {0.1f, 0.1f, 5.0f, 4.0f, 0.1f, 0.1f};
+  text::Span span = locator.LocateSpan(profile);
+  EXPECT_TRUE(span.Contains(2));
+  EXPECT_TRUE(span.Contains(3));
+  EXPECT_LE(span.length(), 3);
+}
+
+TEST(AdversarialTest, LocateSpanRespectsMaxLength) {
+  ModelConfig config;
+  config.max_mention_length = 2;
+  AdversarialLocator locator(config);
+  InfluenceProfile profile;
+  profile.total = {3.0f, 3.0f, 3.0f, 3.0f};
+  text::Span span = locator.LocateSpan(profile);
+  EXPECT_EQ(span.length(), 2);
+}
+
+TEST(AdversarialTest, LocateSpanSingletonOnIsolatedPeak) {
+  ModelConfig config;
+  AdversarialLocator locator(config);
+  InfluenceProfile profile;
+  profile.total = {0.0f, 10.0f, 0.1f};
+  text::Span span = locator.LocateSpan(profile);
+  EXPECT_EQ(span, (text::Span{1, 2}));
+}
+
+TEST(AdversarialTest, EmptyProfileGivesEmptySpan) {
+  ModelConfig config;
+  AdversarialLocator locator(config);
+  EXPECT_TRUE(locator.LocateSpan(InfluenceProfile{}).empty());
+}
+
+TEST(AdversarialTest, TrainedClassifierLocalizesExplicitMentions) {
+  // Fig. 5 / Fig. 7 behaviour: after training, the influence peak for a
+  // column should coincide with (or overlap) the gold mention span in a
+  // clear majority of explicit-mention cases.
+  auto provider = std::make_shared<text::EmbeddingProvider>(32);
+  data::RegisterDomainClusters(*provider);
+  data::GeneratorConfig gc;
+  gc.num_tables = 12;
+  gc.questions_per_table = 6;
+  gc.seed = 5;
+  data::Splits splits = data::GenerateWikiSqlSplits(gc);
+  ModelConfig config = ModelConfig::Tiny();
+  config.word_dim = 32;
+  config.classifier_epochs = 3;
+  ColumnMentionClassifier clf(config, *provider);
+  TrainColumnMentionClassifier(clf, splits.train, config);
+  AdversarialLocator locator(config);
+  int overlapping = 0, total = 0;
+  for (const data::Example& ex : splits.dev.examples) {
+    for (const data::MentionInfo& m : ex.where_mentions) {
+      if (!m.column_explicit || m.column_span.empty()) continue;
+      const text::Span located = locator.LocateMention(
+          clf, ex.tokens, ex.schema().column(m.column).DisplayTokens());
+      ++total;
+      // Count as localized when the located span overlaps the gold
+      // column mention or the paired value (implicit localization).
+      overlapping += located.Overlaps(m.column_span) ||
+                     located.Overlaps(m.value_span);
+    }
+    if (total >= 40) break;
+  }
+  ASSERT_GT(total, 5);
+  EXPECT_GT(static_cast<float>(overlapping) / total, 0.5f);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace nlidb

@@ -1,0 +1,197 @@
+#include "core/annotation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "core/trainer.h"
+#include "data/generator.h"
+#include "sql/query.h"
+
+namespace nlidb {
+namespace core {
+namespace {
+
+sql::Schema FilmSchema() {
+  return sql::Schema({{"film_name", sql::DataType::kText},
+                      {"director", sql::DataType::kText},
+                      {"actor", sql::DataType::kText},
+                      {"year", sql::DataType::kReal}});
+}
+
+/// The Fig. 1(c) example annotation.
+Annotation FilmAnnotation() {
+  Annotation ann;
+  // "which film directed by jerzy antczak did piotr adamczyk star in ?"
+  //   0     1    2        3  4     5       6   7     8        9   10 11
+  MentionPair film;
+  film.column = 0;
+  film.column_span = {1, 2};
+  MentionPair director;
+  director.column = 1;
+  director.column_span = {2, 4};
+  director.value_span = {4, 6};
+  director.value_text = "jerzy antczak";
+  MentionPair actor;
+  actor.column = 2;
+  actor.column_span = {9, 10};
+  actor.value_span = {7, 9};
+  actor.value_text = "piotr adamczyk";
+  ann.pairs = {film, director, actor};
+  return ann;
+}
+
+std::vector<std::string> FilmTokens() {
+  return {"which", "film", "directed", "by",   "jerzy", "antczak",
+          "did",   "piotr", "adamczyk", "star", "in",    "?"};
+}
+
+TEST(SymbolTest, IsAnnotationSymbol) {
+  EXPECT_TRUE(IsAnnotationSymbol("c1"));
+  EXPECT_TRUE(IsAnnotationSymbol("v12"));
+  EXPECT_TRUE(IsAnnotationSymbol("g3"));
+  EXPECT_FALSE(IsAnnotationSymbol("c"));
+  EXPECT_FALSE(IsAnnotationSymbol("c0"));
+  EXPECT_FALSE(IsAnnotationSymbol("cx"));
+  EXPECT_FALSE(IsAnnotationSymbol("x1"));
+  EXPECT_FALSE(IsAnnotationSymbol("county"));
+}
+
+TEST(AnnotationTest, PairForColumn) {
+  Annotation ann = FilmAnnotation();
+  EXPECT_EQ(ann.PairForColumn(1), 1);
+  EXPECT_EQ(ann.PairForColumn(3), -1);
+}
+
+TEST(AnnotatedQuestionTest, ColumnNameAppendingKeepsWords) {
+  AnnotationOptions options;
+  options.column_name_appending = true;
+  options.table_header_encoding = false;
+  auto qa = BuildAnnotatedQuestion(FilmTokens(), FilmAnnotation(),
+                                   FilmSchema(), options);
+  EXPECT_EQ(Join(qa, " "),
+            "which c1 film c2 directed by v2 jerzy antczak did v3 piotr "
+            "adamczyk c3 star in ?");
+}
+
+TEST(AnnotatedQuestionTest, SymbolSubstitutionDropsWords) {
+  AnnotationOptions options;
+  options.column_name_appending = false;
+  options.table_header_encoding = false;
+  auto qa = BuildAnnotatedQuestion(FilmTokens(), FilmAnnotation(),
+                                   FilmSchema(), options);
+  EXPECT_EQ(Join(qa, " "), "which c1 c2 v2 did v3 c3 in ?");
+}
+
+TEST(AnnotatedQuestionTest, HeaderEncodingAppendsAllColumns) {
+  AnnotationOptions options;
+  options.table_header_encoding = true;
+  auto qa = BuildAnnotatedQuestion(FilmTokens(), FilmAnnotation(),
+                                   FilmSchema(), options);
+  const std::string joined = Join(qa, " ");
+  EXPECT_NE(joined.find("g1 film name"), std::string::npos);
+  EXPECT_NE(joined.find("g2 director"), std::string::npos);
+  EXPECT_NE(joined.find("g4 year"), std::string::npos);
+}
+
+TEST(AnnotatedSqlTest, SymbolsForAnnotatedColumnsAndValues) {
+  sql::SelectQuery query;
+  query.select_column = 0;
+  query.conditions.push_back({1, sql::CondOp::kEq, sql::Value::Text("jerzy antczak")});
+  query.conditions.push_back({2, sql::CondOp::kEq, sql::Value::Text("piotr adamczyk")});
+  AnnotationOptions options;
+  auto sa = BuildAnnotatedSql(query, FilmAnnotation(), FilmSchema(), options);
+  EXPECT_EQ(Join(sa, " "), "SELECT c1 WHERE c2 = v2 AND c3 = v3");
+}
+
+TEST(AnnotatedSqlTest, UnannotatedColumnUsesHeaderSymbol) {
+  sql::SelectQuery query;
+  query.select_column = 3;  // year: not in the annotation
+  AnnotationOptions options;
+  options.table_header_encoding = true;
+  auto sa = BuildAnnotatedSql(query, FilmAnnotation(), FilmSchema(), options);
+  EXPECT_EQ(Join(sa, " "), "SELECT g4");
+  options.table_header_encoding = false;
+  sa = BuildAnnotatedSql(query, FilmAnnotation(), FilmSchema(), options);
+  EXPECT_EQ(Join(sa, " "), "SELECT year");
+}
+
+TEST(AnnotatedSqlTest, MissingValueGoesLiteral) {
+  sql::SelectQuery query;
+  query.select_column = 0;
+  query.conditions.push_back({3, sql::CondOp::kGt, sql::Value::Real(1999)});
+  AnnotationOptions options;
+  auto sa = BuildAnnotatedSql(query, FilmAnnotation(), FilmSchema(), options);
+  EXPECT_EQ(Join(sa, " "), "SELECT c1 WHERE g4 > 1999");
+}
+
+TEST(RecoverSqlTest, RecoverFigureOneExample) {
+  auto recovered = RecoverSql({"SELECT", "c1", "WHERE", "c2", "=", "v2",
+                               "AND", "c3", "=", "v3"},
+                              FilmAnnotation(), FilmSchema());
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(recovered->select_column, 0);
+  ASSERT_EQ(recovered->conditions.size(), 2u);
+  EXPECT_EQ(recovered->conditions[0].column, 1);
+  EXPECT_EQ(recovered->conditions[0].value.text(), "jerzy antczak");
+  EXPECT_EQ(recovered->conditions[1].column, 2);
+}
+
+TEST(RecoverSqlTest, HandlesHeaderSymbolsAndLiterals) {
+  auto recovered = RecoverSql(
+      {"SELECT", "MAX", "g4", "WHERE", "director", "=", "jerzy", "antczak"},
+      FilmAnnotation(), FilmSchema());
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(recovered->agg, sql::Aggregate::kMax);
+  EXPECT_EQ(recovered->select_column, 3);
+  EXPECT_EQ(recovered->conditions[0].value.text(), "jerzy antczak");
+}
+
+TEST(RecoverSqlTest, NumericLiteralTypedByColumn) {
+  auto recovered = RecoverSql({"SELECT", "c1", "WHERE", "g4", "<", "1984"},
+                              FilmAnnotation(), FilmSchema());
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(recovered->conditions[0].value.is_real());
+  EXPECT_EQ(recovered->conditions[0].value.number(), 1984);
+}
+
+TEST(RecoverSqlTest, ErrorsOnDanglingSymbols) {
+  EXPECT_FALSE(RecoverSql({"SELECT", "c9"}, FilmAnnotation(), FilmSchema()).ok());
+  EXPECT_FALSE(RecoverSql({"SELECT", "g9"}, FilmAnnotation(), FilmSchema()).ok());
+  EXPECT_FALSE(
+      RecoverSql({"SELECT", "c1", "WHERE", "c2", "=", "v9"}, FilmAnnotation(),
+                 FilmSchema())
+          .ok());
+  EXPECT_FALSE(RecoverSql({"WHERE"}, FilmAnnotation(), FilmSchema()).ok());
+  EXPECT_FALSE(RecoverSql({}, FilmAnnotation(), FilmSchema()).ok());
+}
+
+// Property: for generated examples, rendering the gold query under the
+// gold annotation and recovering it yields the gold query back.
+class AnnotationRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AnnotationRoundTripTest, BuildThenRecoverIsIdentity) {
+  data::GeneratorConfig config;
+  config.num_tables = 6;
+  config.questions_per_table = 5;
+  config.seed = GetParam();
+  data::WikiSqlGenerator gen(config, data::TrainDomains());
+  data::Dataset ds = gen.Generate();
+  AnnotationOptions options;
+  for (const data::Example& ex : ds.examples) {
+    const Annotation gold = GoldAnnotation(ex);
+    const auto sa = BuildAnnotatedSql(ex.query, gold, ex.schema(), options);
+    auto recovered = RecoverSql(sa, gold, ex.schema());
+    ASSERT_TRUE(recovered.ok())
+        << recovered.status() << " for " << ex.question;
+    EXPECT_EQ(sql::CanonicalSql(*recovered, ex.schema()),
+              sql::CanonicalSql(ex.query, ex.schema()))
+        << ex.question;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnnotationRoundTripTest,
+                         ::testing::Values(1, 17, 42, 1234));
+
+}  // namespace
+}  // namespace core
+}  // namespace nlidb

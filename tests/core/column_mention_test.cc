@@ -1,0 +1,108 @@
+#include "core/column_mention_classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.h"
+#include "data/generator.h"
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace nlidb {
+namespace core {
+namespace {
+
+ModelConfig TinyConfig(int word_dim) {
+  ModelConfig c = ModelConfig::Tiny();
+  c.word_dim = word_dim;
+  return c;
+}
+
+TEST(ColumnMentionClassifierTest, ForwardShapes) {
+  text::EmbeddingProvider provider(24);
+  ColumnMentionClassifier clf(TinyConfig(24), provider);
+  clf.AddVocabulary({"who", "won", "the", "race", "winning", "driver"});
+  auto fr = clf.Forward({"who", "won", "the", "race"}, {"winning", "driver"});
+  EXPECT_EQ(fr.logit->value.rows(), 1);
+  EXPECT_EQ(fr.logit->value.cols(), 1);
+  EXPECT_EQ(fr.question_word_embeddings->value.rows(), 4);
+  EXPECT_EQ(fr.question_char_embeddings.size(), 4u);
+}
+
+TEST(ColumnMentionClassifierTest, PredictIsProbability) {
+  text::EmbeddingProvider provider(24);
+  ColumnMentionClassifier clf(TinyConfig(24), provider);
+  clf.AddVocabulary({"a", "b"});
+  const float p = clf.Predict({"a", "b"}, {"b"});
+  EXPECT_GT(p, 0.0f);
+  EXPECT_LT(p, 1.0f);
+}
+
+TEST(ColumnMentionClassifierTest, HandlesLongColumnNamesByCapping) {
+  text::EmbeddingProvider provider(24);
+  ModelConfig config = TinyConfig(24);
+  config.max_column_words = 2;
+  ColumnMentionClassifier clf(config, provider);
+  clf.AddVocabulary({"x"});
+  // Column longer than max_column_words must not crash.
+  const float p = clf.Predict({"x"}, {"a", "b", "c", "d", "e"});
+  EXPECT_GT(p, 0.0f);
+  EXPECT_LT(p, 1.0f);
+}
+
+TEST(ColumnMentionClassifierTest, UnseenWordsFallBackToUnk) {
+  text::EmbeddingProvider provider(24);
+  ColumnMentionClassifier clf(TinyConfig(24), provider);
+  clf.AddVocabulary({"known"});
+  const float p = clf.Predict({"totally", "novel", "words"}, {"known"});
+  EXPECT_GT(p, 0.0f);
+  EXPECT_LT(p, 1.0f);
+}
+
+TEST(ColumnMentionClassifierTest, LearnsMentionDetectionOnCorpus) {
+  auto provider = std::make_shared<text::EmbeddingProvider>(48);
+  data::RegisterDomainClusters(*provider);
+  data::GeneratorConfig gc;
+  gc.num_tables = 22;
+  gc.questions_per_table = 6;
+  gc.seed = 21;
+  data::Splits splits = data::GenerateWikiSqlSplits(gc);
+  ModelConfig config = TinyConfig(48);
+  config.classifier_epochs = 3;
+  ColumnMentionClassifier clf(config, *provider);
+  const float loss =
+      TrainColumnMentionClassifier(clf, splits.train, config);
+  EXPECT_LT(loss, 0.35f) << "classifier failed to fit training corpus";
+
+  // Accuracy on unseen tables must beat chance comfortably.
+  int correct = 0, total = 0;
+  for (const data::Example& ex : splits.test.examples) {
+    std::vector<bool> referenced(ex.schema().num_columns(), false);
+    referenced[ex.query.select_column] = true;
+    for (const auto& c : ex.query.conditions) referenced[c.column] = true;
+    for (int c = 0; c < ex.schema().num_columns(); ++c) {
+      const float p =
+          clf.Predict(ex.tokens, ex.schema().column(c).DisplayTokens());
+      correct += (p > 0.5f) == referenced[c];
+      ++total;
+    }
+  }
+  EXPECT_GT(static_cast<float>(correct) / total, 0.62f);
+}
+
+TEST(ColumnMentionClassifierTest, GradientsReachEmbeddingLookups) {
+  text::EmbeddingProvider provider(24);
+  ColumnMentionClassifier clf(TinyConfig(24), provider);
+  clf.AddVocabulary({"which", "film", "director"});
+  auto fr = clf.Forward({"which", "film"}, {"director"});
+  Var loss = ops::BceWithLogits(fr.logit, 1.0f);
+  Backward(loss);
+  EXPECT_FALSE(fr.question_word_embeddings->grad.empty());
+  EXPECT_GT(fr.question_word_embeddings->grad.Norm2(), 0.0f);
+  for (const auto& ch : fr.question_char_embeddings) {
+    EXPECT_FALSE(ch->grad.empty());
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace nlidb

@@ -1,0 +1,55 @@
+#include "core/config.h"
+
+#include <gtest/gtest.h>
+
+namespace nlidb {
+namespace core {
+namespace {
+
+TEST(ConfigTest, SmallIsTheDefault) {
+  ModelConfig d;
+  ModelConfig s = ModelConfig::Small();
+  EXPECT_EQ(d.word_dim, s.word_dim);
+  EXPECT_EQ(d.seq2seq_hidden, s.seq2seq_hidden);
+  EXPECT_EQ(d.beam_width, s.beam_width);
+}
+
+TEST(ConfigTest, TinyIsSmallerThanSmall) {
+  ModelConfig t = ModelConfig::Tiny();
+  ModelConfig s = ModelConfig::Small();
+  EXPECT_LT(t.word_dim, s.word_dim);
+  EXPECT_LT(t.classifier_hidden, s.classifier_hidden);
+  EXPECT_LE(t.seq2seq_hidden, s.seq2seq_hidden);
+}
+
+TEST(ConfigTest, PaperMatchesSectionSevenA2) {
+  ModelConfig p = ModelConfig::Paper();
+  EXPECT_EQ(p.word_dim, 300);             // GloVe D = 300
+  EXPECT_EQ(p.seq2seq_hidden, 400);       // GRU hidden 400 / decoder 800
+  EXPECT_EQ(p.beam_width, 5);             // beam search width 5
+  EXPECT_FLOAT_EQ(p.grad_clip, 5.0f);     // gradient clipping 5.0
+  EXPECT_EQ(p.char_widths,
+            (std::vector<int>{3, 4, 5, 6, 7}));  // conv widths (Fig. 4)
+}
+
+TEST(ConfigTest, PaperTogglesMatchFullModel) {
+  ModelConfig p = ModelConfig::Paper();
+  EXPECT_TRUE(p.use_copy_mechanism);
+  EXPECT_TRUE(p.column_name_appending);
+  EXPECT_TRUE(p.table_header_encoding);
+  EXPECT_TRUE(p.use_dependency_resolution);
+}
+
+TEST(ConfigTest, InfluenceDefaultsMatchExperiments) {
+  // Sec. VII-A1 uses l2-norm with alpha = 1 (word); the library default
+  // also enables the char level (beta) as Figs. 5/7 plot both.
+  ModelConfig s = ModelConfig::Small();
+  EXPECT_FLOAT_EQ(s.influence_norm_p, 2.0f);
+  EXPECT_FLOAT_EQ(s.influence_alpha, 1.0f);
+  EXPECT_GE(s.influence_beta, 0.0f);
+  EXPECT_GE(s.max_mention_length, 3);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace nlidb

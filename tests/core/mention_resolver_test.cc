@@ -1,0 +1,120 @@
+#include "core/mention_resolver.h"
+
+#include <gtest/gtest.h>
+
+#include "text/tokenizer.h"
+
+namespace nlidb {
+namespace core {
+namespace {
+
+ValueDetector::Detection MakeDetection(
+    text::Span span, std::vector<std::pair<int, float>> scores) {
+  ValueDetector::Detection det;
+  det.span = span;
+  det.column_scores = std::move(scores);
+  return det;
+}
+
+TEST(MentionResolverTest, PairsValueWithStructurallyClosestColumn) {
+  // The paper's Sec. IV-E example: both names could be director or actor;
+  // the dependency tree disambiguates.
+  const auto tokens = text::Tokenize(
+      "which film directed by jerzy antczak did piotr adamczyk star in ?");
+  // indices: which0 film1 directed2 by3 jerzy4 antczak5 did6 piotr7
+  //          adamczyk8 star9 in10 ?11
+  std::vector<ColumnMentionCandidate> columns = {
+      {0, {1, 2}, 1.0f},   // film_name <- "film"
+      {1, {2, 4}, 1.0f},   // director <- "directed by"
+      {2, {9, 11}, 1.0f},  // actor <- "star in"
+  };
+  std::vector<ValueDetector::Detection> values = {
+      MakeDetection({4, 6}, {{1, 0.8f}, {2, 0.8f}}),  // jerzy antczak
+      MakeDetection({7, 9}, {{1, 0.8f}, {2, 0.8f}}),  // piotr adamczyk
+  };
+  MentionResolver resolver;
+  Annotation ann = resolver.Resolve(tokens, columns, values);
+  ASSERT_EQ(ann.pairs.size(), 3u);
+  // Find pairs by column.
+  const int director_pair = ann.PairForColumn(1);
+  const int actor_pair = ann.PairForColumn(2);
+  ASSERT_GE(director_pair, 0);
+  ASSERT_GE(actor_pair, 0);
+  EXPECT_EQ(ann.pairs[director_pair].value_text, "jerzy antczak");
+  EXPECT_EQ(ann.pairs[actor_pair].value_text, "piotr adamczyk");
+}
+
+TEST(MentionResolverTest, PairsOrderedByAppearance) {
+  const auto tokens = text::Tokenize("what is the points won by sofia garcia ?");
+  std::vector<ColumnMentionCandidate> columns = {
+      {2, {6, 7}, 1.0f},  // a later mention
+      {0, {3, 4}, 1.0f},  // an earlier mention
+  };
+  MentionResolver resolver;
+  Annotation ann = resolver.Resolve(tokens, columns, {});
+  ASSERT_EQ(ann.pairs.size(), 2u);
+  EXPECT_EQ(ann.pairs[0].column, 0);
+  EXPECT_EQ(ann.pairs[1].column, 2);
+}
+
+TEST(MentionResolverTest, ImplicitColumnPairCreatedFromValue) {
+  const auto tokens = text::Tokenize("how many people live in mayo ?");
+  std::vector<ColumnMentionCandidate> columns;  // nothing explicit
+  std::vector<ValueDetector::Detection> values = {
+      MakeDetection({5, 6}, {{0, 0.9f}}),  // mayo -> county column
+  };
+  MentionResolver resolver;
+  Annotation ann = resolver.Resolve(tokens, columns, values);
+  ASSERT_EQ(ann.pairs.size(), 1u);
+  EXPECT_EQ(ann.pairs[0].column, 0);
+  EXPECT_TRUE(ann.pairs[0].column_span.empty());
+  EXPECT_EQ(ann.pairs[0].value_text, "mayo");
+}
+
+TEST(MentionResolverTest, OverlappingValueSpansPreferLonger) {
+  const auto tokens = text::Tokenize("at the monaco grand prix today ?");
+  std::vector<ValueDetector::Detection> values = {
+      MakeDetection({2, 3}, {{0, 0.99f}}),  // "monaco"
+      MakeDetection({2, 5}, {{0, 0.8f}}),   // "monaco grand prix"
+  };
+  MentionResolver resolver;
+  Annotation ann = resolver.Resolve(tokens, {}, values);
+  ASSERT_EQ(ann.pairs.size(), 1u);
+  EXPECT_EQ(ann.pairs[0].value_text, "monaco grand prix");
+}
+
+TEST(MentionResolverTest, ValueCannotOverlapColumnMention) {
+  const auto tokens = text::Tokenize("with the race monaco grand prix ?");
+  std::vector<ColumnMentionCandidate> columns = {{0, {2, 3}, 1.0f}};
+  std::vector<ValueDetector::Detection> values = {
+      MakeDetection({2, 4}, {{0, 0.9f}}),  // overlaps the column mention
+      MakeDetection({3, 6}, {{0, 0.85f}}),
+  };
+  MentionResolver resolver;
+  Annotation ann = resolver.Resolve(tokens, columns, values);
+  const int pair = ann.PairForColumn(0);
+  ASSERT_GE(pair, 0);
+  EXPECT_EQ(ann.pairs[pair].value_text, "monaco grand prix");
+}
+
+TEST(MentionResolverTest, TwoValuesNeverShareColumn) {
+  const auto tokens = text::Tokenize("alpha beta gamma delta");
+  std::vector<ValueDetector::Detection> values = {
+      MakeDetection({0, 1}, {{0, 0.9f}, {1, 0.6f}}),
+      MakeDetection({2, 3}, {{0, 0.8f}, {1, 0.7f}}),
+  };
+  MentionResolver resolver;
+  Annotation ann = resolver.Resolve(tokens, {}, values);
+  ASSERT_EQ(ann.pairs.size(), 2u);
+  EXPECT_NE(ann.pairs[0].column, ann.pairs[1].column);
+}
+
+TEST(MentionResolverTest, EmptyInputsGiveEmptyAnnotation) {
+  MentionResolver resolver;
+  Annotation ann = resolver.Resolve({"hello"}, {}, {});
+  EXPECT_TRUE(ann.pairs.empty());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace nlidb

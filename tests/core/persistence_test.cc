@@ -1,0 +1,96 @@
+#include "core/persistence.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "data/generator.h"
+#include "eval/metrics.h"
+
+namespace nlidb {
+namespace core {
+namespace {
+
+std::string TempDirFor(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(VocabPersistenceTest, SaveLoadRoundTrip) {
+  text::Vocab vocab;
+  vocab.AddToken("which");
+  vocab.AddToken("film");
+  vocab.AddToken("c1");
+  const std::string path = TempDirFor("vocab.txt");
+  ASSERT_TRUE(SaveVocab(vocab, path).ok());
+  auto tokens = LoadVocabTokens(path);
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ(*tokens, (std::vector<std::string>{"which", "film", "c1"}));
+  std::remove(path.c_str());
+}
+
+TEST(PipelinePersistenceTest, SaveLoadPreservesBehavior) {
+  auto provider = std::make_shared<text::EmbeddingProvider>();
+  data::RegisterDomainClusters(*provider);
+  data::GeneratorConfig gc;
+  gc.num_tables = 10;
+  gc.questions_per_table = 5;
+  gc.seed = 55;
+  data::Splits splits = data::GenerateWikiSqlSplits(gc);
+  ModelConfig config = ModelConfig::Tiny();
+  config.word_dim = provider->dim();
+
+  NlidbPipeline trained(config, provider);
+  trained.Train(splits.train);
+  const std::string dir = TempDirFor("pipeline_save");
+  ASSERT_TRUE(SavePipeline(trained, dir).ok());
+
+  // A fresh, untrained pipeline restored from disk must reproduce the
+  // trained pipeline's predictions exactly.
+  NlidbPipeline restored(config, provider);
+  ASSERT_TRUE(LoadPipeline(restored, dir).ok());
+  int compared = 0;
+  for (const auto& ex : splits.dev.examples) {
+    auto a = trained.TranslateTokens(ex.tokens, *ex.table);
+    auto b = restored.TranslateTokens(ex.tokens, *ex.table);
+    ASSERT_EQ(a.ok(), b.ok());
+    if (a.ok()) {
+      EXPECT_TRUE(*a == *b) << ex.question;
+    }
+    if (++compared >= 8) break;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PipelinePersistenceTest, LoadIntoMismatchedConfigFails) {
+  auto provider = std::make_shared<text::EmbeddingProvider>();
+  data::RegisterDomainClusters(*provider);
+  data::GeneratorConfig gc;
+  gc.num_tables = 4;
+  gc.seed = 56;
+  data::Splits splits = data::GenerateWikiSqlSplits(gc);
+  ModelConfig config = ModelConfig::Tiny();
+  config.word_dim = provider->dim();
+  NlidbPipeline trained(config, provider);
+  trained.Train(splits.train);
+  const std::string dir = TempDirFor("pipeline_mismatch");
+  ASSERT_TRUE(SavePipeline(trained, dir).ok());
+
+  ModelConfig bigger = config;
+  bigger.seq2seq_hidden *= 2;
+  NlidbPipeline other(bigger, provider);
+  Status s = LoadPipeline(other, dir);
+  EXPECT_FALSE(s.ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(PipelinePersistenceTest, MissingDirectoryFails) {
+  auto provider = std::make_shared<text::EmbeddingProvider>();
+  ModelConfig config = ModelConfig::Tiny();
+  config.word_dim = provider->dim();
+  NlidbPipeline pipeline(config, provider);
+  EXPECT_FALSE(LoadPipeline(pipeline, TempDirFor("does_not_exist_xyz")).ok());
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace nlidb

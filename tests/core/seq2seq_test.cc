@@ -1,0 +1,146 @@
+#include "core/seq2seq.h"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace nlidb {
+namespace core {
+namespace {
+
+ModelConfig Config() {
+  ModelConfig c = ModelConfig::Tiny();
+  c.word_dim = 24;
+  c.seq2seq_hidden = 24;
+  c.max_decode_length = 12;
+  return c;
+}
+
+TEST(Seq2SeqTest, VocabularyGrowsAndFreezes) {
+  Seq2SeqTranslator t(Config());
+  t.AddVocabulary({"select", "where", "c1", "v1"});
+  EXPECT_TRUE(t.vocab().Contains("c1"));
+  t.FreezeVocabulary();
+  t.AddVocabulary({"newword"});
+  EXPECT_FALSE(t.vocab().Contains("newword"));
+}
+
+TEST(Seq2SeqTest, LossIsFinitePositive) {
+  Seq2SeqTranslator t(Config());
+  t.AddVocabulary({"a", "b", "c", "x", "y"});
+  Var loss = t.Loss({"a", "b", "c"}, {"x", "y"});
+  EXPECT_EQ(loss->value.size(), 1u);
+  EXPECT_GT(loss->value(0), 0.0f);
+  EXPECT_TRUE(std::isfinite(loss->value(0)));
+}
+
+TEST(Seq2SeqTest, GradientsReachAllParameters) {
+  Seq2SeqTranslator t(Config());
+  t.AddVocabulary({"a", "b", "x"});
+  Var loss = t.Loss({"a", "b"}, {"x"});
+  Backward(loss);
+  int with_grad = 0;
+  for (const auto& p : t.Parameters()) {
+    with_grad += !p->grad.empty() && p->grad.Norm2() > 0.0f;
+  }
+  // Nearly all parameters participate (embedding rows are sparse).
+  EXPECT_GT(with_grad, static_cast<int>(t.Parameters().size()) - 3);
+}
+
+TEST(Seq2SeqTest, LearnsCopyTask) {
+  // Identity translation: the copy mechanism should let the model learn
+  // to reproduce short sequences after a handful of epochs.
+  ModelConfig config = Config();
+  Seq2SeqTranslator t(config);
+  Rng rng(3);
+  const std::vector<std::string> alphabet = {"red",  "blue", "green",
+                                             "gold", "pink", "gray"};
+  t.AddVocabulary(alphabet);
+  nn::Adam opt(t.Parameters(), 5e-3f);
+  for (int step = 0; step < 700; ++step) {
+    std::vector<std::string> seq;
+    const int len = rng.NextInt(1, 4);
+    for (int i = 0; i < len; ++i) seq.push_back(rng.Choice(alphabet));
+    Var loss = t.Loss(seq, seq);
+    opt.ZeroGrad();
+    Backward(loss);
+    nn::ClipGradNorm(opt.params(), 5.0f);
+    opt.Step();
+  }
+  int exact = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::string> seq;
+    const int len = rng.NextInt(1, 4);
+    for (int i = 0; i < len; ++i) seq.push_back(rng.Choice(alphabet));
+    exact += t.TranslateGreedy(seq) == seq;
+  }
+  EXPECT_GE(exact, 15);
+}
+
+TEST(Seq2SeqTest, TranslateTerminates) {
+  Seq2SeqTranslator t(Config());
+  t.AddVocabulary({"a", "b", "c"});
+  auto out = t.Translate({"a", "b", "c"});
+  EXPECT_LE(static_cast<int>(out.size()), Config().max_decode_length);
+}
+
+TEST(Seq2SeqTest, BeamNotWorseThanGreedyOnTrainedModel) {
+  ModelConfig config = Config();
+  config.beam_width = 3;
+  Seq2SeqTranslator t(config);
+  Rng rng(5);
+  const std::vector<std::string> alphabet = {"aa", "bb", "cc"};
+  t.AddVocabulary(alphabet);
+  nn::Adam opt(t.Parameters(), 5e-3f);
+  for (int step = 0; step < 300; ++step) {
+    std::vector<std::string> seq = {rng.Choice(alphabet), rng.Choice(alphabet)};
+    Var loss = t.Loss(seq, seq);
+    opt.ZeroGrad();
+    Backward(loss);
+    opt.Step();
+  }
+  int greedy_ok = 0, beam_ok = 0;
+  for (int trial = 0; trial < 15; ++trial) {
+    std::vector<std::string> seq = {rng.Choice(alphabet), rng.Choice(alphabet)};
+    greedy_ok += t.TranslateGreedy(seq) == seq;
+    beam_ok += t.Translate(seq) == seq;
+  }
+  EXPECT_GE(beam_ok, greedy_ok - 1);
+}
+
+TEST(Seq2SeqTest, CopyDisabledStillDecodes) {
+  ModelConfig config = Config();
+  config.use_copy_mechanism = false;
+  Seq2SeqTranslator t(config);
+  t.AddVocabulary({"a", "b"});
+  Var loss = t.Loss({"a"}, {"b"});
+  EXPECT_TRUE(std::isfinite(loss->value(0)));
+  auto out = t.Translate({"a", "b"});
+  EXPECT_LE(static_cast<int>(out.size()), config.max_decode_length);
+}
+
+TEST(Seq2SeqTest, SymbolEmbeddingsShareTypeHalf) {
+  // c1 and c2 share the type half of their structured embedding; c1 and
+  // v1 share the index half (Sec. VII-A2 representation).
+  ModelConfig config = Config();
+  Seq2SeqTranslator t(config);
+  t.AddVocabulary({"c1", "c2", "v1"});
+  const auto& params = t.Parameters();
+  const Var& table = params[0];  // embedding table is first
+  const int c1 = t.vocab().GetId("c1");
+  const int c2 = t.vocab().GetId("c2");
+  const int v1 = t.vocab().GetId("v1");
+  const int half = config.word_dim / 2;
+  for (int j = 0; j < half; ++j) {
+    EXPECT_FLOAT_EQ(table->value(c1, j), table->value(c2, j));
+  }
+  for (int j = half; j < config.word_dim; ++j) {
+    EXPECT_FLOAT_EQ(table->value(c1, j), table->value(v1, j));
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace nlidb

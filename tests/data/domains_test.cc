@@ -1,0 +1,96 @@
+#include "data/domain.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace nlidb {
+namespace data {
+namespace {
+
+TEST(DomainsTest, PoolsAreNonEmptyAndNamed) {
+  std::set<std::string> names;
+  for (const ValuePool& pool : ValuePools()) {
+    EXPECT_FALSE(pool.name.empty());
+    EXPECT_FALSE(pool.items.empty()) << pool.name;
+    EXPECT_TRUE(names.insert(pool.name).second) << "duplicate " << pool.name;
+  }
+}
+
+TEST(DomainsTest, GetPoolFindsEveryPool) {
+  for (const ValuePool& pool : ValuePools()) {
+    EXPECT_EQ(&GetPool(pool.name), &pool);
+  }
+}
+
+TEST(DomainsTest, TrainDomainsWellFormed) {
+  EXPECT_GE(TrainDomains().size(), 5u);
+  for (const DomainSpec& d : TrainDomains()) {
+    EXPECT_GE(d.columns.size(), 4u) << d.name;
+    std::set<std::string> cols;
+    for (const ColumnSpec& c : d.columns) {
+      EXPECT_TRUE(cols.insert(c.name).second)
+          << "duplicate column " << c.name << " in " << d.name;
+      EXPECT_FALSE(c.mention_phrases.empty()) << c.name;
+      if (c.type == sql::DataType::kText) {
+        EXPECT_FALSE(c.values.compose_pools.empty()) << c.name;
+        for (const auto& pool : c.values.compose_pools) {
+          EXPECT_FALSE(GetPool(pool).items.empty());
+        }
+      } else {
+        EXPECT_LT(c.values.num_lo, c.values.num_hi) << c.name;
+      }
+      for (const auto& tmpl : c.verb_templates) {
+        EXPECT_NE(tmpl.find("{v}"), std::string::npos)
+            << "verb template without {v}: " << tmpl;
+      }
+      for (const auto& tmpl : c.implicit_templates) {
+        EXPECT_NE(tmpl.find("{v}"), std::string::npos);
+        EXPECT_EQ(tmpl.find("{c}"), std::string::npos)
+            << "implicit template mentions the column: " << tmpl;
+      }
+    }
+  }
+}
+
+TEST(DomainsTest, OvernightHasFiveSubdomains) {
+  const auto& domains = OvernightDomains();
+  ASSERT_EQ(domains.size(), 5u);
+  std::set<std::string> names;
+  for (const auto& d : domains) names.insert(d.name);
+  EXPECT_TRUE(names.count("basketball"));
+  EXPECT_TRUE(names.count("calendar"));
+  EXPECT_TRUE(names.count("housing"));
+  EXPECT_TRUE(names.count("recipes"));
+  EXPECT_TRUE(names.count("restaurants"));
+}
+
+TEST(DomainsTest, PatientsDomainForParaphraseBench) {
+  const DomainSpec& d = PatientsDomain();
+  EXPECT_EQ(d.name, "patients");
+  EXPECT_GE(d.columns.size(), 5u);
+}
+
+TEST(DomainsTest, EveryColumnWhWordIsKnown) {
+  const std::set<std::string> known = {"what", "which", "who", "when",
+                                       "where", "how many"};
+  for (const auto* domains : {&TrainDomains(), &OvernightDomains()}) {
+    for (const DomainSpec& d : *domains) {
+      for (const ColumnSpec& c : d.columns) {
+        EXPECT_TRUE(known.count(c.wh_word)) << c.name << ": " << c.wh_word;
+      }
+    }
+  }
+}
+
+TEST(DomainsTest, RegisterDomainClustersIsIdempotent) {
+  text::EmbeddingProvider p(32);
+  RegisterDomainClusters(p);
+  auto v1 = p.Vector("piotr");
+  RegisterDomainClusters(p);
+  EXPECT_EQ(p.Vector("piotr"), v1);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace nlidb

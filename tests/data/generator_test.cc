@@ -1,0 +1,185 @@
+// Property tests over the synthetic corpus generator: every generated
+// example must be internally consistent (spans in range, SQL valid and
+// parseable, annotations pointing at real values).
+
+#include "data/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "sql/executor.h"
+#include "sql/parser.h"
+#include "text/tokenizer.h"
+
+namespace nlidb {
+namespace data {
+namespace {
+
+struct GenCase {
+  uint64_t seed;
+  QuestionStyle style;
+};
+
+class GeneratorPropertyTest : public ::testing::TestWithParam<GenCase> {};
+
+TEST_P(GeneratorPropertyTest, AllInvariantsHold) {
+  GeneratorConfig config;
+  config.num_tables = 8;
+  config.questions_per_table = 6;
+  config.seed = GetParam().seed;
+  config.style = GetParam().style;
+  WikiSqlGenerator gen(config, TrainDomains());
+  Dataset ds = gen.Generate();
+  ASSERT_EQ(ds.tables.size(), 8u);
+  ASSERT_EQ(ds.examples.size(), 48u);
+
+  for (const Example& ex : ds.examples) {
+    const int n = static_cast<int>(ex.tokens.size());
+    ASSERT_GT(n, 0);
+    EXPECT_EQ(ex.tokens.back(), "?");
+    // Question text round-trips its tokens.
+    EXPECT_EQ(SplitWhitespace(ex.question), ex.tokens);
+
+    // Query is well-formed against the schema.
+    const sql::Schema& schema = ex.schema();
+    ASSERT_GE(ex.query.select_column, 0);
+    ASSERT_LT(ex.query.select_column, schema.num_columns());
+    ASSERT_GE(ex.query.conditions.size(), 1u);
+    ASSERT_LE(static_cast<int>(ex.query.conditions.size()),
+              config.max_conditions);
+    for (const auto& cond : ex.query.conditions) {
+      ASSERT_GE(cond.column, 0);
+      ASSERT_LT(cond.column, schema.num_columns());
+      EXPECT_NE(cond.column, ex.query.select_column);
+      // Value type matches column type.
+      EXPECT_EQ(cond.value.type(), schema.column(cond.column).type);
+    }
+
+    // The printed SQL parses back to the same query.
+    auto parsed = sql::ParseSql(sql::ToSql(ex.query, schema), schema);
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    EXPECT_TRUE(*parsed == ex.query);
+
+    // The query executes.
+    EXPECT_TRUE(sql::Execute(ex.query, *ex.table).ok());
+
+    // Mention annotations: one per condition, spans in range, value span
+    // text matches the condition value.
+    ASSERT_EQ(ex.where_mentions.size(), ex.query.conditions.size());
+    for (size_t i = 0; i < ex.where_mentions.size(); ++i) {
+      const MentionInfo& m = ex.where_mentions[i];
+      EXPECT_EQ(m.column, ex.query.conditions[i].column);
+      ASSERT_FALSE(m.value_span.empty());
+      ASSERT_GE(m.value_span.begin, 0);
+      ASSERT_LE(m.value_span.end, n);
+      const std::string span_text = text::SpanText(ex.tokens, m.value_span);
+      EXPECT_EQ(span_text,
+                ToLower(ex.query.conditions[i].value.ToString()));
+      if (m.column_explicit) {
+        ASSERT_FALSE(m.column_span.empty());
+        ASSERT_LE(m.column_span.end, n);
+        EXPECT_FALSE(m.column_span.Overlaps(m.value_span));
+      }
+    }
+    if (!ex.select_mention.empty()) {
+      EXPECT_LE(ex.select_mention.end, n);
+    }
+  }
+}
+
+std::vector<GenCase> GenCases() {
+  std::vector<GenCase> cases;
+  for (uint64_t seed : {1u, 7u, 99u}) {
+    cases.push_back({seed, QuestionStyle::kMixed});
+  }
+  for (QuestionStyle style :
+       {QuestionStyle::kNaive, QuestionStyle::kSyntactic,
+        QuestionStyle::kLexical, QuestionStyle::kMorphological,
+        QuestionStyle::kSemantic, QuestionStyle::kMissing}) {
+    cases.push_back({3u, style});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndStyles, GeneratorPropertyTest, ::testing::ValuesIn(GenCases()),
+    [](const ::testing::TestParamInfo<GenCase>& info) {
+      return std::string(QuestionStyleName(info.param.style)) + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  GeneratorConfig config;
+  config.num_tables = 4;
+  config.seed = 5;
+  WikiSqlGenerator g1(config, TrainDomains());
+  WikiSqlGenerator g2(config, TrainDomains());
+  Dataset a = g1.Generate();
+  Dataset b = g2.Generate();
+  ASSERT_EQ(a.examples.size(), b.examples.size());
+  for (size_t i = 0; i < a.examples.size(); ++i) {
+    EXPECT_EQ(a.examples[i].question, b.examples[i].question);
+  }
+}
+
+TEST(GeneratorTest, MissingStyleHasNoExplicitConditionMentions) {
+  GeneratorConfig config;
+  config.num_tables = 6;
+  config.style = QuestionStyle::kMissing;
+  WikiSqlGenerator gen(config, TrainDomains());
+  Dataset ds = gen.Generate();
+  for (const Example& ex : ds.examples) {
+    for (const MentionInfo& m : ex.where_mentions) {
+      EXPECT_FALSE(m.column_explicit);
+      EXPECT_TRUE(m.column_span.empty());
+    }
+  }
+}
+
+TEST(GeneratorTest, SplitsHaveDisjointTables) {
+  GeneratorConfig config;
+  config.num_tables = 20;
+  config.seed = 2;
+  Splits splits = GenerateWikiSqlSplits(config);
+  EXPECT_GT(splits.train.tables.size(), 0u);
+  EXPECT_GT(splits.dev.tables.size(), 0u);
+  EXPECT_GT(splits.test.tables.size(), 0u);
+  EXPECT_EQ(splits.train.tables.size() + splits.dev.tables.size() +
+                splits.test.tables.size(),
+            20u);
+  for (const auto& t : splits.train.tables) {
+    for (const auto& d : splits.dev.tables) EXPECT_NE(t.get(), d.get());
+    for (const auto& s : splits.test.tables) EXPECT_NE(t.get(), s.get());
+  }
+  // Examples reference tables of their own split.
+  for (const Example& ex : splits.test.examples) {
+    bool found = false;
+    for (const auto& t : splits.test.tables) found |= t == ex.table;
+    EXPECT_TRUE(found);
+  }
+  EXPECT_EQ(splits.train.size() + splits.dev.size() + splits.test.size(),
+            20u * config.questions_per_table);
+}
+
+TEST(GeneratorTest, CounterfactualValuesAppear) {
+  GeneratorConfig config;
+  config.num_tables = 10;
+  config.counterfactual_probability = 1.0f;
+  config.seed = 3;
+  WikiSqlGenerator gen(config, TrainDomains());
+  Dataset ds = gen.Generate();
+  int counterfactual = 0, total = 0;
+  for (const Example& ex : ds.examples) {
+    for (const auto& cond : ex.query.conditions) {
+      ++total;
+      counterfactual += !ex.table->ColumnContains(cond.column, cond.value);
+    }
+  }
+  // With probability 1.0 nearly all condition values should be absent
+  // from the table (random collisions allowed).
+  EXPECT_GT(counterfactual, total / 2);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace nlidb

@@ -1,0 +1,122 @@
+#include "data/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "data/generator.h"
+#include "sql/query.h"
+
+namespace nlidb {
+namespace data {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(SerializationTest, RoundTripPreservesEverything) {
+  GeneratorConfig config;
+  config.num_tables = 5;
+  config.questions_per_table = 4;
+  config.seed = 11;
+  WikiSqlGenerator gen(config, TrainDomains());
+  Dataset original = gen.Generate();
+
+  const std::string path = TempPath("dataset_roundtrip.txt");
+  ASSERT_TRUE(SaveDataset(original, path).ok());
+  auto loaded = LoadDataset(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  ASSERT_EQ(loaded->tables.size(), original.tables.size());
+  for (size_t t = 0; t < original.tables.size(); ++t) {
+    const sql::Table& a = *original.tables[t];
+    const sql::Table& b = *loaded->tables[t];
+    EXPECT_EQ(a.name(), b.name());
+    ASSERT_TRUE(a.schema() == b.schema());
+    ASSERT_EQ(a.num_rows(), b.num_rows());
+    for (int r = 0; r < a.num_rows(); ++r) {
+      for (int c = 0; c < a.num_columns(); ++c) {
+        EXPECT_TRUE(a.Cell(r, c) == b.Cell(r, c));
+      }
+    }
+  }
+  ASSERT_EQ(loaded->examples.size(), original.examples.size());
+  for (size_t e = 0; e < original.examples.size(); ++e) {
+    const Example& a = original.examples[e];
+    const Example& b = loaded->examples[e];
+    EXPECT_EQ(a.question, b.question);
+    EXPECT_EQ(a.tokens, b.tokens);
+    EXPECT_TRUE(a.query == b.query)
+        << sql::ToSql(a.query, a.schema()) << " vs "
+        << sql::ToSql(b.query, b.schema());
+    EXPECT_EQ(a.select_mention, b.select_mention);
+    EXPECT_EQ(a.select_explicit, b.select_explicit);
+    ASSERT_EQ(a.where_mentions.size(), b.where_mentions.size());
+    for (size_t m = 0; m < a.where_mentions.size(); ++m) {
+      EXPECT_EQ(a.where_mentions[m].column, b.where_mentions[m].column);
+      EXPECT_EQ(a.where_mentions[m].column_span, b.where_mentions[m].column_span);
+      EXPECT_EQ(a.where_mentions[m].value_span, b.where_mentions[m].value_span);
+      EXPECT_EQ(a.where_mentions[m].column_explicit,
+                b.where_mentions[m].column_explicit);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, MissingFileIsIoError) {
+  auto loaded = LoadDataset(TempPath("nope.txt"));
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST(SerializationTest, GarbageFileIsParseError) {
+  const std::string path = TempPath("garbage.txt");
+  {
+    std::ofstream out(path);
+    out << "this is not a dataset\n";
+  }
+  auto loaded = LoadDataset(path);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, TruncatedFileIsParseError) {
+  GeneratorConfig config;
+  config.num_tables = 2;
+  WikiSqlGenerator gen(config, TrainDomains());
+  Dataset ds = gen.Generate();
+  const std::string full = TempPath("full.txt");
+  ASSERT_TRUE(SaveDataset(ds, full).ok());
+  // Truncate to half.
+  std::string content;
+  {
+    std::ifstream in(full);
+    std::string line;
+    int keep = 0;
+    while (std::getline(in, line) && keep++ < 10) content += line + "\n";
+  }
+  const std::string cut = TempPath("cut.txt");
+  {
+    std::ofstream out(cut);
+    out << content;
+  }
+  EXPECT_FALSE(LoadDataset(cut).ok());
+  std::remove(full.c_str());
+  std::remove(cut.c_str());
+}
+
+TEST(SerializationTest, EmptyDatasetRoundTrips) {
+  Dataset empty;
+  const std::string path = TempPath("empty.txt");
+  ASSERT_TRUE(SaveDataset(empty, path).ok());
+  auto loaded = LoadDataset(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->tables.empty());
+  EXPECT_TRUE(loaded->examples.empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace nlidb

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/overnight.h"
+#include "data/paraphrase_bench.h"
+
+namespace nlidb {
+namespace data {
+namespace {
+
+TEST(OvernightTest, FiveSubdomainsWithTrainTestSplits) {
+  GeneratorConfig config;
+  config.num_tables = 6;
+  config.questions_per_table = 4;
+  config.seed = 1;
+  OvernightCorpus corpus = GenerateOvernight(config);
+  ASSERT_EQ(corpus.subdomains.size(), 5u);
+  std::set<std::string> names;
+  for (const auto& sub : corpus.subdomains) {
+    names.insert(sub.name);
+    EXPECT_GT(sub.train.size(), 0u) << sub.name;
+    EXPECT_GT(sub.test.size(), 0u) << sub.name;
+    // Tables disjoint between the sub-domain's train and test.
+    for (const auto& t : sub.train.tables) {
+      for (const auto& u : sub.test.tables) EXPECT_NE(t.get(), u.get());
+    }
+    // Every example's schema belongs to the sub-domain (columns come
+    // from its domain spec).
+    for (const Example& ex : sub.test.examples) {
+      EXPECT_GE(ex.schema().num_columns(), 2);
+    }
+  }
+  EXPECT_EQ(names.size(), 5u);
+}
+
+TEST(OvernightTest, SubdomainsAreTopicallyDistinct) {
+  GeneratorConfig config;
+  config.num_tables = 4;
+  config.seed = 2;
+  OvernightCorpus corpus = GenerateOvernight(config);
+  // basketball tables should contain a "player"-ish column; recipes a
+  // "recipe"-ish column; they must not leak into each other.
+  for (const auto& sub : corpus.subdomains) {
+    for (const auto& table : sub.test.tables) {
+      if (sub.name == "basketball") {
+        EXPECT_EQ(table->schema().ColumnIndex("recipe"), -1);
+      }
+      if (sub.name == "recipes") {
+        EXPECT_EQ(table->schema().ColumnIndex("player"), -1);
+      }
+    }
+  }
+}
+
+TEST(ParaphraseBenchTest, SixCategoriesInPaperOrder) {
+  GeneratorConfig config;
+  config.num_tables = 3;
+  config.questions_per_table = 4;
+  config.seed = 3;
+  ParaphraseBenchCorpus corpus = GenerateParaphraseBench(config);
+  ASSERT_EQ(corpus.categories.size(), 6u);
+  EXPECT_EQ(corpus.categories[0].style, QuestionStyle::kNaive);
+  EXPECT_EQ(corpus.categories[1].style, QuestionStyle::kSyntactic);
+  EXPECT_EQ(corpus.categories[2].style, QuestionStyle::kLexical);
+  EXPECT_EQ(corpus.categories[3].style, QuestionStyle::kMorphological);
+  EXPECT_EQ(corpus.categories[4].style, QuestionStyle::kSemantic);
+  EXPECT_EQ(corpus.categories[5].style, QuestionStyle::kMissing);
+  for (const auto& cat : corpus.categories) {
+    EXPECT_EQ(cat.dataset.size(), 12u);
+  }
+}
+
+TEST(ParaphraseBenchTest, AllCategoriesUsePatientsDomain) {
+  GeneratorConfig config;
+  config.num_tables = 2;
+  config.seed = 4;
+  ParaphraseBenchCorpus corpus = GenerateParaphraseBench(config);
+  const std::set<std::string> patient_columns = {
+      "patient", "age", "diagnosis", "doctor", "length_of_stay"};
+  for (const auto& cat : corpus.categories) {
+    for (const auto& table : cat.dataset.tables) {
+      for (const auto& col : table->schema().columns()) {
+        EXPECT_TRUE(patient_columns.count(col.name)) << col.name;
+      }
+    }
+  }
+}
+
+TEST(ParaphraseBenchTest, StylesProduceDifferentSurfaceForms) {
+  GeneratorConfig config;
+  config.num_tables = 2;
+  config.questions_per_table = 6;
+  config.seed = 5;
+  ParaphraseBenchCorpus corpus = GenerateParaphraseBench(config);
+  // Syntactic category fronts conditions with "for the entry".
+  bool fronted = false;
+  for (const Example& ex : corpus.categories[1].dataset.examples) {
+    fronted |= ex.question.rfind("for the entry", 0) == 0;
+  }
+  EXPECT_TRUE(fronted);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace nlidb

@@ -1,0 +1,118 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "data/generator.h"
+
+namespace nlidb {
+namespace eval {
+namespace {
+
+sql::Schema TestSchema() {
+  return sql::Schema({{"name", sql::DataType::kText},
+                      {"points", sql::DataType::kReal}});
+}
+
+sql::Table TestTable() {
+  sql::Table t("t", TestSchema());
+  EXPECT_TRUE(t.AddRow({sql::Value::Text("ava"), sql::Value::Real(3)}).ok());
+  EXPECT_TRUE(t.AddRow({sql::Value::Text("omar"), sql::Value::Real(7)}).ok());
+  return t;
+}
+
+TEST(MetricsTest, LogicalFormIsOrderSensitiveQueryMatchIsNot) {
+  sql::SelectQuery a;
+  a.select_column = 0;
+  a.conditions.push_back({1, sql::CondOp::kGt, sql::Value::Real(1)});
+  a.conditions.push_back({0, sql::CondOp::kEq, sql::Value::Text("ava")});
+  sql::SelectQuery b = a;
+  std::swap(b.conditions[0], b.conditions[1]);
+  EXPECT_FALSE(LogicalFormMatch(a, b));
+  EXPECT_TRUE(QueryMatch(a, b, TestSchema()));
+}
+
+TEST(MetricsTest, ExecutionMatchComparesResults) {
+  sql::Table t = TestTable();
+  sql::SelectQuery gold;
+  gold.select_column = 0;
+  gold.conditions.push_back({1, sql::CondOp::kGt, sql::Value::Real(5)});
+  // A different query with the same result set on this table.
+  sql::SelectQuery pred;
+  pred.select_column = 0;
+  pred.conditions.push_back({0, sql::CondOp::kEq, sql::Value::Text("omar")});
+  EXPECT_TRUE(ExecutionMatch(pred, gold, t));
+  pred.conditions[0].value = sql::Value::Text("ava");
+  EXPECT_FALSE(ExecutionMatch(pred, gold, t));
+}
+
+TEST(MetricsTest, EvaluateCountsFailures) {
+  data::GeneratorConfig gc;
+  gc.num_tables = 3;
+  gc.questions_per_table = 3;
+  gc.seed = 8;
+  data::WikiSqlGenerator gen(gc, data::TrainDomains());
+  data::Dataset ds = gen.Generate();
+  // Oracle translator: returns gold -> all accuracies are 1.
+  AccuracyReport oracle = Evaluate(ds, [](const data::Example& ex) {
+    return StatusOr<sql::SelectQuery>(ex.query);
+  });
+  EXPECT_FLOAT_EQ(oracle.acc_lf, 1.0f);
+  EXPECT_FLOAT_EQ(oracle.acc_qm, 1.0f);
+  EXPECT_FLOAT_EQ(oracle.acc_ex, 1.0f);
+  EXPECT_EQ(oracle.translation_failures, 0);
+
+  // Failing translator: everything fails, accuracy 0.
+  AccuracyReport failing = Evaluate(ds, [](const data::Example&) {
+    return StatusOr<sql::SelectQuery>(Status::Internal("boom"));
+  });
+  EXPECT_FLOAT_EQ(failing.acc_qm, 0.0f);
+  EXPECT_EQ(failing.translation_failures, static_cast<int>(ds.size()));
+}
+
+TEST(MetricsTest, EvaluateOnEmptyDataset) {
+  data::Dataset empty;
+  AccuracyReport r = Evaluate(empty, [](const data::Example& ex) {
+    return StatusOr<sql::SelectQuery>(ex.query);
+  });
+  EXPECT_EQ(r.count, 0);
+  EXPECT_FLOAT_EQ(r.acc_qm, 0.0f);
+}
+
+TEST(MetricsTest, MentionAndRecoveryReportsSaneOnUntrainedPipeline) {
+  auto provider = std::make_shared<text::EmbeddingProvider>();
+  data::RegisterDomainClusters(*provider);
+  core::ModelConfig config = core::ModelConfig::Tiny();
+  config.word_dim = provider->dim();
+  core::NlidbPipeline pipeline(config, provider);
+  data::GeneratorConfig gc;
+  gc.num_tables = 3;
+  gc.questions_per_table = 3;
+  gc.seed = 9;
+  data::WikiSqlGenerator gen(gc, data::TrainDomains());
+  data::Dataset ds = gen.Generate();
+  MentionReport mentions = EvaluateMentions(pipeline, ds);
+  EXPECT_GE(mentions.span_precision, 0.0f);
+  EXPECT_LE(mentions.span_precision, 1.0f);
+  EXPECT_GE(mentions.span_recall, 0.0f);
+  EXPECT_LE(mentions.span_recall, 1.0f);
+  EXPECT_EQ(mentions.count, static_cast<int>(ds.size()));
+  RecoveryReport rec = EvaluateRecovery(pipeline, ds);
+  EXPECT_GE(rec.acc_before, 0.0f);
+  EXPECT_LE(rec.acc_after, 1.0f);
+}
+
+TEST(MetricsTest, ReportToStringMentionsAllMetrics) {
+  AccuracyReport r;
+  r.acc_lf = 0.5f;
+  r.acc_qm = 0.625f;
+  r.acc_ex = 0.75f;
+  r.count = 8;
+  const std::string s = r.ToString();
+  EXPECT_NE(s.find("Acc_lf 50.0%"), std::string::npos);
+  EXPECT_NE(s.find("Acc_qm 62.5%"), std::string::npos);
+  EXPECT_NE(s.find("Acc_ex 75.0%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace nlidb

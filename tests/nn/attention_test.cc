@@ -1,0 +1,122 @@
+#include "nn/attention.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace nlidb {
+namespace nn {
+namespace {
+
+TEST(AttentionTest, WeightsAreDistribution) {
+  Rng rng(1);
+  AdditiveAttention attn(4, 3, rng);
+  Var memory = MakeVar(Tensor::Gaussian({5, 4}, 1.0f, rng));
+  Var proj = attn.ProjectMemory(memory);
+  EXPECT_EQ(proj->value.rows(), 5);
+  EXPECT_EQ(proj->value.cols(), 3);
+  Var query = MakeVar(Tensor::Gaussian({1, 3}, 1.0f, rng));
+  Var energies = attn.Energies(proj, query);
+  EXPECT_EQ(energies->value.rows(), 1);
+  EXPECT_EQ(energies->value.cols(), 5);
+  Var weights = attn.Weights(energies);
+  float sum = 0.0f;
+  for (int j = 0; j < 5; ++j) {
+    EXPECT_GT(weights->value(0, j), 0.0f);
+    sum += weights->value(0, j);
+  }
+  EXPECT_NEAR(sum, 1.0f, 1e-5f);
+}
+
+TEST(AttentionTest, ContextIsConvexCombination) {
+  Rng rng(2);
+  AdditiveAttention attn(2, 3, rng);
+  // Memory rows are the standard basis scaled: context entries must lie
+  // within [min, max] of each coordinate.
+  Var memory = MakeVar(Tensor({3, 2}, {1, 0, 0, 1, 0.5f, 0.5f}));
+  Var proj = attn.ProjectMemory(memory);
+  Var query = MakeVar(Tensor::Gaussian({1, 3}, 1.0f, rng));
+  Var weights = attn.Weights(attn.Energies(proj, query));
+  Var ctx = attn.Context(weights, memory);
+  for (int j = 0; j < 2; ++j) {
+    EXPECT_GE(ctx->value(0, j), 0.0f);
+    EXPECT_LE(ctx->value(0, j), 1.0f);
+  }
+}
+
+TEST(AttentionTest, QueryShiftsWeights) {
+  Rng rng(3);
+  AdditiveAttention attn(3, 4, rng);
+  Var memory = MakeVar(Tensor::Gaussian({6, 3}, 1.0f, rng));
+  Var proj = attn.ProjectMemory(memory);
+  Var q1 = MakeVar(Tensor::Gaussian({1, 4}, 1.0f, rng));
+  Var q2 = MakeVar(Tensor::Gaussian({1, 4}, 1.0f, rng));
+  Var w1 = attn.Weights(attn.Energies(proj, q1));
+  Var w2 = attn.Weights(attn.Energies(proj, q2));
+  EXPECT_FALSE(w1->value.AllClose(w2->value, 1e-6f));
+}
+
+TEST(AttentionTest, GradientsReachMemoryAndQuery) {
+  Rng rng(4);
+  AdditiveAttention attn(3, 3, rng);
+  Var memory = MakeVar(Tensor::Gaussian({4, 3}, 1.0f, rng), true);
+  Var query = MakeVar(Tensor::Gaussian({1, 3}, 1.0f, rng), true);
+  Var proj = attn.ProjectMemory(memory);
+  Var ctx = attn.Context(attn.Weights(attn.Energies(proj, query)), memory);
+  Backward(ops::SumAll(ctx));
+  EXPECT_GT(memory->grad.Norm2(), 0.0f);
+  EXPECT_GT(query->grad.Norm2(), 0.0f);
+}
+
+TEST(AttentionTest, LearnsToSelectMarkedRow) {
+  // Task: memory rows carry a marker feature; attention must learn to put
+  // its weight on the marked row so the context reproduces its payload.
+  Rng rng(5);
+  AdditiveAttention attn(3, 8, rng);
+  nn::Linear query_proj(1, 8, rng);
+  std::vector<Var> params = attn.Parameters();
+  for (Var& p : query_proj.Parameters()) params.push_back(p);
+  Adam opt(params, 1e-2f);
+  for (int step = 0; step < 500; ++step) {
+    const int marked = static_cast<int>(rng.NextUint64(4));
+    Tensor mem({4, 3});
+    for (int i = 0; i < 4; ++i) {
+      mem(i, 0) = i == marked ? 1.0f : 0.0f;          // marker
+      mem(i, 1) = rng.NextFloat(-1, 1);               // payload
+      mem(i, 2) = rng.NextFloat(-1, 1);               // noise
+    }
+    const float payload = mem(marked, 1);
+    Var memory = MakeVar(std::move(mem));
+    Var proj = attn.ProjectMemory(memory);
+    Var query = query_proj.Forward(MakeVar(Tensor::Ones({1, 1})));
+    Var ctx = attn.Context(attn.Weights(attn.Energies(proj, query)), memory);
+    Var diff = ops::Add(ops::SliceCols(ctx, 1, 1),
+                        MakeVar(Tensor({1, 1}, {-payload})));
+    Var loss = ops::SumAll(ops::Mul(diff, diff));
+    opt.ZeroGrad();
+    Backward(loss);
+    opt.Step();
+  }
+  // Evaluate: weight on the marked row should dominate.
+  float avg_marked_weight = 0.0f;
+  for (int trial = 0; trial < 20; ++trial) {
+    const int marked = static_cast<int>(rng.NextUint64(4));
+    Tensor mem({4, 3});
+    for (int i = 0; i < 4; ++i) {
+      mem(i, 0) = i == marked ? 1.0f : 0.0f;
+      mem(i, 1) = rng.NextFloat(-1, 1);
+      mem(i, 2) = rng.NextFloat(-1, 1);
+    }
+    Var memory = MakeVar(std::move(mem));
+    Var proj = attn.ProjectMemory(memory);
+    Var query = query_proj.Forward(MakeVar(Tensor::Ones({1, 1})));
+    Var w = attn.Weights(attn.Energies(proj, query));
+    avg_marked_weight += w->value(0, marked);
+  }
+  EXPECT_GT(avg_marked_weight / 20.0f, 0.6f);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace nlidb

@@ -1,0 +1,106 @@
+#include "nn/char_cnn.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+#include "text/vocab.h"
+
+namespace nlidb {
+namespace nn {
+namespace {
+
+TEST(CharCnnTest, OutputDimIsWidthsTimesPerWidth) {
+  Rng rng(1);
+  CharCnnEmbedder emb(40, 6, 5, {3, 4, 5}, rng);
+  EXPECT_EQ(emb.output_dim(), 15);
+  Var out = emb.Forward({1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(out->value.rows(), 1);
+  EXPECT_EQ(out->value.cols(), 15);
+}
+
+TEST(CharCnnTest, HandlesWordShorterThanKernel) {
+  Rng rng(2);
+  CharCnnEmbedder emb(40, 6, 4, {5}, rng);
+  // Word of 2 characters with width-5 convolution: zero padding keeps
+  // exactly one slice (the paper pads "so that at least one slice is
+  // available").
+  Var out = emb.Forward({1, 2});
+  EXPECT_EQ(out->value.cols(), 4);
+}
+
+TEST(CharCnnTest, SimilarSpellingsProduceSimilarVectors) {
+  Rng rng(3);
+  text::CharVocab vocab;
+  CharCnnEmbedder emb(vocab.size(), 8, 6, {3, 4}, rng);
+  auto vec = [&](const std::string& w) {
+    return emb.Forward(vocab.Encode(w))->value;
+  };
+  Tensor a = vec("director");
+  Tensor b = vec("directors");  // one char away
+  Tensor c = vec("population");
+  float dist_ab = 0, dist_ac = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dist_ab += (a.vec()[i] - b.vec()[i]) * (a.vec()[i] - b.vec()[i]);
+    dist_ac += (a.vec()[i] - c.vec()[i]) * (a.vec()[i] - c.vec()[i]);
+  }
+  EXPECT_LT(dist_ab, dist_ac);
+}
+
+TEST(CharCnnTest, SharedCharEmbeddingAcrossWidths) {
+  // The character table appears once in the parameter list even with
+  // multiple widths (Fig. 4: "the character embedding is shared among
+  // convolutions").
+  Rng rng(4);
+  CharCnnEmbedder emb(30, 4, 3, {3, 4, 5}, rng);
+  // 1 char table + 3 x (weight + bias).
+  EXPECT_EQ(emb.Parameters().size(), 1u + 3u * 2u);
+}
+
+TEST(CharCnnTest, GradientsFlowToCharEmbedding) {
+  Rng rng(5);
+  CharCnnEmbedder emb(30, 4, 3, {3}, rng);
+  Var out = emb.Forward({1, 2, 3, 4});
+  Backward(ops::SumAll(out));
+  const std::vector<Var> params = emb.Parameters();
+  EXPECT_GT(params[0]->grad.Norm2(), 0.0f);
+}
+
+TEST(CharCnnTest, LearnsCharacterPatternDetection) {
+  // Binary task: does the word contain the character id 5?
+  Rng rng(6);
+  CharCnnEmbedder emb(10, 6, 8, {3}, rng);
+  Linear head(8, 1, rng);
+  std::vector<Var> params = emb.Parameters();
+  for (Var& p : head.Parameters()) params.push_back(p);
+  Adam opt(params, 1e-2f);
+  auto make_word = [&](bool with_five) {
+    std::vector<int> chars;
+    const int len = rng.NextInt(3, 7);
+    for (int i = 0; i < len; ++i) {
+      int c = rng.NextInt(1, 4);
+      chars.push_back(c);
+    }
+    if (with_five) chars[rng.NextUint64(chars.size())] = 5;
+    return chars;
+  };
+  for (int step = 0; step < 500; ++step) {
+    const bool label = rng.NextBool();
+    Var logit = head.Forward(emb.Forward(make_word(label)));
+    Var loss = ops::BceWithLogits(logit, label ? 1.0f : 0.0f);
+    opt.ZeroGrad();
+    Backward(loss);
+    opt.Step();
+  }
+  int correct = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const bool label = rng.NextBool();
+    const float logit = head.Forward(emb.Forward(make_word(label)))->value(0, 0);
+    correct += (logit > 0) == label;
+  }
+  EXPECT_GE(correct, 45);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace nlidb

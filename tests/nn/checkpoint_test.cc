@@ -1,0 +1,78 @@
+#include "nn/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "nn/layers.h"
+
+namespace nlidb {
+namespace nn {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(CheckpointTest, SaveLoadRoundTrip) {
+  Rng rng(1);
+  Linear a(4, 3, rng);
+  Linear b(4, 3, rng);  // different init
+  const std::string path = TempPath("ckpt_roundtrip.bin");
+  ASSERT_TRUE(Checkpoint::Save(path, a.Parameters()).ok());
+  ASSERT_TRUE(Checkpoint::Load(path, b.Parameters()).ok());
+  auto pa = a.Parameters();
+  auto pb = b.Parameters();
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(pa[i]->value.AllClose(pb[i]->value, 0.0f));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsCountMismatch) {
+  Rng rng(2);
+  Linear a(4, 3, rng);
+  Mlp b({4, 3, 2}, rng);
+  const std::string path = TempPath("ckpt_count.bin");
+  ASSERT_TRUE(Checkpoint::Save(path, a.Parameters()).ok());
+  Status s = Checkpoint::Load(path, b.Parameters());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RejectsShapeMismatch) {
+  Rng rng(3);
+  Linear a(4, 3, rng);
+  Linear b(3, 4, rng);  // same tensor count, different shapes
+  const std::string path = TempPath("ckpt_shape.bin");
+  ASSERT_TRUE(Checkpoint::Save(path, a.Parameters()).ok());
+  Status s = Checkpoint::Load(path, b.Parameters());
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, MissingFileIsIoError) {
+  Rng rng(4);
+  Linear a(2, 2, rng);
+  Status s = Checkpoint::Load(TempPath("does_not_exist.bin"), a.Parameters());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+}
+
+TEST(CheckpointTest, RejectsGarbageMagic) {
+  const std::string path = TempPath("ckpt_garbage.bin");
+  {
+    FILE* f = fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    fputs("not a checkpoint at all", f);
+    fclose(f);
+  }
+  Rng rng(5);
+  Linear a(2, 2, rng);
+  Status s = Checkpoint::Load(path, a.Parameters());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace nlidb

@@ -1,0 +1,141 @@
+#include "nn/rnn.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/optimizer.h"
+#include "tensor/ops.h"
+
+namespace nlidb {
+namespace nn {
+namespace {
+
+TEST(LstmCellTest, StepShapesAndBoundedOutputs) {
+  Rng rng(1);
+  LstmCell cell(3, 5, rng);
+  auto state = cell.InitialState();
+  EXPECT_EQ(state.h->value.cols(), 5);
+  Var x = MakeVar(Tensor::Ones({1, 3}));
+  for (int t = 0; t < 4; ++t) {
+    state = cell.Step(x, state);
+    for (float v : state.h->value.vec()) {
+      EXPECT_GE(v, -1.0f);
+      EXPECT_LE(v, 1.0f);  // h = o * tanh(c) is bounded
+    }
+  }
+}
+
+TEST(LstmCellTest, GradientFlowsThroughTime) {
+  Rng rng(2);
+  LstmCell cell(2, 3, rng);
+  Var x = MakeVar(Tensor::Gaussian({1, 2}, 1.0f, rng), /*requires_grad=*/true);
+  auto state = cell.InitialState();
+  for (int t = 0; t < 6; ++t) state = cell.Step(x, state);
+  Backward(ops::SumAll(state.h));
+  ASSERT_FALSE(x->grad.empty());
+  EXPECT_GT(x->grad.Norm2(), 0.0f);
+}
+
+TEST(GruCellTest, InterpolatesTowardCandidate) {
+  Rng rng(3);
+  GruCell cell(2, 4, rng);
+  Var h = cell.InitialState();
+  Var x = MakeVar(Tensor::Ones({1, 2}));
+  Var h1 = cell.Step(x, h);
+  for (float v : h1->value.vec()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(GruCellTest, LearnsToRememberFirstInput) {
+  // Sequence classification: output sign of the first input element,
+  // fed 4 distractor steps later — requires carrying state.
+  Rng rng(4);
+  GruCell cell(1, 8, rng);
+  Linear head(8, 1, rng);
+  std::vector<Var> params = cell.Parameters();
+  for (Var& p : head.Parameters()) params.push_back(p);
+  Adam opt(params, 1e-2f);
+  for (int step = 0; step < 600; ++step) {
+    const float first = rng.NextBool() ? 1.0f : -1.0f;
+    Var h = cell.InitialState();
+    h = cell.Step(MakeVar(Tensor({1, 1}, {first})), h);
+    for (int t = 0; t < 4; ++t) {
+      h = cell.Step(MakeVar(Tensor({1, 1}, {rng.NextFloat(-0.2f, 0.2f)})), h);
+    }
+    Var loss = ops::BceWithLogits(head.Forward(h), first > 0 ? 1.0f : 0.0f);
+    opt.ZeroGrad();
+    Backward(loss);
+    opt.Step();
+  }
+  int correct = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const float first = rng.NextBool() ? 1.0f : -1.0f;
+    Var h = cell.InitialState();
+    h = cell.Step(MakeVar(Tensor({1, 1}, {first})), h);
+    for (int t = 0; t < 4; ++t) {
+      h = cell.Step(MakeVar(Tensor({1, 1}, {rng.NextFloat(-0.2f, 0.2f)})), h);
+    }
+    const float logit = head.Forward(h)->value(0, 0);
+    correct += (logit > 0) == (first > 0);
+  }
+  EXPECT_GE(correct, 36);
+}
+
+TEST(StackedLstmTest, OutputShape) {
+  Rng rng(5);
+  StackedLstm lstm(6, 4, 2, rng);
+  Var seq = MakeVar(Tensor::Gaussian({7, 6}, 1.0f, rng));
+  Var out = lstm.Forward(seq);
+  EXPECT_EQ(out->value.rows(), 7);
+  EXPECT_EQ(out->value.cols(), 4);
+}
+
+TEST(StackedBiGruTest, OutputShapeAndFinals) {
+  Rng rng(6);
+  StackedBiGru gru(5, 3, 1, rng);
+  Var seq = MakeVar(Tensor::Gaussian({4, 5}, 1.0f, rng));
+  auto out = gru.Forward(seq);
+  EXPECT_EQ(out.states->value.rows(), 4);
+  EXPECT_EQ(out.states->value.cols(), 6);  // fw+bw concat
+  EXPECT_EQ(out.final_forward->value.cols(), 3);
+  EXPECT_EQ(out.final_backward->value.cols(), 3);
+  // Forward state at last position equals final_forward.
+  for (int j = 0; j < 3; ++j) {
+    EXPECT_FLOAT_EQ(out.states->value(3, j), out.final_forward->value(0, j));
+    EXPECT_FLOAT_EQ(out.states->value(0, 3 + j),
+                    out.final_backward->value(0, j));
+  }
+}
+
+TEST(StackedBiGruTest, BackwardDirectionSeesFuture) {
+  // Flip the last element of the sequence: the backward state at
+  // position 0 must change, proving right-to-left information flow.
+  Rng rng(7);
+  StackedBiGru gru(2, 3, 1, rng);
+  Tensor base = Tensor::Gaussian({5, 2}, 1.0f, rng);
+  Tensor flipped = base;
+  flipped(4, 0) += 2.0f;
+  auto out1 = gru.Forward(MakeVar(base));
+  auto out2 = gru.Forward(MakeVar(flipped));
+  float diff = 0.0f;
+  for (int j = 0; j < 3; ++j) {
+    diff += std::fabs(out1.states->value(0, 3 + j) -
+                      out2.states->value(0, 3 + j));
+  }
+  EXPECT_GT(diff, 1e-4f);
+}
+
+TEST(StackedBiGruTest, MultiLayerStacks) {
+  Rng rng(8);
+  StackedBiGru gru(4, 3, 3, rng);
+  EXPECT_EQ(gru.num_layers(), 3);
+  auto out = gru.Forward(MakeVar(Tensor::Gaussian({2, 4}, 1.0f, rng)));
+  EXPECT_EQ(out.states->value.cols(), 6);
+}
+
+}  // namespace
+}  // namespace nn
+}  // namespace nlidb

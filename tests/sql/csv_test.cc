@@ -1,0 +1,98 @@
+#include "sql/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace nlidb {
+namespace sql {
+namespace {
+
+TEST(CsvTest, ParsesHeaderAndTypes) {
+  auto table = ParseCsv(
+      "name,age,city\n"
+      "ada lovelace,36,london\n"
+      "alan turing,41,wilmslow\n",
+      "people");
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ(table->name(), "people");
+  EXPECT_EQ(table->num_rows(), 2);
+  EXPECT_EQ(table->schema().column(0).type, DataType::kText);
+  EXPECT_EQ(table->schema().column(1).type, DataType::kReal);
+  EXPECT_EQ(table->Cell(0, 1).number(), 36);
+  EXPECT_EQ(table->Cell(1, 0).text(), "alan turing");
+}
+
+TEST(CsvTest, QuotedFieldsKeepCommas) {
+  auto table = ParseCsv(
+      "title,year\n"
+      "\"hello, world\",1999\n",
+      "t");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->Cell(0, 0).text(), "hello, world");
+}
+
+TEST(CsvTest, EscapedQuotes) {
+  auto table = ParseCsv(
+      "quote,n\n"
+      "\"she said \"\"hi\"\"\",1\n",
+      "t");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->Cell(0, 0).text(), "she said \"hi\"");
+}
+
+TEST(CsvTest, HeaderNormalizedToSnakeCase) {
+  auto table = ParseCsv("Film Name,Box Office\nx,3\n", "t");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->schema().column(0).name, "film_name");
+  EXPECT_EQ(table->schema().column(1).name, "box_office");
+}
+
+TEST(CsvTest, MixedColumnFallsBackToText) {
+  auto table = ParseCsv("code\n42\nx17\n", "t");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->schema().column(0).type, DataType::kText);
+}
+
+TEST(CsvTest, AllEmptyColumnIsText) {
+  auto table = ParseCsv("a,b\n,\n,\n", "t");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->schema().column(0).type, DataType::kText);
+}
+
+TEST(CsvTest, ArityMismatchRejected) {
+  auto table = ParseCsv("a,b\n1,2,3\n", "t");
+  EXPECT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvTest, EmptyInputRejected) {
+  EXPECT_FALSE(ParseCsv("", "t").ok());
+  EXPECT_FALSE(ParseCsv("\n", "t").ok());
+}
+
+TEST(CsvTest, BlankLinesSkipped) {
+  auto table = ParseCsv("a\n1\n\n2\n\n", "t");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 2);
+}
+
+TEST(CsvTest, LoadFromFile) {
+  const std::string path =
+      std::string(::testing::TempDir()) + "/csv_test_table.csv";
+  {
+    std::ofstream out(path);
+    out << "city,population\nmayo,356\ngalway,1225\n";
+  }
+  auto table = LoadCsvTable(path);
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ(table->name(), "csv_test_table");
+  EXPECT_EQ(table->num_rows(), 2);
+  std::remove(path.c_str());
+  EXPECT_FALSE(LoadCsvTable(path).ok());
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace nlidb

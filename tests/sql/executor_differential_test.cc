@@ -1,0 +1,136 @@
+// Differential test: the executor is checked against an independent
+// brute-force oracle on thousands of random queries over random tables.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "sql/executor.h"
+
+namespace nlidb {
+namespace sql {
+namespace {
+
+/// Straight-line re-implementation of WikiSQL-class semantics used as the
+/// oracle. Intentionally written differently from the production code.
+std::vector<Value> OracleExecute(const SelectQuery& q, const Table& t) {
+  std::vector<Value> picked;
+  for (int r = 0; r < t.num_rows(); ++r) {
+    bool all = true;
+    for (const auto& c : q.conditions) {
+      const Value& cell = t.Cell(r, c.column);
+      bool holds = false;
+      if (c.op == CondOp::kEq) {
+        holds = ToLower(cell.ToString()) == ToLower(c.value.ToString());
+      } else if (cell.type() == c.value.type()) {
+        if (cell.is_real()) {
+          holds = c.op == CondOp::kGt ? cell.number() > c.value.number()
+                                      : cell.number() < c.value.number();
+        } else {
+          const std::string a = ToLower(cell.text());
+          const std::string b = ToLower(c.value.text());
+          holds = c.op == CondOp::kGt ? a > b : a < b;
+        }
+      }
+      if (!holds) {
+        all = false;
+        break;
+      }
+    }
+    if (all) picked.push_back(t.Cell(r, q.select_column));
+  }
+  switch (q.agg) {
+    case Aggregate::kNone:
+      return picked;
+    case Aggregate::kCount:
+      return {Value::Real(static_cast<double>(picked.size()))};
+    case Aggregate::kMax:
+    case Aggregate::kMin: {
+      if (picked.empty()) return {};
+      size_t best = 0;
+      for (size_t i = 1; i < picked.size(); ++i) {
+        const bool less = picked[i].LessThan(picked[best]);
+        if ((q.agg == Aggregate::kMin && less) ||
+            (q.agg == Aggregate::kMax && !less &&
+             !(picked[i] == picked[best]))) {
+          best = i;
+        }
+      }
+      return {picked[best]};
+    }
+    case Aggregate::kSum:
+    case Aggregate::kAvg: {
+      double sum = 0;
+      for (const auto& v : picked) sum += v.number();
+      if (q.agg == Aggregate::kSum) return {Value::Real(sum)};
+      if (picked.empty()) return {};
+      return {Value::Real(sum / picked.size())};
+    }
+  }
+  return {};
+}
+
+class ExecutorDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExecutorDifferentialTest, MatchesOracle) {
+  Rng rng(GetParam());
+  for (int table_trial = 0; table_trial < 10; ++table_trial) {
+    // Random table: 1 text + 1-2 real columns, small value alphabet so
+    // conditions actually match rows.
+    const int ncols = rng.NextInt(2, 3);
+    Schema schema;
+    schema.AddColumn({"t0", DataType::kText});
+    for (int c = 1; c < ncols; ++c) {
+      schema.AddColumn({"r" + std::to_string(c), DataType::kReal});
+    }
+    Table table("diff", schema);
+    static const char* kWords[] = {"alpha", "beta", "gamma", "delta"};
+    const int nrows = rng.NextInt(0, 20);
+    for (int r = 0; r < nrows; ++r) {
+      std::vector<Value> row;
+      row.push_back(Value::Text(kWords[rng.NextUint64(4)]));
+      for (int c = 1; c < ncols; ++c) {
+        row.push_back(Value::Real(rng.NextInt(0, 5)));
+      }
+      ASSERT_TRUE(table.AddRow(std::move(row)).ok());
+    }
+    for (int query_trial = 0; query_trial < 60; ++query_trial) {
+      SelectQuery q;
+      q.select_column = static_cast<int>(rng.NextUint64(ncols));
+      // Aggregates that need numerics only on numeric select columns.
+      const int agg_roll = rng.NextInt(0, 5);
+      q.agg = static_cast<Aggregate>(agg_roll);
+      if ((q.agg == Aggregate::kSum || q.agg == Aggregate::kAvg) &&
+          schema.column(q.select_column).type != DataType::kReal) {
+        q.agg = Aggregate::kNone;
+      }
+      const int nconds = rng.NextInt(0, 2);
+      for (int i = 0; i < nconds; ++i) {
+        Condition cond;
+        cond.column = static_cast<int>(rng.NextUint64(ncols));
+        if (schema.column(cond.column).type == DataType::kReal) {
+          cond.op = static_cast<CondOp>(rng.NextInt(0, 2));
+          cond.value = Value::Real(rng.NextInt(0, 5));
+        } else {
+          cond.op = CondOp::kEq;
+          cond.value = Value::Text(kWords[rng.NextUint64(4)]);
+        }
+        q.conditions.push_back(std::move(cond));
+      }
+      auto got = Execute(q, table);
+      ASSERT_TRUE(got.ok()) << got.status();
+      const auto expected = OracleExecute(q, table);
+      EXPECT_TRUE(ResultsEqual(*got, expected))
+          << ToSql(q, schema) << " rows=" << nrows;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorDifferentialTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace sql
+}  // namespace nlidb

@@ -1,0 +1,140 @@
+#include "sql/executor.h"
+
+#include <gtest/gtest.h>
+
+namespace nlidb {
+namespace sql {
+namespace {
+
+Table MedalsTable() {
+  Schema schema({{"athlete", DataType::kText},
+                 {"nation", DataType::kText},
+                 {"gold", DataType::kReal}});
+  Table t("medals", schema);
+  auto add = [&t](const char* a, const char* n, double g) {
+    ASSERT_TRUE(
+        t.AddRow({Value::Text(a), Value::Text(n), Value::Real(g)}).ok());
+  };
+  add("sofia silva", "brazil", 3);
+  add("liam murphy", "ireland", 1);
+  add("yuki tanaka", "japan", 5);
+  add("nora walsh", "ireland", 2);
+  return t;
+}
+
+SelectQuery Select(int col) {
+  SelectQuery q;
+  q.select_column = col;
+  return q;
+}
+
+TEST(ExecutorTest, SelectAllNoConditions) {
+  Table t = MedalsTable();
+  auto r = Execute(Select(0), t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 4u);
+}
+
+TEST(ExecutorTest, EqualityFilter) {
+  Table t = MedalsTable();
+  SelectQuery q = Select(0);
+  q.conditions.push_back({1, CondOp::kEq, Value::Text("IRELAND")});
+  auto r = Execute(q, t);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 2u);
+}
+
+TEST(ExecutorTest, GreaterLessFilters) {
+  Table t = MedalsTable();
+  SelectQuery q = Select(0);
+  q.conditions.push_back({2, CondOp::kGt, Value::Real(2)});
+  auto r = Execute(q, t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);  // 3 and 5
+  q.conditions[0].op = CondOp::kLt;
+  q.conditions[0].value = Value::Real(3);
+  r = Execute(q, t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);  // 1 and 2 are below 3
+}
+
+TEST(ExecutorTest, ConjunctionOfConditions) {
+  Table t = MedalsTable();
+  SelectQuery q = Select(0);
+  q.conditions.push_back({1, CondOp::kEq, Value::Text("ireland")});
+  q.conditions.push_back({2, CondOp::kGt, Value::Real(1)});
+  auto r = Execute(q, t);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].text(), "nora walsh");
+}
+
+TEST(ExecutorTest, Aggregates) {
+  Table t = MedalsTable();
+  SelectQuery q = Select(2);
+  q.agg = Aggregate::kMax;
+  EXPECT_EQ(Execute(q, t)->at(0).number(), 5);
+  q.agg = Aggregate::kMin;
+  EXPECT_EQ(Execute(q, t)->at(0).number(), 1);
+  q.agg = Aggregate::kSum;
+  EXPECT_EQ(Execute(q, t)->at(0).number(), 11);
+  q.agg = Aggregate::kAvg;
+  EXPECT_DOUBLE_EQ(Execute(q, t)->at(0).number(), 11.0 / 4);
+  q.agg = Aggregate::kCount;
+  EXPECT_EQ(Execute(q, t)->at(0).number(), 4);
+}
+
+TEST(ExecutorTest, AggregatesOverEmptyMatch) {
+  Table t = MedalsTable();
+  SelectQuery q = Select(2);
+  q.conditions.push_back({1, CondOp::kEq, Value::Text("atlantis")});
+  q.agg = Aggregate::kCount;
+  EXPECT_EQ(Execute(q, t)->at(0).number(), 0);
+  q.agg = Aggregate::kMax;
+  EXPECT_TRUE(Execute(q, t)->empty());
+  q.agg = Aggregate::kAvg;
+  EXPECT_TRUE(Execute(q, t)->empty());
+  q.agg = Aggregate::kSum;
+  EXPECT_EQ(Execute(q, t)->at(0).number(), 0);
+}
+
+TEST(ExecutorTest, SumOverTextIsError) {
+  Table t = MedalsTable();
+  SelectQuery q = Select(0);
+  q.agg = Aggregate::kSum;
+  EXPECT_FALSE(Execute(q, t).ok());
+}
+
+TEST(ExecutorTest, OutOfRangeColumnsRejected) {
+  Table t = MedalsTable();
+  SelectQuery q = Select(9);
+  EXPECT_FALSE(Execute(q, t).ok());
+  q = Select(0);
+  q.conditions.push_back({-1, CondOp::kEq, Value::Text("x")});
+  EXPECT_FALSE(Execute(q, t).ok());
+}
+
+TEST(ExecutorTest, CrossTypeEqualityComparesDisplayForms) {
+  Schema schema({{"code", DataType::kText}});
+  Table t("codes", schema);
+  ASSERT_TRUE(t.AddRow({Value::Text("57")}).ok());
+  SelectQuery q = Select(0);
+  q.conditions.push_back({0, CondOp::kEq, Value::Real(57)});
+  auto r = Execute(q, t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);
+}
+
+TEST(ResultsEqualTest, MultisetSemantics) {
+  std::vector<Value> a = {Value::Text("x"), Value::Text("y")};
+  std::vector<Value> b = {Value::Text("Y"), Value::Text("X")};
+  EXPECT_TRUE(ResultsEqual(a, b));
+  std::vector<Value> c = {Value::Text("x"), Value::Text("x")};
+  EXPECT_FALSE(ResultsEqual(a, c));
+  EXPECT_FALSE(ResultsEqual(a, {Value::Text("x")}));
+  EXPECT_TRUE(ResultsEqual({}, {}));
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace nlidb

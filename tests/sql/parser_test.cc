@@ -1,0 +1,98 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace nlidb {
+namespace sql {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"county", DataType::kText},
+                 {"english_name", DataType::kText},
+                 {"population", DataType::kReal}});
+}
+
+TEST(ParserTest, RoundTripsPrinterOutput) {
+  SelectQuery q;
+  q.select_column = 2;
+  q.conditions.push_back({0, CondOp::kEq, Value::Text("Mayo")});
+  q.conditions.push_back({1, CondOp::kEq, Value::Text("Carrowteige")});
+  const std::string sql = ToSql(q, TestSchema());
+  auto parsed = ParseSql(sql, TestSchema());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_TRUE(*parsed == q);
+}
+
+TEST(ParserTest, ParsesAggregates) {
+  auto parsed = ParseSql("SELECT MAX population WHERE county = \"Mayo\"",
+                         TestSchema());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->agg, Aggregate::kMax);
+  EXPECT_EQ(parsed->select_column, 2);
+}
+
+TEST(ParserTest, ParsesParenthesizedAggregates) {
+  auto parsed = ParseSql("SELECT COUNT(county)", TestSchema());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->agg, Aggregate::kCount);
+  EXPECT_EQ(parsed->select_column, 0);
+}
+
+TEST(ParserTest, ToleratesFromClause) {
+  auto parsed = ParseSql("SELECT county FROM gaeltacht", TestSchema());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->select_column, 0);
+}
+
+TEST(ParserTest, NumericValuesTyped) {
+  auto parsed = ParseSql("SELECT county WHERE population > 1000", TestSchema());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->conditions[0].value.is_real());
+  EXPECT_EQ(parsed->conditions[0].value.number(), 1000);
+}
+
+TEST(ParserTest, QuotedNumericAgainstRealColumnCoerces) {
+  auto parsed =
+      ParseSql("SELECT county WHERE population = \"356\"", TestSchema());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->conditions[0].value.is_real());
+}
+
+TEST(ParserTest, CaseInsensitiveKeywordsAndColumns) {
+  auto parsed =
+      ParseSql("select County where POPULATION < 500", TestSchema());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->conditions[0].op, CondOp::kLt);
+}
+
+TEST(ParserTest, ErrorOnUnknownColumn) {
+  auto parsed = ParseSql("SELECT nonexistent", TestSchema());
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserTest, ErrorOnMissingOperator) {
+  auto parsed = ParseSql("SELECT county WHERE population", TestSchema());
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(ParserTest, ErrorOnGarbage) {
+  EXPECT_FALSE(ParseSql("", TestSchema()).ok());
+  EXPECT_FALSE(ParseSql("DELETE FROM x", TestSchema()).ok());
+  EXPECT_FALSE(ParseSql("SELECT county WHERE county = \"a\" OR", TestSchema()).ok());
+}
+
+TEST(TokenizeSqlTest, QuotedStringsStayWhole) {
+  auto tokens = TokenizeSql("a = \"two words\" AND b");
+  EXPECT_EQ(tokens[2], "\"two words\"");
+  EXPECT_EQ(tokens.size(), 5u);
+}
+
+TEST(TokenizeSqlTest, OperatorsSeparate) {
+  auto tokens = TokenizeSql("population>1000");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"population", ">", "1000"}));
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace nlidb

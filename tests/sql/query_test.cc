@@ -1,0 +1,86 @@
+#include "sql/query.h"
+
+#include <gtest/gtest.h>
+
+namespace nlidb {
+namespace sql {
+namespace {
+
+Schema TestSchema() {
+  return Schema({{"race", DataType::kText},
+                 {"winning_driver", DataType::kText},
+                 {"points", DataType::kReal}});
+}
+
+SelectQuery TwoCondQuery() {
+  SelectQuery q;
+  q.select_column = 1;
+  q.conditions.push_back({0, CondOp::kEq, Value::Text("monaco grand prix")});
+  q.conditions.push_back({2, CondOp::kGt, Value::Real(10)});
+  return q;
+}
+
+TEST(QueryTest, ToSqlRendering) {
+  EXPECT_EQ(ToSql(TwoCondQuery(), TestSchema()),
+            "SELECT winning_driver WHERE race = \"monaco grand prix\" "
+            "AND points > 10");
+}
+
+TEST(QueryTest, AggregateRendering) {
+  SelectQuery q;
+  q.agg = Aggregate::kMax;
+  q.select_column = 2;
+  EXPECT_EQ(ToSql(q, TestSchema()), "SELECT MAX points");
+}
+
+TEST(QueryTest, TokensMatchStringRendering) {
+  auto tokens = ToSqlTokens(TwoCondQuery(), TestSchema());
+  EXPECT_EQ(tokens[0], "SELECT");
+  EXPECT_EQ(tokens[1], "winning_driver");
+  EXPECT_EQ(tokens[2], "WHERE");
+}
+
+TEST(QueryTest, LogicalFormEqualityIsOrderSensitive) {
+  SelectQuery a = TwoCondQuery();
+  SelectQuery b = a;
+  std::swap(b.conditions[0], b.conditions[1]);
+  EXPECT_FALSE(a == b);
+  EXPECT_TRUE(a == TwoCondQuery());
+}
+
+TEST(QueryTest, CanonicalizeSortsConditions) {
+  SelectQuery a = TwoCondQuery();
+  SelectQuery b = a;
+  std::swap(b.conditions[0], b.conditions[1]);
+  EXPECT_EQ(CanonicalSql(a, TestSchema()), CanonicalSql(b, TestSchema()));
+}
+
+TEST(QueryTest, CanonicalLowercasesValues) {
+  SelectQuery a;
+  a.select_column = 0;
+  a.conditions.push_back({1, CondOp::kEq, Value::Text("Noah Murphy")});
+  SelectQuery b = a;
+  b.conditions[0].value = Value::Text("noah murphy");
+  EXPECT_EQ(CanonicalSql(a, TestSchema()), CanonicalSql(b, TestSchema()));
+}
+
+TEST(QueryTest, CanonicalDistinguishesOps) {
+  SelectQuery a;
+  a.select_column = 0;
+  a.conditions.push_back({2, CondOp::kGt, Value::Real(5)});
+  SelectQuery b = a;
+  b.conditions[0].op = CondOp::kLt;
+  EXPECT_NE(CanonicalSql(a, TestSchema()), CanonicalSql(b, TestSchema()));
+}
+
+TEST(QueryTest, AggregateNames) {
+  EXPECT_STREQ(AggregateName(Aggregate::kNone), "");
+  EXPECT_STREQ(AggregateName(Aggregate::kCount), "COUNT");
+  EXPECT_STREQ(CondOpName(CondOp::kEq), "=");
+  EXPECT_STREQ(CondOpName(CondOp::kGt), ">");
+  EXPECT_STREQ(CondOpName(CondOp::kLt), "<");
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace nlidb

@@ -1,0 +1,87 @@
+#include "sql/statistics.h"
+
+#include <gtest/gtest.h>
+
+namespace nlidb {
+namespace sql {
+namespace {
+
+Table PeopleTable() {
+  Schema schema({{"name", DataType::kText}, {"age", DataType::kReal}});
+  Table t("people", schema);
+  EXPECT_TRUE(t.AddRow({Value::Text("piotr adamczyk"), Value::Real(30)}).ok());
+  EXPECT_TRUE(t.AddRow({Value::Text("sofia garcia"), Value::Real(50)}).ok());
+  EXPECT_TRUE(t.AddRow({Value::Text("piotr adamczyk"), Value::Real(40)}).ok());
+  return t;
+}
+
+TEST(StatisticsTest, NumericProfile) {
+  text::EmbeddingProvider provider(16);
+  Table t = PeopleTable();
+  ColumnStatistics stats = ComputeColumnStatistics(t, 1, provider);
+  EXPECT_EQ(stats.type, DataType::kReal);
+  EXPECT_EQ(stats.min_value, 30);
+  EXPECT_EQ(stats.max_value, 50);
+  EXPECT_EQ(stats.mean_value, 40);
+  EXPECT_EQ(stats.distinct_count, 3);
+}
+
+TEST(StatisticsTest, DistinctCountAndTokens) {
+  text::EmbeddingProvider provider(16);
+  Table t = PeopleTable();
+  ColumnStatistics stats = ComputeColumnStatistics(t, 0, provider);
+  EXPECT_EQ(stats.distinct_count, 2);
+  EXPECT_FLOAT_EQ(stats.avg_tokens_per_cell, 2.0f);
+}
+
+TEST(StatisticsTest, EmbeddingIsMeanOfCellEmbeddings) {
+  text::EmbeddingProvider provider(16);
+  Table t = PeopleTable();
+  ColumnStatistics stats = ComputeColumnStatistics(t, 0, provider);
+  ASSERT_EQ(stats.embedding.size(), 16u);
+  // Mean of three cell vectors (two identical).
+  auto v1 = provider.PhraseVector({"piotr", "adamczyk"});
+  auto v2 = provider.PhraseVector({"sofia", "garcia"});
+  for (int j = 0; j < 16; ++j) {
+    EXPECT_NEAR(stats.embedding[j], (2 * v1[j] + v2[j]) / 3.0f, 1e-5f);
+  }
+}
+
+TEST(StatisticsTest, EmptyTableGivesZeroEmbedding) {
+  text::EmbeddingProvider provider(8);
+  Schema schema({{"x", DataType::kText}});
+  Table t("empty", schema);
+  ColumnStatistics stats = ComputeColumnStatistics(t, 0, provider);
+  for (float v : stats.embedding) EXPECT_EQ(v, 0.0f);
+  EXPECT_EQ(stats.distinct_count, 0);
+}
+
+TEST(StatisticsTest, SameKindColumnsHaveSimilarStats) {
+  // The property the value detector relies on: two person-name columns
+  // have near-identical statistics vectors, a name column and a number
+  // column do not.
+  text::EmbeddingProvider provider(32);
+  provider.AddCluster("firstname", {"piotr", "sofia", "liam"});
+  provider.AddCluster("surname", {"adamczyk", "garcia", "murphy"});
+  Schema schema({{"actor", DataType::kText},
+                 {"director", DataType::kText},
+                 {"year", DataType::kReal}});
+  Table t("films", schema);
+  ASSERT_TRUE(t.AddRow({Value::Text("piotr adamczyk"),
+                        Value::Text("sofia garcia"), Value::Real(1999)})
+                  .ok());
+  ASSERT_TRUE(t.AddRow({Value::Text("liam murphy"),
+                        Value::Text("piotr garcia"), Value::Real(2004)})
+                  .ok());
+  auto stats = ComputeTableStatistics(t, provider);
+  const float same_kind = text::EmbeddingProvider::Cosine(stats[0].embedding,
+                                                          stats[1].embedding);
+  const float diff_kind = text::EmbeddingProvider::Cosine(stats[0].embedding,
+                                                          stats[2].embedding);
+  EXPECT_GT(same_kind, 0.8f);
+  EXPECT_GT(same_kind, diff_kind + 0.2f);
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace nlidb

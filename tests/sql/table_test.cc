@@ -1,0 +1,67 @@
+#include "sql/table.h"
+
+#include <gtest/gtest.h>
+
+namespace nlidb {
+namespace sql {
+namespace {
+
+Schema FilmSchema() {
+  return Schema({{"film_name", DataType::kText},
+                 {"director", DataType::kText},
+                 {"year", DataType::kReal}});
+}
+
+TEST(SchemaTest, ColumnIndexCaseInsensitive) {
+  Schema s = FilmSchema();
+  EXPECT_EQ(s.ColumnIndex("director"), 1);
+  EXPECT_EQ(s.ColumnIndex("DIRECTOR"), 1);
+  EXPECT_EQ(s.ColumnIndex("unknown"), -1);
+}
+
+TEST(SchemaTest, DisplayForms) {
+  ColumnDef c{"film_name", DataType::kText};
+  EXPECT_EQ(c.Display(), "film name");
+  EXPECT_EQ(c.DisplayTokens(), (std::vector<std::string>{"film", "name"}));
+}
+
+TEST(SchemaTest, Equality) {
+  EXPECT_EQ(FilmSchema(), FilmSchema());
+  Schema other({{"film_name", DataType::kText}});
+  EXPECT_FALSE(FilmSchema() == other);
+}
+
+TEST(TableTest, AddRowValidatesArity) {
+  Table t("films", FilmSchema());
+  Status s = t.AddRow({Value::Text("a"), Value::Text("b")});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.num_rows(), 0);
+}
+
+TEST(TableTest, AddRowValidatesTypes) {
+  Table t("films", FilmSchema());
+  Status s = t.AddRow(
+      {Value::Text("a"), Value::Text("b"), Value::Text("not a year")});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, CellAndColumnAccess) {
+  Table t("films", FilmSchema());
+  ASSERT_TRUE(t.AddRow({Value::Text("chopin"), Value::Text("antczak"),
+                        Value::Real(2002)})
+                  .ok());
+  ASSERT_TRUE(t.AddRow({Value::Text("kisses"), Value::Text("djordjadze"),
+                        Value::Real(2000)})
+                  .ok());
+  EXPECT_EQ(t.num_rows(), 2);
+  EXPECT_EQ(t.Cell(1, 0).text(), "kisses");
+  auto years = t.ColumnValues(2);
+  EXPECT_EQ(years.size(), 2u);
+  EXPECT_EQ(years[0].number(), 2002);
+  EXPECT_TRUE(t.ColumnContains(1, Value::Text("ANTCZAK")));
+  EXPECT_FALSE(t.ColumnContains(1, Value::Text("spielberg")));
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace nlidb

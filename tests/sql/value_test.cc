@@ -1,0 +1,52 @@
+#include "sql/value.h"
+
+#include <gtest/gtest.h>
+
+namespace nlidb {
+namespace sql {
+namespace {
+
+TEST(ValueTest, TextBasics) {
+  Value v = Value::Text("Mayo");
+  EXPECT_TRUE(v.is_text());
+  EXPECT_FALSE(v.is_real());
+  EXPECT_EQ(v.text(), "Mayo");
+  EXPECT_EQ(v.ToString(), "Mayo");
+}
+
+TEST(ValueTest, RealFormatting) {
+  EXPECT_EQ(Value::Real(3).ToString(), "3");
+  EXPECT_EQ(Value::Real(-17).ToString(), "-17");
+  EXPECT_EQ(Value::Real(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value::Real(1971).ToString(), "1971");
+}
+
+TEST(ValueTest, EqualityCaseInsensitiveForText) {
+  EXPECT_EQ(Value::Text("Mayo"), Value::Text("mayo"));
+  EXPECT_NE(Value::Text("Mayo"), Value::Text("Galway"));
+  EXPECT_EQ(Value::Real(4), Value::Real(4.0));
+  EXPECT_NE(Value::Real(4), Value::Real(5));
+  EXPECT_NE(Value::Text("4"), Value::Real(4));  // type-strict equality
+}
+
+TEST(ValueTest, Ordering) {
+  EXPECT_TRUE(Value::Real(1).LessThan(Value::Real(2)));
+  EXPECT_FALSE(Value::Real(2).LessThan(Value::Real(1)));
+  EXPECT_TRUE(Value::Text("Apple").LessThan(Value::Text("banana")));
+}
+
+TEST(ValueTest, DefaultIsEmptyText) {
+  Value v;
+  EXPECT_TRUE(v.is_text());
+  EXPECT_EQ(v.text(), "");
+}
+
+TEST(FormatNumberTest, TrimsIntegers) {
+  EXPECT_EQ(FormatNumber(100.0), "100");
+  EXPECT_EQ(FormatNumber(0.0), "0");
+  EXPECT_EQ(FormatNumber(0.5), "0.5");
+}
+
+}  // namespace
+}  // namespace sql
+}  // namespace nlidb

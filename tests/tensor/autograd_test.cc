@@ -1,0 +1,75 @@
+#include "tensor/autograd.h"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+
+namespace nlidb {
+namespace {
+
+TEST(AutogradTest, LeafWithoutGradStaysEmpty) {
+  Var x = MakeVar(Tensor({1, 2}, {1, 2}), /*requires_grad=*/false);
+  Var y = ops::SumAll(x);
+  Backward(y);
+  EXPECT_TRUE(x->grad.empty());
+}
+
+TEST(AutogradTest, SimpleChainGradient) {
+  Var x = MakeVar(Tensor({1, 3}, {1, 2, 3}), /*requires_grad=*/true);
+  Var y = ops::SumAll(ops::ScalarMul(x, 2.0f));
+  Backward(y);
+  ASSERT_FALSE(x->grad.empty());
+  for (int j = 0; j < 3; ++j) EXPECT_FLOAT_EQ(x->grad(0, j), 2.0f);
+}
+
+TEST(AutogradTest, GradAccumulatesAcrossFanOut) {
+  Var x = MakeVar(Tensor({1, 2}, {1, 1}), /*requires_grad=*/true);
+  // y = sum(x) + sum(x): gradient should be 2 for every entry.
+  Var y = ops::Add(ops::SumAll(x), ops::SumAll(x));
+  Backward(y);
+  EXPECT_FLOAT_EQ(x->grad(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(x->grad(0, 1), 2.0f);
+}
+
+TEST(AutogradTest, DiamondGraph) {
+  Var x = MakeVar(Tensor({1, 1}, {3.0f}), /*requires_grad=*/true);
+  Var a = ops::ScalarMul(x, 2.0f);  // 6
+  Var b = ops::ScalarMul(x, 5.0f);  // 15
+  Var y = ops::SumAll(ops::Mul(a, b));  // 10 x^2 = 90; dy/dx = 20x = 60
+  Backward(y);
+  EXPECT_FLOAT_EQ(y->value(0), 90.0f);
+  EXPECT_FLOAT_EQ(x->grad(0, 0), 60.0f);
+}
+
+TEST(AutogradTest, LongChainDoesNotOverflowStack) {
+  // 5000 chained ops exercises the iterative topological sort.
+  Var x = MakeVar(Tensor({1, 4}, {1, 1, 1, 1}), /*requires_grad=*/true);
+  Var h = x;
+  for (int i = 0; i < 5000; ++i) h = ops::ScalarMul(h, 1.0001f);
+  Var y = ops::SumAll(h);
+  Backward(y);
+  EXPECT_GT(x->grad(0, 0), 1.0f);
+  EXPECT_LT(x->grad(0, 0), 3.0f);
+}
+
+TEST(AutogradTest, ZeroGradClears) {
+  Var x = MakeVar(Tensor({1, 2}, {1, 2}), /*requires_grad=*/true);
+  Backward(ops::SumAll(x));
+  EXPECT_FLOAT_EQ(x->grad(0, 0), 1.0f);
+  ZeroGrad({x});
+  EXPECT_FLOAT_EQ(x->grad(0, 0), 0.0f);
+}
+
+TEST(AutogradTest, BackwardTwiceAccumulates) {
+  Var x = MakeVar(Tensor({1, 1}, {2.0f}), /*requires_grad=*/true);
+  Var y = ops::SumAll(x);
+  Backward(y);
+  // Fresh graph over the same leaf: gradients accumulate (optimizer is
+  // responsible for zeroing between steps).
+  Var y2 = ops::SumAll(x);
+  Backward(y2);
+  EXPECT_FLOAT_EQ(x->grad(0, 0), 2.0f);
+}
+
+}  // namespace
+}  // namespace nlidb

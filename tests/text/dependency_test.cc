@@ -1,0 +1,102 @@
+#include "text/dependency.h"
+
+#include <gtest/gtest.h>
+
+#include "text/tokenizer.h"
+
+namespace nlidb {
+namespace text {
+namespace {
+
+TEST(PosTest, TagClasses) {
+  EXPECT_EQ(TagToken("the"), Pos::kDet);
+  EXPECT_EQ(TagToken("which"), Pos::kWh);
+  EXPECT_EQ(TagToken("did"), Pos::kAux);
+  EXPECT_EQ(TagToken("by"), Pos::kPrep);
+  EXPECT_EQ(TagToken("directed"), Pos::kVerb);
+  EXPECT_EQ(TagToken("42"), Pos::kNum);
+  EXPECT_EQ(TagToken("?"), Pos::kPunct);
+  EXPECT_EQ(TagToken("film"), Pos::kNoun);
+}
+
+TEST(DependencyTest, EmptyAndSingleton) {
+  DependencyTree empty = DependencyTree::Parse({});
+  EXPECT_EQ(empty.size(), 0);
+  DependencyTree one = DependencyTree::Parse({"film"});
+  EXPECT_EQ(one.size(), 1);
+  EXPECT_EQ(one.root(), 0);
+  EXPECT_EQ(one.Distance(0, 0), 0);
+}
+
+TEST(DependencyTest, RootIsMainVerb) {
+  const auto tokens = Tokenize("which film directed by jerzy antczak");
+  DependencyTree tree = DependencyTree::Parse(tokens);
+  EXPECT_EQ(tree.root(), 2);  // "directed"
+}
+
+TEST(DependencyTest, HeadChainsReachRoot) {
+  const auto tokens =
+      Tokenize("which film directed by jerzy antczak did piotr adamczyk star in ?");
+  DependencyTree tree = DependencyTree::Parse(tokens);
+  for (int i = 0; i < tree.size(); ++i) {
+    int cur = i;
+    int steps = 0;
+    while (cur != tree.root() && steps <= tree.size()) {
+      cur = tree.head(cur);
+      ++steps;
+    }
+    EXPECT_EQ(cur, tree.root()) << "token " << i << " detached";
+  }
+}
+
+TEST(DependencyTest, ResolutionLocality) {
+  // The paper's running example (Sec. IV-E): "Jerzy Antczak" must be
+  // structurally closer to "directed" than "Piotr Adamczyk" is, and
+  // "Piotr Adamczyk" closer to "star".
+  const auto tokens =
+      Tokenize("which film directed by jerzy antczak did piotr adamczyk star in ?");
+  // indices: which0 film1 directed2 by3 jerzy4 antczak5 did6 piotr7
+  //          adamczyk8 star9 in10 ?11
+  DependencyTree tree = DependencyTree::Parse(tokens);
+  const Span directed_by{2, 4}, star{9, 10};
+  const Span jerzy{4, 6}, piotr{7, 9};
+  EXPECT_LT(tree.SpanDistance(jerzy, directed_by),
+            tree.SpanDistance(piotr, directed_by));
+  EXPECT_LT(tree.SpanDistance(piotr, star), tree.SpanDistance(jerzy, star));
+}
+
+TEST(DependencyTest, DistanceIsMetricLike) {
+  const auto tokens = Tokenize("who won the race on june 23 ?");
+  DependencyTree tree = DependencyTree::Parse(tokens);
+  for (int i = 0; i < tree.size(); ++i) {
+    EXPECT_EQ(tree.Distance(i, i), 0);
+    for (int j = 0; j < tree.size(); ++j) {
+      EXPECT_EQ(tree.Distance(i, j), tree.Distance(j, i));
+      if (i != j) EXPECT_GT(tree.Distance(i, j), 0);
+    }
+  }
+}
+
+TEST(DependencyTest, NounCompoundChains) {
+  const auto tokens = Tokenize("the winning driver barack popov");
+  DependencyTree tree = DependencyTree::Parse(tokens);
+  // Adjacent members of the noun compound should be 1 edge apart.
+  EXPECT_LE(tree.Distance(3, 4), 2);
+}
+
+TEST(DependencyTest, SpanDistanceIsMinPairwise) {
+  const auto tokens = Tokenize("a b c d e");
+  DependencyTree tree = DependencyTree::Parse(tokens);
+  const Span left{0, 2}, right{3, 5};
+  int expected = 1 << 20;
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 3; j < 5; ++j) {
+      expected = std::min(expected, tree.Distance(i, j));
+    }
+  }
+  EXPECT_EQ(tree.SpanDistance(left, right), expected);
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace nlidb

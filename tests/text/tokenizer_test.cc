@@ -1,0 +1,71 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace nlidb {
+namespace text {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndSplitsPunctuation) {
+  EXPECT_EQ(Tokenize("Which film did Piotr star in?"),
+            (std::vector<std::string>{"which", "film", "did", "piotr", "star",
+                                      "in", "?"}));
+}
+
+TEST(TokenizerTest, KeepsHyphenatedSpans) {
+  auto tokens = Tokenize("toronto team in 2006-07");
+  EXPECT_EQ(tokens.back(), "2006-07");
+}
+
+TEST(TokenizerTest, DropsApostrophes) {
+  EXPECT_EQ(Tokenize("what's the director's name"),
+            (std::vector<std::string>{"whats", "the", "directors", "name"}));
+}
+
+TEST(TokenizerTest, KeepsDecimalNumbers) {
+  auto tokens = Tokenize("rated 4.5 stars");
+  EXPECT_EQ(tokens[1], "4.5");
+}
+
+TEST(TokenizerTest, StripsSentenceFinalPeriod) {
+  auto tokens = Tokenize("lives in mayo.");
+  EXPECT_EQ(tokens.back(), "mayo");
+}
+
+TEST(TokenizerTest, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("   \t\n ").empty());
+}
+
+TEST(TokenizerTest, CommaSeparation) {
+  EXPECT_EQ(Tokenize("a, b"),
+            (std::vector<std::string>{"a", ",", "b"}));
+}
+
+TEST(DetokenizeTest, JoinsWithSpaces) {
+  EXPECT_EQ(Detokenize({"who", "won", "?"}), "who won ?");
+}
+
+TEST(SpanTest, BasicPredicates) {
+  Span s{2, 5};
+  EXPECT_EQ(s.length(), 3);
+  EXPECT_FALSE(s.empty());
+  EXPECT_TRUE(s.Contains(2));
+  EXPECT_TRUE(s.Contains(4));
+  EXPECT_FALSE(s.Contains(5));
+  EXPECT_TRUE((Span{0, 3}).Overlaps(s));
+  EXPECT_FALSE((Span{0, 2}).Overlaps(s));
+  EXPECT_TRUE((Span{4, 9}).Overlaps(s));
+  EXPECT_FALSE((Span{5, 9}).Overlaps(s));
+  EXPECT_TRUE((Span{3, 3}).empty());
+}
+
+TEST(SpanTest, SpanText) {
+  std::vector<std::string> tokens = {"a", "b", "c", "d"};
+  EXPECT_EQ(SpanText(tokens, Span{1, 3}), "b c");
+  EXPECT_EQ(SpanText(tokens, Span{0, 0}), "");
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace nlidb

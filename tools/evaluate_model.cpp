@@ -1,0 +1,75 @@
+// CLI: load a saved pipeline and evaluate it on a dataset file.
+//
+//   evaluate_model --model <dir> --data <file> [--preset tiny|small|paper]
+//                  [--mentions] [--recovery]
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/persistence.h"
+#include "core/pipeline.h"
+#include "data/domain.h"
+#include "data/serialization.h"
+#include "eval/metrics.h"
+
+using namespace nlidb;
+
+int main(int argc, char** argv) {
+  std::string model_dir, data_file, preset = "small";
+  bool mentions = false, recovery = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--model") model_dir = next();
+    else if (arg == "--data") data_file = next();
+    else if (arg == "--preset") preset = next();
+    else if (arg == "--mentions") mentions = true;
+    else if (arg == "--recovery") recovery = true;
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (model_dir.empty() || data_file.empty()) {
+    std::fprintf(stderr,
+                 "usage: evaluate_model --model <dir> --data <file> "
+                 "[--preset tiny|small|paper] [--mentions] [--recovery]\n");
+    return 2;
+  }
+
+  auto provider = std::make_shared<text::EmbeddingProvider>();
+  data::RegisterDomainClusters(*provider);
+  core::ModelConfig config = preset == "tiny"    ? core::ModelConfig::Tiny()
+                             : preset == "paper" ? core::ModelConfig::Paper()
+                                                 : core::ModelConfig::Small();
+  config.word_dim = provider->dim();
+  core::NlidbPipeline pipeline(config, provider);
+  Status s = core::LoadPipeline(pipeline, model_dir);
+  if (!s.ok()) {
+    std::fprintf(stderr, "load model: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  auto dataset = data::LoadDataset(data_file);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "load data: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n",
+              eval::EvaluatePipeline(pipeline, *dataset).ToString().c_str());
+  if (mentions) {
+    eval::MentionReport m = eval::EvaluateMentions(pipeline, *dataset);
+    std::printf("cond col/val acc %.1f%% | span P %.1f%% R %.1f%% F1 %.1f%%\n",
+                100 * m.cond_col_val_acc, 100 * m.span_precision,
+                100 * m.span_recall, 100 * m.span_f1);
+  }
+  if (recovery) {
+    eval::RecoveryReport r = eval::EvaluateRecovery(pipeline, *dataset);
+    std::printf("Acc_qm before recovery %.1f%% | after %.1f%%\n",
+                100 * r.acc_before, 100 * r.acc_after);
+  }
+  return 0;
+}

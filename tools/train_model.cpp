@@ -1,0 +1,88 @@
+// CLI: train the full NLIDB pipeline on a corpus written by
+// generate_corpus and save the models.
+//
+//   train_model --corpus <dir> --model <dir>
+//               [--preset tiny|small|paper] [--epochs N]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "core/persistence.h"
+#include "core/pipeline.h"
+#include "data/domain.h"
+#include "data/serialization.h"
+#include "eval/metrics.h"
+
+using namespace nlidb;
+
+int main(int argc, char** argv) {
+  std::string corpus_dir, model_dir, preset = "small";
+  int epochs_override = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--corpus") corpus_dir = next();
+    else if (arg == "--model") model_dir = next();
+    else if (arg == "--preset") preset = next();
+    else if (arg == "--epochs") epochs_override = std::atoi(next());
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (corpus_dir.empty() || model_dir.empty()) {
+    std::fprintf(stderr,
+                 "usage: train_model --corpus <dir> --model <dir> "
+                 "[--preset tiny|small|paper] [--epochs N]\n");
+    return 2;
+  }
+
+  auto provider = std::make_shared<text::EmbeddingProvider>();
+  data::RegisterDomainClusters(*provider);
+  core::ModelConfig config = preset == "tiny"    ? core::ModelConfig::Tiny()
+                             : preset == "paper" ? core::ModelConfig::Paper()
+                                                 : core::ModelConfig::Small();
+  config.word_dim = provider->dim();
+  if (preset == "paper") {
+    std::fprintf(stderr,
+                 "note: --preset paper needs hours of CPU time; the word "
+                 "dim is clamped to the provider's %d\n",
+                 provider->dim());
+  }
+  if (epochs_override > 0) {
+    config.classifier_epochs = epochs_override;
+    config.value_epochs = epochs_override;
+    config.seq2seq_epochs = epochs_override;
+  }
+
+  const std::filesystem::path base(corpus_dir);
+  auto train = data::LoadDataset((base / "train.txt").string());
+  if (!train.ok()) {
+    std::fprintf(stderr, "load train.txt: %s\n",
+                 train.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("training on %zu examples...\n", train->size());
+  core::NlidbPipeline pipeline(config, provider);
+  core::TrainReport report = pipeline.Train(*train);
+  std::printf("losses: classifier %.3f | values %.3f | seq2seq %.3f\n",
+              report.classifier_loss, report.value_loss, report.seq2seq_loss);
+
+  auto dev = data::LoadDataset((base / "dev.txt").string());
+  if (dev.ok()) {
+    std::printf("dev: %s\n",
+                eval::EvaluatePipeline(pipeline, *dev).ToString().c_str());
+  }
+  Status s = core::SavePipeline(pipeline, model_dir);
+  if (!s.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("saved model to %s\n", model_dir.c_str());
+  return 0;
+}
