@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_resolution.dir/bench/bench_ablation_resolution.cc.o"
+  "CMakeFiles/bench_ablation_resolution.dir/bench/bench_ablation_resolution.cc.o.d"
+  "bench/bench_ablation_resolution"
+  "bench/bench_ablation_resolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_gradients.dir/bench/bench_fig5_gradients.cc.o"
+  "CMakeFiles/bench_fig5_gradients.dir/bench/bench_fig5_gradients.cc.o.d"
+  "bench/bench_fig5_gradients"
+  "bench/bench_fig5_gradients.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_gradients.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

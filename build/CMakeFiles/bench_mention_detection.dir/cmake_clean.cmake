@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mention_detection.dir/bench/bench_mention_detection.cc.o"
+  "CMakeFiles/bench_mention_detection.dir/bench/bench_mention_detection.cc.o.d"
+  "bench/bench_mention_detection"
+  "bench/bench_mention_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mention_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

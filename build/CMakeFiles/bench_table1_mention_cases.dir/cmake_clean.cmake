@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_mention_cases.dir/bench/bench_table1_mention_cases.cc.o"
+  "CMakeFiles/bench_table1_mention_cases.dir/bench/bench_table1_mention_cases.cc.o.d"
+  "bench/bench_table1_mention_cases"
+  "bench/bench_table1_mention_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_mention_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_overnight.dir/bench/bench_table4_overnight.cc.o"
+  "CMakeFiles/bench_table4_overnight.dir/bench/bench_table4_overnight.cc.o.d"
+  "bench/bench_table4_overnight"
+  "bench/bench_table4_overnight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_overnight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_paraphrase.dir/bench/bench_table4_paraphrase.cc.o"
+  "CMakeFiles/bench_table4_paraphrase.dir/bench/bench_table4_paraphrase.cc.o.d"
+  "bench/bench_table4_paraphrase"
+  "bench/bench_table4_paraphrase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_paraphrase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/county_population.dir/county_population.cpp.o"
+  "CMakeFiles/county_population.dir/county_population.cpp.o.d"
+  "county_population"
+  "county_population.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/county_population.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_actors.dir/movie_actors.cpp.o"
+  "CMakeFiles/movie_actors.dir/movie_actors.cpp.o.d"
+  "movie_actors"
+  "movie_actors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_actors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlidb_repl.dir/nlidb_repl.cpp.o"
+  "CMakeFiles/nlidb_repl.dir/nlidb_repl.cpp.o.d"
+  "nlidb_repl"
+  "nlidb_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlidb_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

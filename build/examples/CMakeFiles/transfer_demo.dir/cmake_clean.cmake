@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_demo.dir/transfer_demo.cpp.o"
+  "CMakeFiles/transfer_demo.dir/transfer_demo.cpp.o.d"
+  "transfer_demo"
+  "transfer_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlidb_baselines.dir/pointer_seq2sql.cc.o"
+  "CMakeFiles/nlidb_baselines.dir/pointer_seq2sql.cc.o.d"
+  "CMakeFiles/nlidb_baselines.dir/sketch_slot_filler.cc.o"
+  "CMakeFiles/nlidb_baselines.dir/sketch_slot_filler.cc.o.d"
+  "CMakeFiles/nlidb_baselines.dir/transformer.cc.o"
+  "CMakeFiles/nlidb_baselines.dir/transformer.cc.o.d"
+  "libnlidb_baselines.a"
+  "libnlidb_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlidb_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

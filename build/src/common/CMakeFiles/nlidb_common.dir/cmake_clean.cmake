@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlidb_common.dir/logging.cc.o"
+  "CMakeFiles/nlidb_common.dir/logging.cc.o.d"
+  "CMakeFiles/nlidb_common.dir/rng.cc.o"
+  "CMakeFiles/nlidb_common.dir/rng.cc.o.d"
+  "CMakeFiles/nlidb_common.dir/status.cc.o"
+  "CMakeFiles/nlidb_common.dir/status.cc.o.d"
+  "CMakeFiles/nlidb_common.dir/strings.cc.o"
+  "CMakeFiles/nlidb_common.dir/strings.cc.o.d"
+  "libnlidb_common.a"
+  "libnlidb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlidb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

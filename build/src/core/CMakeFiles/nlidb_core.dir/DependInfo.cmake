@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adversarial.cc" "src/core/CMakeFiles/nlidb_core.dir/adversarial.cc.o" "gcc" "src/core/CMakeFiles/nlidb_core.dir/adversarial.cc.o.d"
+  "/root/repo/src/core/annotation.cc" "src/core/CMakeFiles/nlidb_core.dir/annotation.cc.o" "gcc" "src/core/CMakeFiles/nlidb_core.dir/annotation.cc.o.d"
+  "/root/repo/src/core/annotator.cc" "src/core/CMakeFiles/nlidb_core.dir/annotator.cc.o" "gcc" "src/core/CMakeFiles/nlidb_core.dir/annotator.cc.o.d"
+  "/root/repo/src/core/column_mention_classifier.cc" "src/core/CMakeFiles/nlidb_core.dir/column_mention_classifier.cc.o" "gcc" "src/core/CMakeFiles/nlidb_core.dir/column_mention_classifier.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/core/CMakeFiles/nlidb_core.dir/config.cc.o" "gcc" "src/core/CMakeFiles/nlidb_core.dir/config.cc.o.d"
+  "/root/repo/src/core/mention_resolver.cc" "src/core/CMakeFiles/nlidb_core.dir/mention_resolver.cc.o" "gcc" "src/core/CMakeFiles/nlidb_core.dir/mention_resolver.cc.o.d"
+  "/root/repo/src/core/persistence.cc" "src/core/CMakeFiles/nlidb_core.dir/persistence.cc.o" "gcc" "src/core/CMakeFiles/nlidb_core.dir/persistence.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/core/CMakeFiles/nlidb_core.dir/pipeline.cc.o" "gcc" "src/core/CMakeFiles/nlidb_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/core/seq2seq.cc" "src/core/CMakeFiles/nlidb_core.dir/seq2seq.cc.o" "gcc" "src/core/CMakeFiles/nlidb_core.dir/seq2seq.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/core/CMakeFiles/nlidb_core.dir/trainer.cc.o" "gcc" "src/core/CMakeFiles/nlidb_core.dir/trainer.cc.o.d"
+  "/root/repo/src/core/value_detector.cc" "src/core/CMakeFiles/nlidb_core.dir/value_detector.cc.o" "gcc" "src/core/CMakeFiles/nlidb_core.dir/value_detector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/nlidb_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/nlidb_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/nlidb_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/nlidb_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nlidb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/nlidb_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

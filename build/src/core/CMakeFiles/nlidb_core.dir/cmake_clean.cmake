@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlidb_core.dir/adversarial.cc.o"
+  "CMakeFiles/nlidb_core.dir/adversarial.cc.o.d"
+  "CMakeFiles/nlidb_core.dir/annotation.cc.o"
+  "CMakeFiles/nlidb_core.dir/annotation.cc.o.d"
+  "CMakeFiles/nlidb_core.dir/annotator.cc.o"
+  "CMakeFiles/nlidb_core.dir/annotator.cc.o.d"
+  "CMakeFiles/nlidb_core.dir/column_mention_classifier.cc.o"
+  "CMakeFiles/nlidb_core.dir/column_mention_classifier.cc.o.d"
+  "CMakeFiles/nlidb_core.dir/config.cc.o"
+  "CMakeFiles/nlidb_core.dir/config.cc.o.d"
+  "CMakeFiles/nlidb_core.dir/mention_resolver.cc.o"
+  "CMakeFiles/nlidb_core.dir/mention_resolver.cc.o.d"
+  "CMakeFiles/nlidb_core.dir/persistence.cc.o"
+  "CMakeFiles/nlidb_core.dir/persistence.cc.o.d"
+  "CMakeFiles/nlidb_core.dir/pipeline.cc.o"
+  "CMakeFiles/nlidb_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/nlidb_core.dir/seq2seq.cc.o"
+  "CMakeFiles/nlidb_core.dir/seq2seq.cc.o.d"
+  "CMakeFiles/nlidb_core.dir/trainer.cc.o"
+  "CMakeFiles/nlidb_core.dir/trainer.cc.o.d"
+  "CMakeFiles/nlidb_core.dir/value_detector.cc.o"
+  "CMakeFiles/nlidb_core.dir/value_detector.cc.o.d"
+  "libnlidb_core.a"
+  "libnlidb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlidb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

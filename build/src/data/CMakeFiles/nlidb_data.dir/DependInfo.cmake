@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/domains.cc" "src/data/CMakeFiles/nlidb_data.dir/domains.cc.o" "gcc" "src/data/CMakeFiles/nlidb_data.dir/domains.cc.o.d"
+  "/root/repo/src/data/generator.cc" "src/data/CMakeFiles/nlidb_data.dir/generator.cc.o" "gcc" "src/data/CMakeFiles/nlidb_data.dir/generator.cc.o.d"
+  "/root/repo/src/data/overnight.cc" "src/data/CMakeFiles/nlidb_data.dir/overnight.cc.o" "gcc" "src/data/CMakeFiles/nlidb_data.dir/overnight.cc.o.d"
+  "/root/repo/src/data/paraphrase_bench.cc" "src/data/CMakeFiles/nlidb_data.dir/paraphrase_bench.cc.o" "gcc" "src/data/CMakeFiles/nlidb_data.dir/paraphrase_bench.cc.o.d"
+  "/root/repo/src/data/serialization.cc" "src/data/CMakeFiles/nlidb_data.dir/serialization.cc.o" "gcc" "src/data/CMakeFiles/nlidb_data.dir/serialization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sql/CMakeFiles/nlidb_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/nlidb_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nlidb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlidb_data.dir/domains.cc.o"
+  "CMakeFiles/nlidb_data.dir/domains.cc.o.d"
+  "CMakeFiles/nlidb_data.dir/generator.cc.o"
+  "CMakeFiles/nlidb_data.dir/generator.cc.o.d"
+  "CMakeFiles/nlidb_data.dir/overnight.cc.o"
+  "CMakeFiles/nlidb_data.dir/overnight.cc.o.d"
+  "CMakeFiles/nlidb_data.dir/paraphrase_bench.cc.o"
+  "CMakeFiles/nlidb_data.dir/paraphrase_bench.cc.o.d"
+  "CMakeFiles/nlidb_data.dir/serialization.cc.o"
+  "CMakeFiles/nlidb_data.dir/serialization.cc.o.d"
+  "libnlidb_data.a"
+  "libnlidb_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlidb_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlidb_eval.dir/metrics.cc.o"
+  "CMakeFiles/nlidb_eval.dir/metrics.cc.o.d"
+  "libnlidb_eval.a"
+  "libnlidb_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlidb_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

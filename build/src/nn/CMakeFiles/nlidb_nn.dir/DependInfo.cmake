@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cc" "src/nn/CMakeFiles/nlidb_nn.dir/attention.cc.o" "gcc" "src/nn/CMakeFiles/nlidb_nn.dir/attention.cc.o.d"
+  "/root/repo/src/nn/char_cnn.cc" "src/nn/CMakeFiles/nlidb_nn.dir/char_cnn.cc.o" "gcc" "src/nn/CMakeFiles/nlidb_nn.dir/char_cnn.cc.o.d"
+  "/root/repo/src/nn/checkpoint.cc" "src/nn/CMakeFiles/nlidb_nn.dir/checkpoint.cc.o" "gcc" "src/nn/CMakeFiles/nlidb_nn.dir/checkpoint.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/nn/CMakeFiles/nlidb_nn.dir/layers.cc.o" "gcc" "src/nn/CMakeFiles/nlidb_nn.dir/layers.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/nlidb_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/nlidb_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/rnn.cc" "src/nn/CMakeFiles/nlidb_nn.dir/rnn.cc.o" "gcc" "src/nn/CMakeFiles/nlidb_nn.dir/rnn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/nlidb_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nlidb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

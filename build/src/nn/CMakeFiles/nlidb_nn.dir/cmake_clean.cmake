@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlidb_nn.dir/attention.cc.o"
+  "CMakeFiles/nlidb_nn.dir/attention.cc.o.d"
+  "CMakeFiles/nlidb_nn.dir/char_cnn.cc.o"
+  "CMakeFiles/nlidb_nn.dir/char_cnn.cc.o.d"
+  "CMakeFiles/nlidb_nn.dir/checkpoint.cc.o"
+  "CMakeFiles/nlidb_nn.dir/checkpoint.cc.o.d"
+  "CMakeFiles/nlidb_nn.dir/layers.cc.o"
+  "CMakeFiles/nlidb_nn.dir/layers.cc.o.d"
+  "CMakeFiles/nlidb_nn.dir/optimizer.cc.o"
+  "CMakeFiles/nlidb_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/nlidb_nn.dir/rnn.cc.o"
+  "CMakeFiles/nlidb_nn.dir/rnn.cc.o.d"
+  "libnlidb_nn.a"
+  "libnlidb_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlidb_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

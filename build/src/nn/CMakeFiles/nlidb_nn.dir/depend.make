@@ -1,0 +1,2 @@
+# Empty dependencies file for nlidb_nn.
+# This may be replaced when dependencies are built.

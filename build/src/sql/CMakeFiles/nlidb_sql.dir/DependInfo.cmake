@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sql/csv.cc" "src/sql/CMakeFiles/nlidb_sql.dir/csv.cc.o" "gcc" "src/sql/CMakeFiles/nlidb_sql.dir/csv.cc.o.d"
+  "/root/repo/src/sql/executor.cc" "src/sql/CMakeFiles/nlidb_sql.dir/executor.cc.o" "gcc" "src/sql/CMakeFiles/nlidb_sql.dir/executor.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/sql/CMakeFiles/nlidb_sql.dir/parser.cc.o" "gcc" "src/sql/CMakeFiles/nlidb_sql.dir/parser.cc.o.d"
+  "/root/repo/src/sql/query.cc" "src/sql/CMakeFiles/nlidb_sql.dir/query.cc.o" "gcc" "src/sql/CMakeFiles/nlidb_sql.dir/query.cc.o.d"
+  "/root/repo/src/sql/schema.cc" "src/sql/CMakeFiles/nlidb_sql.dir/schema.cc.o" "gcc" "src/sql/CMakeFiles/nlidb_sql.dir/schema.cc.o.d"
+  "/root/repo/src/sql/statistics.cc" "src/sql/CMakeFiles/nlidb_sql.dir/statistics.cc.o" "gcc" "src/sql/CMakeFiles/nlidb_sql.dir/statistics.cc.o.d"
+  "/root/repo/src/sql/table.cc" "src/sql/CMakeFiles/nlidb_sql.dir/table.cc.o" "gcc" "src/sql/CMakeFiles/nlidb_sql.dir/table.cc.o.d"
+  "/root/repo/src/sql/value.cc" "src/sql/CMakeFiles/nlidb_sql.dir/value.cc.o" "gcc" "src/sql/CMakeFiles/nlidb_sql.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nlidb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/nlidb_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

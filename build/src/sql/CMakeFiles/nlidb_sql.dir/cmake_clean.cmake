@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlidb_sql.dir/csv.cc.o"
+  "CMakeFiles/nlidb_sql.dir/csv.cc.o.d"
+  "CMakeFiles/nlidb_sql.dir/executor.cc.o"
+  "CMakeFiles/nlidb_sql.dir/executor.cc.o.d"
+  "CMakeFiles/nlidb_sql.dir/parser.cc.o"
+  "CMakeFiles/nlidb_sql.dir/parser.cc.o.d"
+  "CMakeFiles/nlidb_sql.dir/query.cc.o"
+  "CMakeFiles/nlidb_sql.dir/query.cc.o.d"
+  "CMakeFiles/nlidb_sql.dir/schema.cc.o"
+  "CMakeFiles/nlidb_sql.dir/schema.cc.o.d"
+  "CMakeFiles/nlidb_sql.dir/statistics.cc.o"
+  "CMakeFiles/nlidb_sql.dir/statistics.cc.o.d"
+  "CMakeFiles/nlidb_sql.dir/table.cc.o"
+  "CMakeFiles/nlidb_sql.dir/table.cc.o.d"
+  "CMakeFiles/nlidb_sql.dir/value.cc.o"
+  "CMakeFiles/nlidb_sql.dir/value.cc.o.d"
+  "libnlidb_sql.a"
+  "libnlidb_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlidb_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

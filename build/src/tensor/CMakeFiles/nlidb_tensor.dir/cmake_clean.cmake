@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlidb_tensor.dir/autograd.cc.o"
+  "CMakeFiles/nlidb_tensor.dir/autograd.cc.o.d"
+  "CMakeFiles/nlidb_tensor.dir/ops.cc.o"
+  "CMakeFiles/nlidb_tensor.dir/ops.cc.o.d"
+  "CMakeFiles/nlidb_tensor.dir/tensor.cc.o"
+  "CMakeFiles/nlidb_tensor.dir/tensor.cc.o.d"
+  "libnlidb_tensor.a"
+  "libnlidb_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlidb_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/dependency.cc" "src/text/CMakeFiles/nlidb_text.dir/dependency.cc.o" "gcc" "src/text/CMakeFiles/nlidb_text.dir/dependency.cc.o.d"
+  "/root/repo/src/text/distance.cc" "src/text/CMakeFiles/nlidb_text.dir/distance.cc.o" "gcc" "src/text/CMakeFiles/nlidb_text.dir/distance.cc.o.d"
+  "/root/repo/src/text/embedding_provider.cc" "src/text/CMakeFiles/nlidb_text.dir/embedding_provider.cc.o" "gcc" "src/text/CMakeFiles/nlidb_text.dir/embedding_provider.cc.o.d"
+  "/root/repo/src/text/lexicon.cc" "src/text/CMakeFiles/nlidb_text.dir/lexicon.cc.o" "gcc" "src/text/CMakeFiles/nlidb_text.dir/lexicon.cc.o.d"
+  "/root/repo/src/text/stopwords.cc" "src/text/CMakeFiles/nlidb_text.dir/stopwords.cc.o" "gcc" "src/text/CMakeFiles/nlidb_text.dir/stopwords.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/text/CMakeFiles/nlidb_text.dir/tokenizer.cc.o" "gcc" "src/text/CMakeFiles/nlidb_text.dir/tokenizer.cc.o.d"
+  "/root/repo/src/text/vocab.cc" "src/text/CMakeFiles/nlidb_text.dir/vocab.cc.o" "gcc" "src/text/CMakeFiles/nlidb_text.dir/vocab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nlidb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

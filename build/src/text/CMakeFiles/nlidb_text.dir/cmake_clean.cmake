@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nlidb_text.dir/dependency.cc.o"
+  "CMakeFiles/nlidb_text.dir/dependency.cc.o.d"
+  "CMakeFiles/nlidb_text.dir/distance.cc.o"
+  "CMakeFiles/nlidb_text.dir/distance.cc.o.d"
+  "CMakeFiles/nlidb_text.dir/embedding_provider.cc.o"
+  "CMakeFiles/nlidb_text.dir/embedding_provider.cc.o.d"
+  "CMakeFiles/nlidb_text.dir/lexicon.cc.o"
+  "CMakeFiles/nlidb_text.dir/lexicon.cc.o.d"
+  "CMakeFiles/nlidb_text.dir/stopwords.cc.o"
+  "CMakeFiles/nlidb_text.dir/stopwords.cc.o.d"
+  "CMakeFiles/nlidb_text.dir/tokenizer.cc.o"
+  "CMakeFiles/nlidb_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/nlidb_text.dir/vocab.cc.o"
+  "CMakeFiles/nlidb_text.dir/vocab.cc.o.d"
+  "libnlidb_text.a"
+  "libnlidb_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nlidb_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/char_cnn_test.dir/nn/char_cnn_test.cc.o"
+  "CMakeFiles/char_cnn_test.dir/nn/char_cnn_test.cc.o.d"
+  "char_cnn_test"
+  "char_cnn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/char_cnn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/column_mention_test.dir/core/column_mention_test.cc.o"
+  "CMakeFiles/column_mention_test.dir/core/column_mention_test.cc.o.d"
+  "column_mention_test"
+  "column_mention_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/column_mention_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/embedding_provider_test.dir/text/embedding_provider_test.cc.o"
+  "CMakeFiles/embedding_provider_test.dir/text/embedding_provider_test.cc.o.d"
+  "embedding_provider_test"
+  "embedding_provider_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/embedding_provider_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/executor_differential_test.dir/sql/executor_differential_test.cc.o"
+  "CMakeFiles/executor_differential_test.dir/sql/executor_differential_test.cc.o.d"
+  "executor_differential_test"
+  "executor_differential_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/executor_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/layers_test.cc" "tests/CMakeFiles/layers_test.dir/nn/layers_test.cc.o" "gcc" "tests/CMakeFiles/layers_test.dir/nn/layers_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/nlidb_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/nlidb_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/nlidb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/nlidb_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sql/CMakeFiles/nlidb_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/nlidb_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/nlidb_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/nlidb_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nlidb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

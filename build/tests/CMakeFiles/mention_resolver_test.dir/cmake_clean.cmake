@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mention_resolver_test.dir/core/mention_resolver_test.cc.o"
+  "CMakeFiles/mention_resolver_test.dir/core/mention_resolver_test.cc.o.d"
+  "mention_resolver_test"
+  "mention_resolver_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mention_resolver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_gradcheck_test.dir/tensor/ops_gradcheck_test.cc.o"
+  "CMakeFiles/ops_gradcheck_test.dir/tensor/ops_gradcheck_test.cc.o.d"
+  "ops_gradcheck_test"
+  "ops_gradcheck_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_gradcheck_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rnn_test.dir/nn/rnn_test.cc.o"
+  "CMakeFiles/rnn_test.dir/nn/rnn_test.cc.o.d"
+  "rnn_test"
+  "rnn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rnn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transfer_corpora_test.dir/data/transfer_corpora_test.cc.o"
+  "CMakeFiles/transfer_corpora_test.dir/data/transfer_corpora_test.cc.o.d"
+  "transfer_corpora_test"
+  "transfer_corpora_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transfer_corpora_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

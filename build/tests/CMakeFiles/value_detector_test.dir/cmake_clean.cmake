@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_detector_test.dir/core/value_detector_test.cc.o"
+  "CMakeFiles/value_detector_test.dir/core/value_detector_test.cc.o.d"
+  "value_detector_test"
+  "value_detector_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generate_corpus.dir/generate_corpus.cpp.o"
+  "CMakeFiles/generate_corpus.dir/generate_corpus.cpp.o.d"
+  "generate_corpus"
+  "generate_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generate_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
