@@ -6,12 +6,22 @@
 // Also reports span-level column mention precision/recall of the
 // annotator itself.
 
+// In addition to the accuracy table, the binary measures the annotation
+// substrate: end-to-end Annotate latency as the schema widens, and the
+// batched column-mention pass against a serial per-column emulation of
+// the pre-substrate annotator. Results merge into BENCH_substrate.json.
+
 #include "bench/bench_util.h"
 
+#include <chrono>
 #include <set>
 
 #include "baselines/sketch_slot_filler.h"
+#include "bench/bench_json.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
+#include "core/adversarial.h"
+#include "text/tokenizer.h"
 
 namespace nlidb {
 namespace bench {
@@ -35,6 +45,126 @@ float CondColValAccuracy(const data::Dataset& dataset,
     ok += key_set(*predicted) == key_set(ex.query);
   }
   return static_cast<float>(ok) / dataset.examples.size();
+}
+
+// Repeats `fn` until ~300 ms elapsed (at least 5 iterations); ns/call.
+template <typename Fn>
+double TimeNs(Fn&& fn) {
+  using Clock = std::chrono::steady_clock;
+  fn();  // warmup
+  int iters = 0;
+  const auto start = Clock::now();
+  double elapsed_ns = 0.0;
+  do {
+    fn();
+    ++iters;
+    elapsed_ns =
+        std::chrono::duration<double, std::nano>(Clock::now() - start).count();
+  } while (elapsed_ns < 3e8 || iters < 5);
+  return elapsed_ns / iters;
+}
+
+sql::Table MakeWideTable(int width) {
+  static const char* kNames[] = {
+      "race",          "winning_driver", "points",       "season_year",
+      "home_team",     "away_team",      "film_name",    "director_name",
+      "album_title",   "artist_name",    "release_year", "track_length",
+      "city_name",     "country_name",   "population",   "player_name",
+      "team_name",     "games_played",   "goal_count",   "match_date"};
+  std::vector<sql::ColumnDef> cols;
+  for (int i = 0; i < width; ++i) {
+    cols.push_back({kNames[i], sql::DataType::kText});
+  }
+  sql::Table table("bench_wide", sql::Schema(std::move(cols)));
+  for (int r = 0; r < 5; ++r) {
+    std::vector<sql::Value> row;
+    for (int i = 0; i < width; ++i) {
+      row.push_back(sql::Value::Text("cell " + std::to_string(r * width + i)));
+    }
+    (void)table.AddRow(std::move(row));
+  }
+  return table;
+}
+
+// Annotate latency vs schema width, plus the batched column-mention pass
+// against a serial per-column emulation of the pre-substrate annotator
+// (Predict each column, ComputeInfluence on accepted ones, one at a
+// time). Both run on the current tiled kernels, so the speedup isolates
+// batching + the pool fan-out, conservatively: the seed additionally ran
+// naive GEMM loops.
+void SubstrateLatencySection(core::NlidbPipeline& pipeline, BenchEnv& env) {
+  std::printf("\n--- annotation substrate latency (threads=%d) ---\n",
+              ThreadPool::Global().parallelism());
+  bench::FlatJson json = bench::FlatJson::Load(bench::SubstrateJsonPath());
+  json.Set("annotate_threads", ThreadPool::Global().parallelism());
+
+  const std::vector<std::vector<std::string>> questions = {
+      text::Tokenize("who is the winning driver of the monaco race"),
+      text::Tokenize("what is the goal count of the home team this season"),
+      text::Tokenize("which film name did the director name release"),
+  };
+  for (int width : {5, 10, 20}) {
+    const sql::Table table = MakeWideTable(width);
+    const double ns = TimeNs([&] {
+      for (const auto& q : questions) {
+        auto a = pipeline.Annotate(q, table);
+        (void)a;
+      }
+    }) / questions.size();
+    std::printf("annotate end-to-end, %2d columns: %10.0f ns\n", width, ns);
+    json.Set("annotate_ns_cols" + std::to_string(width), ns);
+  }
+
+  // Mention-pass comparison at the widest schema.
+  const sql::Table table = MakeWideTable(20);
+  std::vector<std::vector<std::string>> displays;
+  for (const auto& c : table.schema().columns()) {
+    displays.push_back(c.DisplayTokens());
+  }
+  const core::ColumnMentionClassifier& clf = pipeline.classifier();
+  const core::AdversarialLocator locator(env.config);
+  constexpr float kThreshold = 0.5f;  // annotator's kClassifierThreshold
+
+  const double serial_ns = TimeNs([&] {
+    for (const auto& q : questions) {
+      for (const auto& d : displays) {
+        const float p = clf.Predict(q, d);
+        if (p >= kThreshold) {
+          auto profile = locator.ComputeInfluence(clf, q, d);
+          (void)profile;
+        }
+      }
+    }
+  }) / questions.size();
+
+  const double batched_ns = TimeNs([&] {
+    for (const auto& q : questions) {
+      const std::vector<float> probs = clf.PredictBatch(q, displays);
+      std::vector<int> accepted;
+      for (int c = 0; c < static_cast<int>(probs.size()); ++c) {
+        if (probs[c] >= kThreshold) accepted.push_back(c);
+      }
+      std::vector<core::InfluenceProfile> profiles(accepted.size());
+      ThreadPool::Global().ParallelFor(
+          0, static_cast<int>(accepted.size()), [&](int jb, int je) {
+            for (int j = jb; j < je; ++j) {
+              profiles[j] = locator.ComputeInfluence(clf, q,
+                                                     displays[accepted[j]]);
+            }
+          });
+    }
+  }) / questions.size();
+
+  const double speedup = serial_ns / batched_ns;
+  std::printf("mention pass, 20 columns: serial %10.0f ns | batched %10.0f "
+              "ns | %.2fx\n",
+              serial_ns, batched_ns, speedup);
+  json.Set("mention_pass_serial_ns_cols20", serial_ns);
+  json.Set("mention_pass_batched_ns_cols20", batched_ns);
+  json.Set("annotate_speedup_cols20", speedup);
+  json.Save(bench::SubstrateJsonPath());
+  std::printf("merged %s (%zu keys)\n", bench::SubstrateJsonPath(),
+              json.size());
 }
 
 int Run() {
@@ -68,6 +198,8 @@ int Run() {
   std::printf(
       "\npaper: ours 91.8%% vs TypeSQL 87.9%% on $COND_COL/$COND_VAL.\n"
       "Reproduction target: ours above the sketch baseline.\n");
+
+  SubstrateLatencySection(*pipeline, env);
   return 0;
 }
 

@@ -2,9 +2,18 @@
 // autograd, RNN cells, SQL parsing/execution, statistics, generation and
 // the annotation fast paths. Not a paper table — supports the ablation
 // discussion in DESIGN.md and guards against performance regressions.
+//
+// Before the google-benchmark suite runs, main() times the tiled GEMM
+// kernels against the seed-equivalent reference loops (gemm_reference.cc,
+// compiled with the seed's flags) and appends the results to
+// BENCH_substrate.json (override the path with NLIDB_BENCH_JSON).
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "bench/bench_json.h"
+#include "common/thread_pool.h"
 #include "core/annotation.h"
 #include "data/generator.h"
 #include "nn/rnn.h"
@@ -161,7 +170,92 @@ void BM_AnnotationRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_AnnotationRoundTrip);
 
+// --- Tiled-vs-reference GEMM report (BENCH_substrate.json) ------------
+
+using GemmFn = void (*)(const Tensor&, const Tensor&, Tensor&);
+
+// Runs `fn` until ~80 ms have elapsed (at least 3 iterations) and
+// returns ns per call; best of 3 batches. `out` is re-zeroed every call
+// on both sides of a comparison, so the Fill cost cancels.
+double TimeGemmNs(GemmFn fn, const Tensor& a, const Tensor& b, Tensor& out) {
+  using Clock = std::chrono::steady_clock;
+  out.Fill(0.0f);
+  fn(a, b, out);  // warmup
+  double best = 1e30;
+  for (int batch = 0; batch < 3; ++batch) {
+    int iters = 0;
+    const auto start = Clock::now();
+    double elapsed_ns = 0.0;
+    do {
+      out.Fill(0.0f);
+      fn(a, b, out);
+      ++iters;
+      elapsed_ns = std::chrono::duration<double, std::nano>(Clock::now() -
+                                                            start)
+                       .count();
+    } while (elapsed_ns < 8e7 || iters < 3);
+    best = std::min(best, elapsed_ns / iters);
+  }
+  return best;
+}
+
+struct GemmCase {
+  const char* key;      // JSON key stem, e.g. "gemm_ab"
+  GemmFn tiled;
+  GemmFn reference;
+  bool transpose_a;     // out shape follows the kernel's contraction
+};
+
+void RunSubstrateGemmReport(bench::FlatJson& json) {
+  const GemmCase cases[] = {
+      {"gemm_ab", &MatMulAccumulate, &MatMulAccumulateReference, false},
+      {"gemm_abt", &MatMulTransposeBAccumulate,
+       &MatMulTransposeBAccumulateReference, false},
+      {"gemm_atb", &MatMulTransposeAAccumulate,
+       &MatMulTransposeAAccumulateReference, true},
+  };
+  const int sizes[] = {64, 128, 256, 384};
+  std::printf("substrate: tiled GEMM vs seed-equivalent reference "
+              "(threads=%d)\n",
+              ThreadPool::Global().parallelism());
+  std::printf("%-10s %6s %12s %12s %9s\n", "kernel", "n", "ref ns/op",
+              "tiled ns/op", "speedup");
+  for (const GemmCase& c : cases) {
+    for (int n : sizes) {
+      Rng rng(static_cast<uint64_t>(n) * 7 + 1);
+      // Square shapes: every kernel variant accepts [n,n]x[n,n]->[n,n].
+      Tensor a = Tensor::Gaussian({n, n}, 1.0f, rng);
+      Tensor b = Tensor::Gaussian({n, n}, 1.0f, rng);
+      Tensor out = Tensor::Zeros({n, n});
+      const double ref_ns = TimeGemmNs(c.reference, a, b, out);
+      const double tiled_ns = TimeGemmNs(c.tiled, a, b, out);
+      const double speedup = ref_ns / tiled_ns;
+      std::printf("%-10s %6d %12.0f %12.0f %8.2fx\n", c.key, n, ref_ns,
+                  tiled_ns, speedup);
+      const std::string stem = std::string(c.key) + "_" + std::to_string(n);
+      json.Set(stem + "_ref_ns", ref_ns);
+      json.Set(stem + "_tiled_ns", tiled_ns);
+      json.Set(stem + "_speedup", speedup);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace nlidb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  {
+    nlidb::bench::FlatJson json =
+        nlidb::bench::FlatJson::Load(nlidb::bench::SubstrateJsonPath());
+    json.Set("threads", nlidb::ThreadPool::Global().parallelism());
+    nlidb::RunSubstrateGemmReport(json);
+    json.Save(nlidb::bench::SubstrateJsonPath());
+    std::printf("wrote %s (%zu keys)\n\n", nlidb::bench::SubstrateJsonPath(),
+                json.size());
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -25,3 +25,4 @@ set_target_properties(bench_micro_substrate PROPERTIES RUNTIME_OUTPUT_DIRECTORY 
 target_link_libraries(bench_micro_substrate PRIVATE
   nlidb_core nlidb_data nlidb_sql nlidb_text nlidb_nn nlidb_tensor
   nlidb_common benchmark::benchmark)
+target_include_directories(bench_micro_substrate PRIVATE ${CMAKE_SOURCE_DIR})

@@ -1,0 +1,146 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+
+#include "common/logging.h"
+
+namespace nlidb {
+
+namespace {
+
+// Set while a thread is executing pool jobs; nested ParallelFor calls on
+// such a thread must run inline instead of enqueueing (see header).
+thread_local bool tls_in_pool_worker = false;
+
+}  // namespace
+
+struct ThreadPool::LoopState {
+  std::mutex mu;
+  std::condition_variable done_cv;
+  int remaining = 0;
+  std::vector<std::exception_ptr> errors;  // one slot per chunk
+};
+
+ThreadPool::ThreadPool(int parallelism) {
+  const int workers = std::max(parallelism, 1) - 1;
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  tls_in_pool_worker = true;
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with drained queue
+      job = queue_.front();
+      queue_.pop_front();
+    }
+    RunJob(job);
+  }
+}
+
+void ThreadPool::RunJob(const Job& job) {
+  // Mark the thread as executing pool work for the duration of the body
+  // (also for the calling thread running chunk 0), so nested ParallelFor
+  // calls go inline.
+  const bool was_worker = tls_in_pool_worker;
+  tls_in_pool_worker = true;
+  std::exception_ptr error;
+  try {
+    (*job.body)(job.begin, job.end);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  tls_in_pool_worker = was_worker;
+  std::lock_guard<std::mutex> lock(job.loop->mu);
+  if (error) job.loop->errors[job.chunk] = error;
+  if (--job.loop->remaining == 0) job.loop->done_cv.notify_all();
+}
+
+void ThreadPool::ParallelFor(int begin, int end,
+                             const std::function<void(int, int)>& body) {
+  const int len = end - begin;
+  if (len <= 0) return;
+  const int chunks = std::min(parallelism(), len);
+  if (chunks <= 1 || tls_in_pool_worker) {
+    body(begin, end);
+    return;
+  }
+
+  LoopState loop;
+  loop.remaining = chunks;
+  loop.errors.resize(chunks);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    NLIDB_CHECK(!shutdown_) << "ParallelFor on a shut-down pool";
+    // Chunk 0 runs on the calling thread below; enqueue the rest.
+    for (int c = 1; c < chunks; ++c) {
+      const int cb = begin + static_cast<int>(
+                                 static_cast<long long>(len) * c / chunks);
+      const int ce = begin + static_cast<int>(
+                                 static_cast<long long>(len) * (c + 1) / chunks);
+      queue_.push_back(Job{&body, cb, ce, c, &loop});
+    }
+  }
+  work_cv_.notify_all();
+
+  const int ce0 =
+      begin + static_cast<int>(static_cast<long long>(len) / chunks);
+  RunJob(Job{&body, begin, ce0, 0, &loop});
+
+  std::unique_lock<std::mutex> lock(loop.mu);
+  loop.done_cv.wait(lock, [&loop] { return loop.remaining == 0; });
+  // Deterministic error selection: lowest chunk index wins.
+  for (auto& e : loop.errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+bool ThreadPool::InWorker() { return tls_in_pool_worker; }
+
+int ThreadPool::DefaultParallelism() {
+  if (const char* env = std::getenv("NLIDB_NUM_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+namespace {
+std::mutex global_pool_mu;
+std::unique_ptr<ThreadPool> global_pool;
+}  // namespace
+
+ThreadPool& ThreadPool::Global() {
+  std::lock_guard<std::mutex> lock(global_pool_mu);
+  if (!global_pool) {
+    global_pool = std::make_unique<ThreadPool>(DefaultParallelism());
+  }
+  return *global_pool;
+}
+
+void ThreadPool::SetGlobalParallelism(int parallelism) {
+  const int p = std::max(parallelism, 1);
+  std::lock_guard<std::mutex> lock(global_pool_mu);
+  if (global_pool && global_pool->parallelism() == p) return;
+  global_pool = std::make_unique<ThreadPool>(p);
+}
+
+}  // namespace nlidb

@@ -1,0 +1,76 @@
+#include "common/workspace.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace nlidb {
+
+namespace {
+
+// Rounds a float count up so consecutive buffers stay 64-byte aligned
+// (16 floats) relative to the block start; std::vector<float> data is
+// 16-byte aligned at minimum, which is enough for the unaligned-load
+// kernels in tensor/ — the rounding mainly prevents false sharing between
+// buffers handed to different loop chunks.
+size_t AlignCount(size_t n) { return (n + 15u) & ~size_t{15u}; }
+
+}  // namespace
+
+float* Workspace::Floats(size_t n) {
+  const size_t need = AlignCount(std::max<size_t>(n, 1));
+  while (active_block_ < blocks_.size()) {
+    Block& b = blocks_[active_block_];
+    if (b.used + need <= b.data.size()) {
+      float* out = b.data.data() + b.used;
+      b.used += need;
+      ++live_buffers_;
+      std::memset(out, 0, n * sizeof(float));
+      return out;
+    }
+    ++active_block_;
+  }
+  Block fresh;
+  fresh.data.resize(std::max(need, kBlockFloats));
+  fresh.used = need;
+  blocks_.push_back(std::move(fresh));
+  active_block_ = blocks_.size() - 1;
+  ++live_buffers_;
+  float* out = blocks_.back().data.data();
+  std::memset(out, 0, n * sizeof(float));
+  return out;
+}
+
+void Workspace::Reset() {
+  for (Block& b : blocks_) b.used = 0;
+  active_block_ = 0;
+  live_buffers_ = 0;
+}
+
+size_t Workspace::reserved() const {
+  size_t total = 0;
+  for (const Block& b : blocks_) total += b.data.size();
+  return total;
+}
+
+Workspace::Scope::Scope(Workspace& ws)
+    : ws_(&ws),
+      block_(ws.active_block_),
+      used_(ws.blocks_.empty() ? 0 : ws.blocks_[ws.active_block_].used),
+      live_(ws.live_buffers_) {}
+
+Workspace::Scope::~Scope() {
+  // Rewind every block past the snapshot point; blocks themselves are
+  // retained (same policy as Reset).
+  for (size_t b = block_; b < ws_->blocks_.size(); ++b) {
+    ws_->blocks_[b].used = b == block_ ? used_ : 0;
+  }
+  ws_->active_block_ = block_;
+  ws_->live_buffers_ = live_;
+}
+
+Workspace& Workspace::ThreadLocal() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+}  // namespace nlidb

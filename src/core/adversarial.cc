@@ -26,7 +26,16 @@ InfluenceProfile AdversarialLocator::ComputeInfluence(
   // update them here.
   fr.question_word_embeddings->requires_grad = true;
   for (auto& v : fr.question_char_embeddings) v->requires_grad = true;
-  Backward(loss);
+  {
+    // Influence probing only reads gradients at the embedding *lookup*
+    // nodes, never at the weights. The scope makes Backward skip every
+    // write into parameter leaves, which (a) drops the useless dW GEMMs
+    // and (b) removes the only shared-state writes, so the annotator can
+    // fan ComputeInfluence calls for different columns across the thread
+    // pool (the lookup nodes and all intermediates are per-graph).
+    InferenceGradScope scope;
+    Backward(loss);
+  }
 
   const int n = static_cast<int>(question.size());
   InfluenceProfile profile;

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "text/distance.h"
 #include "text/stopwords.h"
 
@@ -217,13 +218,46 @@ std::vector<ColumnMentionCandidate> Annotator::ClassifierColumnPass(
   std::vector<ColumnMentionCandidate> out;
   if (classifier_ == nullptr) return out;
   AdversarialLocator locator(config_);
+
+  // Phase 1 (batched): score every unmatched column in one classifier
+  // graph. Bitwise identical per column to Predict, so the acceptance
+  // decisions are exactly those of the sequential pass.
+  std::vector<int> pending;
+  std::vector<std::vector<std::string>> displays;
   for (int c = 0; c < schema.num_columns(); ++c) {
     if (matched[c]) continue;
-    const std::vector<std::string> display = schema.column(c).DisplayTokens();
-    const float p = classifier_->Predict(tokens, display);
-    if (p < kClassifierThreshold) continue;
-    InfluenceProfile profile =
-        locator.ComputeInfluence(*classifier_, tokens, display);
+    pending.push_back(c);
+    displays.push_back(schema.column(c).DisplayTokens());
+  }
+  if (pending.empty()) return out;
+  const std::vector<float> probs = classifier_->PredictBatch(tokens, displays);
+
+  // Phase 2 (parallel): influence profiles for the accepted columns.
+  // ComputeInfluence depends only on (question, column) — not on the
+  // claimed mask — so the per-column passes fan out across the thread
+  // pool into index-addressed slots. The seed code also ran a second full
+  // Forward here (inside ComputeInfluence) for accepted columns; that is
+  // now the only forward they need, since scoring was batched above.
+  std::vector<int> accepted;
+  for (size_t j = 0; j < pending.size(); ++j) {
+    if (probs[j] >= kClassifierThreshold) accepted.push_back(static_cast<int>(j));
+  }
+  std::vector<InfluenceProfile> profiles(accepted.size());
+  ThreadPool::Global().ParallelFor(
+      0, static_cast<int>(accepted.size()), [&](int jb, int je) {
+        for (int j = jb; j < je; ++j) {
+          profiles[j] = locator.ComputeInfluence(*classifier_, tokens,
+                                                 displays[accepted[j]]);
+        }
+      });
+
+  // Phase 3 (sequential, original column order): masking, span location,
+  // and claiming. The claimed mask evolves between columns exactly as in
+  // the sequential pass, so results are unchanged.
+  for (size_t j = 0; j < accepted.size(); ++j) {
+    const int c = pending[accepted[j]];
+    const float p = probs[accepted[j]];
+    InfluenceProfile& profile = profiles[j];
     // Tokens already claimed by higher-confidence evidence (exact values,
     // context-free column matches, learned values) and stop words are
     // masked out of the influence profile — a column mention is never

@@ -56,6 +56,18 @@ class ColumnMentionClassifier : public nn::Module {
   float Predict(const std::vector<std::string>& question,
                 const std::vector<std::string>& column) const;
 
+  /// Scores every column against the question in one batched graph,
+  /// returning probabilities in column order, bitwise identical to
+  /// calling Predict per column. The question encoding (embeddings,
+  /// question LSTM, attention memory projection) — the dominant cost of
+  /// Predict — is computed once and shared; columns of equal capped
+  /// length walk the attention bi-LSTM in lockstep as rows of one state
+  /// matrix; and all feature rows go through the head MLP as a single
+  /// GEMM (DESIGN.md "Performance architecture").
+  std::vector<float> PredictBatch(
+      const std::vector<std::string>& question,
+      const std::vector<std::vector<std::string>>& columns) const;
+
   void CollectParameters(std::vector<Var>* out) const override;
 
   const ModelConfig& config() const { return config_; }

@@ -62,6 +62,18 @@ struct ModelConfig {
 
   uint64_t seed = 7;
 
+  /// Worker threads for the inference substrate (GEMM row partitioning
+  /// and the annotator's per-column influence fan-out). 0 = resolve at
+  /// pipeline construction via ResolveNumThreads(): the NLIDB_NUM_THREADS
+  /// environment variable if set, else hardware concurrency. 1 forces the
+  /// fully serial path. Any value produces bitwise-identical results
+  /// (DESIGN.md "Performance architecture").
+  int num_threads = 0;
+
+  /// `num_threads` with defaults applied: the explicit value if >= 1,
+  /// else NLIDB_NUM_THREADS, else hardware concurrency; always >= 1.
+  int ResolveNumThreads() const;
+
   /// Scaled-down configuration (default).
   static ModelConfig Small() { return ModelConfig(); }
 

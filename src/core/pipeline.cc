@@ -1,6 +1,7 @@
 #include "core/pipeline.h"
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "text/tokenizer.h"
 
 namespace nlidb {
@@ -10,6 +11,9 @@ NlidbPipeline::NlidbPipeline(const ModelConfig& config,
                              std::shared_ptr<text::EmbeddingProvider> provider)
     : config_(config), provider_(std::move(provider)) {
   NLIDB_CHECK(provider_ != nullptr) << "pipeline needs an embedding provider";
+  // Size the shared pool once per process; 1 forces every substrate
+  // consumer (GEMM kernels, influence fan-out) onto the serial path.
+  ThreadPool::SetGlobalParallelism(config_.ResolveNumThreads());
   classifier_ = std::make_unique<ColumnMentionClassifier>(config_, *provider_);
   value_detector_ = std::make_unique<ValueDetector>(config_, *provider_);
   translator_ = std::make_unique<Seq2SeqTranslator>(config_);

@@ -17,9 +17,12 @@ LstmCell::LstmCell(int input_size, int hidden_size, Rng& rng)
   bias_ = MakeVar(std::move(b), /*requires_grad=*/true);
 }
 
-LstmCell::State LstmCell::InitialState() const {
-  return State{MakeVar(Tensor::Zeros({1, hidden_size_})),
-               MakeVar(Tensor::Zeros({1, hidden_size_}))};
+LstmCell::State LstmCell::InitialState() const { return InitialState(1); }
+
+LstmCell::State LstmCell::InitialState(int batch) const {
+  NLIDB_CHECK(batch >= 1) << "LstmCell batch size";
+  return State{MakeVar(Tensor::Zeros({batch, hidden_size_})),
+               MakeVar(Tensor::Zeros({batch, hidden_size_}))};
 }
 
 LstmCell::State LstmCell::Step(const Var& x, const State& state) const {

@@ -19,14 +19,18 @@ class LstmCell : public Module {
   LstmCell(int input_size, int hidden_size, Rng& rng);
 
   struct State {
-    Var h;  // [1, hidden]
-    Var c;  // [1, hidden]
+    Var h;  // [batch, hidden]
+    Var c;  // [batch, hidden]
   };
 
-  /// Returns a zero initial state.
+  /// Returns a zero initial state for a single sequence ([1, hidden]).
   State InitialState() const;
+  /// Returns a zero initial state for `batch` independent sequences
+  /// stepped in lockstep; row b of every subsequent state evolves exactly
+  /// as sequence b would alone.
+  State InitialState(int batch) const;
 
-  /// One step: x is [1, input]. Returns the next state.
+  /// One step: x is [batch, input]. Returns the next state.
   State Step(const Var& x, const State& state) const;
 
   void CollectParameters(std::vector<Var>* out) const override;

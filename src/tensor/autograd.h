@@ -45,6 +45,38 @@ void Backward(const Var& root);
 /// steps; graph intermediates are freed with the graph).
 void ZeroGrad(const std::vector<Var>& vars);
 
+/// Marks the current thread as running an inference-time backward pass
+/// (adversarial influence probing, DESIGN.md "Performance architecture").
+///
+/// While a scope is active on a thread, GradSink() returns nullptr for
+/// graph leaves (nodes with no backward_fn: parameters and constant
+/// inputs), so backward closures skip writing weight gradients entirely.
+/// That makes concurrent Backward() calls over graphs that share
+/// parameter nodes race-free — the only shared state written during a
+/// training backward is exactly those leaf grads — and skips the dW GEMMs
+/// influence probing never reads. Intermediate nodes (including the
+/// embedding activations whose grads the influence profile reads) are
+/// per-graph and still accumulate normally.
+class InferenceGradScope {
+ public:
+  InferenceGradScope();
+  ~InferenceGradScope();
+  InferenceGradScope(const InferenceGradScope&) = delete;
+  InferenceGradScope& operator=(const InferenceGradScope&) = delete;
+
+  /// True when the calling thread is inside an InferenceGradScope.
+  static bool Active();
+
+ private:
+  bool prev_;
+};
+
+/// The gradient buffer a backward closure should accumulate into for
+/// `node`, or nullptr when the write (and the work producing it) should
+/// be skipped — see InferenceGradScope. Closures must route every
+/// parent-grad write through this.
+Tensor* GradSink(AutogradNode& node);
+
 }  // namespace nlidb
 
 #endif  // NLIDB_TENSOR_AUTOGRAD_H_

@@ -1,0 +1,63 @@
+#ifndef NLIDB_TENSOR_GEMM_KERNELS_H_
+#define NLIDB_TENSOR_GEMM_KERNELS_H_
+
+// Row-range GEMM kernel entry points, compiled once per ISA tier.
+//
+// The tiled micro-kernels in gemm_tiles.h are instantiated by two
+// translation units: gemm_kernels_base.cc (the toolchain's default
+// target, runs anywhere the binary does) and gemm_kernels_avx2.cc
+// (-march=x86-64-v3 where the compiler supports it, selected at runtime
+// only when the CPU reports AVX2). Both TUs build with -ffp-contract=off,
+// so neither tier fuses multiply-adds and both produce bitwise-identical
+// results — which machine runs the model never changes its outputs.
+//
+// Each function processes output rows [ib, ie) only, so callers can
+// partition rows across the thread pool without further coordination.
+
+namespace nlidb {
+namespace gemm {
+
+// out[ib..ie) += a[ib..ie) * b          (a [m,k], b [k,n], out [m,n])
+using RowsABFn = void (*)(const float* a, const float* b, float* out, int ib,
+                          int ie, int k, int n);
+// out[ib..ie) += a[ib..ie) * b^T        (a [m,k], b [n,k], out [m,n])
+using RowsABtFn = void (*)(const float* a, const float* b, float* out, int ib,
+                           int ie, int k, int n);
+// out[ib..ie) += (a^T)[ib..ie) * b      (a [k,m], b [k,n], out [m,n])
+using RowsAtBFn = void (*)(const float* a, const float* b, float* out, int ib,
+                           int ie, int k, int m, int n);
+
+namespace base {
+void RowsAB(const float* a, const float* b, float* out, int ib, int ie, int k,
+            int n);
+void RowsABt(const float* a, const float* b, float* out, int ib, int ie, int k,
+             int n);
+void RowsAtB(const float* a, const float* b, float* out, int ib, int ie, int k,
+             int m, int n);
+}  // namespace base
+
+namespace avx2 {
+/// True only when this TU was compiled at x86-64-v3 AND the running CPU
+/// supports AVX2; the base tier is used otherwise.
+bool Available();
+void RowsAB(const float* a, const float* b, float* out, int ib, int ie, int k,
+            int n);
+void RowsABt(const float* a, const float* b, float* out, int ib, int ie, int k,
+             int n);
+void RowsAtB(const float* a, const float* b, float* out, int ib, int ie, int k,
+             int m, int n);
+}  // namespace avx2
+
+struct RowKernels {
+  RowsABFn rows_ab;
+  RowsABtFn rows_abt;
+  RowsAtBFn rows_atb;
+};
+
+/// The kernel tier for this machine, resolved once on first use.
+const RowKernels& Kernels();
+
+}  // namespace gemm
+}  // namespace nlidb
+
+#endif  // NLIDB_TENSOR_GEMM_KERNELS_H_

@@ -1,0 +1,74 @@
+// Scalar reference GEMM kernels: the pre-substrate naive loops, preserved
+// verbatim in their own translation unit with the project's default
+// compile flags. They define the numeric ground truth the tiled kernels
+// must match bitwise (tests/tensor/gemm_test.cc) and the baseline
+// bench_micro_substrate measures speedup against.
+
+#include "common/logging.h"
+#include "tensor/tensor.h"
+
+namespace nlidb {
+
+void MatMulAccumulateReference(const Tensor& a, const Tensor& b, Tensor& out) {
+  const int m = a.rows();
+  const int k = a.cols();
+  const int n = b.cols();
+  NLIDB_CHECK(out.rows() == m && out.cols() == n) << "MatMulAccumulate shape";
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int i = 0; i < m; ++i) {
+    for (int kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* orow = po + i * n;
+      for (int j = 0; j < n; ++j) orow[j] += aik * brow[j];
+    }
+  }
+}
+
+void MatMulTransposeAAccumulateReference(const Tensor& a, const Tensor& b,
+                                         Tensor& out) {
+  const int k = a.rows();
+  const int m = a.cols();
+  const int n = b.cols();
+  NLIDB_CHECK(b.rows() == k && out.rows() == m && out.cols() == n)
+      << "MatMulTransposeAAccumulate shape";
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int kk = 0; kk < k; ++kk) {
+    const float* arow = pa + kk * m;
+    const float* brow = pb + kk * n;
+    for (int i = 0; i < m; ++i) {
+      const float v = arow[i];
+      if (v == 0.0f) continue;
+      float* orow = po + i * n;
+      for (int j = 0; j < n; ++j) orow[j] += v * brow[j];
+    }
+  }
+}
+
+void MatMulTransposeBAccumulateReference(const Tensor& a, const Tensor& b,
+                                         Tensor& out) {
+  const int m = a.rows();
+  const int k = a.cols();
+  const int n = b.rows();
+  NLIDB_CHECK(b.cols() == k && out.rows() == m && out.cols() == n)
+      << "MatMulTransposeBAccumulate shape";
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (int i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      float dot = 0.0f;
+      for (int kk = 0; kk < k; ++kk) dot += arow[kk] * brow[kk];
+      po[i * n + j] += dot;
+    }
+  }
+}
+
+}  // namespace nlidb

@@ -26,8 +26,12 @@ Var MatMul(const Var& a, const Var& b) {
     const Var& a = n.parents[0];
     const Var& b = n.parents[1];
     // dA += dOut * B^T ; dB += A^T * dOut
-    MatMulTransposeBAccumulate(n.grad, b->value, a->EnsureGrad());
-    MatMulTransposeAAccumulate(a->value, n.grad, b->EnsureGrad());
+    if (Tensor* ga = GradSink(*a)) {
+      MatMulTransposeBAccumulate(n.grad, b->value, *ga);
+    }
+    if (Tensor* gb = GradSink(*b)) {
+      MatMulTransposeAAccumulate(a->value, n.grad, *gb);
+    }
   });
 }
 
@@ -36,8 +40,8 @@ Var Add(const Var& a, const Var& b) {
   Tensor out = a->value;
   out.Add(b->value);
   return NewNode(std::move(out), {a, b}, [](AutogradNode& n) {
-    n.parents[0]->AccumulateGrad(n.grad);
-    n.parents[1]->AccumulateGrad(n.grad);
+    if (Tensor* ga = GradSink(*n.parents[0])) ga->Add(n.grad);
+    if (Tensor* gb = GradSink(*n.parents[1])) gb->Add(n.grad);
   });
 }
 
@@ -46,8 +50,8 @@ Var Sub(const Var& a, const Var& b) {
   Tensor out = a->value;
   out.Axpy(-1.0f, b->value);
   return NewNode(std::move(out), {a, b}, [](AutogradNode& n) {
-    n.parents[0]->AccumulateGrad(n.grad);
-    n.parents[1]->EnsureGrad().Axpy(-1.0f, n.grad);
+    if (Tensor* ga = GradSink(*n.parents[0])) ga->Add(n.grad);
+    if (Tensor* gb = GradSink(*n.parents[1])) gb->Axpy(-1.0f, n.grad);
   });
 }
 
@@ -56,13 +60,13 @@ Var Mul(const Var& a, const Var& b) {
   Tensor out = a->value;
   for (size_t i = 0; i < out.size(); ++i) out.vec()[i] *= b->value.vec()[i];
   return NewNode(std::move(out), {a, b}, [](AutogradNode& n) {
-    Tensor& ga = n.parents[0]->EnsureGrad();
-    Tensor& gb = n.parents[1]->EnsureGrad();
+    Tensor* ga = GradSink(*n.parents[0]);
+    Tensor* gb = GradSink(*n.parents[1]);
     const auto& av = n.parents[0]->value.vec();
     const auto& bv = n.parents[1]->value.vec();
     for (size_t i = 0; i < n.grad.size(); ++i) {
-      ga.vec()[i] += n.grad.vec()[i] * bv[i];
-      gb.vec()[i] += n.grad.vec()[i] * av[i];
+      if (ga) ga->vec()[i] += n.grad.vec()[i] * bv[i];
+      if (gb) gb->vec()[i] += n.grad.vec()[i] * av[i];
     }
   });
 }
@@ -77,12 +81,13 @@ Var AddRowBroadcast(const Var& a, const Var& bias) {
     for (int j = 0; j < nc; ++j) out(i, j) += bias->value(j);
   }
   return NewNode(std::move(out), {a, bias}, [](AutogradNode& n) {
-    n.parents[0]->AccumulateGrad(n.grad);
-    Tensor& gb = n.parents[1]->EnsureGrad();
-    const int m = n.grad.rows();
-    const int nc = n.grad.cols();
-    for (int i = 0; i < m; ++i) {
-      for (int j = 0; j < nc; ++j) gb.vec()[j] += n.grad(i, j);
+    if (Tensor* ga = GradSink(*n.parents[0])) ga->Add(n.grad);
+    if (Tensor* gb = GradSink(*n.parents[1])) {
+      const int m = n.grad.rows();
+      const int nc = n.grad.cols();
+      for (int i = 0; i < m; ++i) {
+        for (int j = 0; j < nc; ++j) gb->vec()[j] += n.grad(i, j);
+      }
     }
   });
 }
@@ -91,7 +96,7 @@ Var ScalarMul(const Var& a, float s) {
   Tensor out = a->value;
   out.Scale(s);
   return NewNode(std::move(out), {a}, [s](AutogradNode& n) {
-    n.parents[0]->EnsureGrad().Axpy(s, n.grad);
+    if (Tensor* ga = GradSink(*n.parents[0])) ga->Axpy(s, n.grad);
   });
 }
 
@@ -99,10 +104,11 @@ Var Sigmoid(const Var& a) {
   Tensor out = a->value;
   for (float& x : out.vec()) x = 1.0f / (1.0f + std::exp(-x));
   return NewNode(std::move(out), {a}, [](AutogradNode& n) {
-    Tensor& ga = n.parents[0]->EnsureGrad();
+    Tensor* ga = GradSink(*n.parents[0]);
+    if (!ga) return;
     for (size_t i = 0; i < n.grad.size(); ++i) {
       const float y = n.value.vec()[i];
-      ga.vec()[i] += n.grad.vec()[i] * y * (1.0f - y);
+      ga->vec()[i] += n.grad.vec()[i] * y * (1.0f - y);
     }
   });
 }
@@ -111,10 +117,11 @@ Var Tanh(const Var& a) {
   Tensor out = a->value;
   for (float& x : out.vec()) x = std::tanh(x);
   return NewNode(std::move(out), {a}, [](AutogradNode& n) {
-    Tensor& ga = n.parents[0]->EnsureGrad();
+    Tensor* ga = GradSink(*n.parents[0]);
+    if (!ga) return;
     for (size_t i = 0; i < n.grad.size(); ++i) {
       const float y = n.value.vec()[i];
-      ga.vec()[i] += n.grad.vec()[i] * (1.0f - y * y);
+      ga->vec()[i] += n.grad.vec()[i] * (1.0f - y * y);
     }
   });
 }
@@ -123,10 +130,11 @@ Var Relu(const Var& a) {
   Tensor out = a->value;
   for (float& x : out.vec()) x = x > 0.0f ? x : 0.0f;
   return NewNode(std::move(out), {a}, [](AutogradNode& n) {
-    Tensor& ga = n.parents[0]->EnsureGrad();
+    Tensor* ga = GradSink(*n.parents[0]);
+    if (!ga) return;
     for (size_t i = 0; i < n.grad.size(); ++i) {
       if (n.parents[0]->value.vec()[i] > 0.0f) {
-        ga.vec()[i] += n.grad.vec()[i];
+        ga->vec()[i] += n.grad.vec()[i];
       }
     }
   });
@@ -136,11 +144,12 @@ Var Exp(const Var& a) {
   Tensor out = a->value;
   for (float& x : out.vec()) x = std::exp(std::min(x, 20.0f));
   return NewNode(std::move(out), {a}, [](AutogradNode& n) {
-    Tensor& ga = n.parents[0]->EnsureGrad();
+    Tensor* ga = GradSink(*n.parents[0]);
+    if (!ga) return;
     for (size_t i = 0; i < n.grad.size(); ++i) {
       // d/dx exp(min(x,20)) = exp(x) below the clamp, 0 above it.
       if (n.parents[0]->value.vec()[i] < 20.0f) {
-        ga.vec()[i] += n.grad.vec()[i] * n.value.vec()[i];
+        ga->vec()[i] += n.grad.vec()[i] * n.value.vec()[i];
       }
     }
   });
@@ -162,14 +171,15 @@ Var SoftmaxRows(const Var& a) {
     for (int j = 0; j < nc; ++j) out(i, j) /= sum;
   }
   return NewNode(std::move(out), {a}, [](AutogradNode& n) {
-    Tensor& ga = n.parents[0]->EnsureGrad();
+    Tensor* ga = GradSink(*n.parents[0]);
+    if (!ga) return;
     const int m = n.value.rows();
     const int nc = n.value.cols();
     for (int i = 0; i < m; ++i) {
       float dot = 0.0f;
       for (int j = 0; j < nc; ++j) dot += n.grad(i, j) * n.value(i, j);
       for (int j = 0; j < nc; ++j) {
-        ga(i, j) += n.value(i, j) * (n.grad(i, j) - dot);
+        (*ga)(i, j) += n.value(i, j) * (n.grad(i, j) - dot);
       }
     }
   });
@@ -177,7 +187,7 @@ Var SoftmaxRows(const Var& a) {
 
 Var Transpose(const Var& a) {
   return NewNode(a->value.Transposed(), {a}, [](AutogradNode& n) {
-    n.parents[0]->EnsureGrad().Add(n.grad.Transposed());
+    if (Tensor* ga = GradSink(*n.parents[0])) ga->Add(n.grad.Transposed());
   });
 }
 
@@ -204,9 +214,10 @@ Var ConcatCols(const std::vector<Var>& parts) {
     int offset = 0;
     for (auto& p : n.parents) {
       const int nc = p->value.cols();
-      Tensor& gp = p->EnsureGrad();
-      for (int i = 0; i < m; ++i) {
-        for (int j = 0; j < nc; ++j) gp(i, j) += n.grad(i, offset + j);
+      if (Tensor* gp = GradSink(*p)) {
+        for (int i = 0; i < m; ++i) {
+          for (int j = 0; j < nc; ++j) (*gp)(i, j) += n.grad(i, offset + j);
+        }
       }
       offset += nc;
     }
@@ -234,9 +245,10 @@ Var ConcatRows(const std::vector<Var>& parts) {
     const int nc = n.grad.cols();
     int offset = 0;
     for (auto& p : n.parents) {
-      Tensor& gp = p->EnsureGrad();
-      for (int i = 0; i < p->value.rows(); ++i) {
-        for (int j = 0; j < nc; ++j) gp(i, j) += n.grad(offset + i, j);
+      if (Tensor* gp = GradSink(*p)) {
+        for (int i = 0; i < p->value.rows(); ++i) {
+          for (int j = 0; j < nc; ++j) (*gp)(i, j) += n.grad(offset + i, j);
+        }
       }
       offset += p->value.rows();
     }
@@ -249,8 +261,9 @@ Var PickRow(const Var& a, int i) {
   Tensor out({1, a->value.cols()});
   for (int j = 0; j < a->value.cols(); ++j) out(0, j) = a->value(i, j);
   return NewNode(std::move(out), {a}, [i](AutogradNode& n) {
-    Tensor& ga = n.parents[0]->EnsureGrad();
-    for (int j = 0; j < n.grad.cols(); ++j) ga(i, j) += n.grad(0, j);
+    Tensor* ga = GradSink(*n.parents[0]);
+    if (!ga) return;
+    for (int j = 0; j < n.grad.cols(); ++j) (*ga)(i, j) += n.grad(0, j);
   });
 }
 
@@ -264,9 +277,10 @@ Var SliceCols(const Var& a, int start, int len) {
     for (int j = 0; j < len; ++j) out(i, j) = a->value(i, start + j);
   }
   return NewNode(std::move(out), {a}, [start, len](AutogradNode& n) {
-    Tensor& ga = n.parents[0]->EnsureGrad();
+    Tensor* ga = GradSink(*n.parents[0]);
+    if (!ga) return;
     for (int i = 0; i < n.grad.rows(); ++i) {
-      for (int j = 0; j < len; ++j) ga(i, start + j) += n.grad(i, j);
+      for (int j = 0; j < len; ++j) (*ga)(i, start + j) += n.grad(i, j);
     }
   });
 }
@@ -281,10 +295,11 @@ Var MeanRows(const Var& a) {
   }
   out.Scale(1.0f / static_cast<float>(m));
   return NewNode(std::move(out), {a}, [m](AutogradNode& n) {
-    Tensor& ga = n.parents[0]->EnsureGrad();
+    Tensor* ga = GradSink(*n.parents[0]);
+    if (!ga) return;
     const float inv = 1.0f / static_cast<float>(m);
     for (int i = 0; i < m; ++i) {
-      for (int j = 0; j < n.grad.cols(); ++j) ga(i, j) += inv * n.grad(0, j);
+      for (int j = 0; j < n.grad.cols(); ++j) (*ga)(i, j) += inv * n.grad(0, j);
     }
   });
 }
@@ -304,9 +319,10 @@ Var RowMax(const Var& a) {
     out(i, 0) = a->value(i, best);
   }
   return NewNode(std::move(out), {a}, [argmax](AutogradNode& n) {
-    Tensor& ga = n.parents[0]->EnsureGrad();
+    Tensor* ga = GradSink(*n.parents[0]);
+    if (!ga) return;
     for (int i = 0; i < n.grad.rows(); ++i) {
-      ga(i, (*argmax)[i]) += n.grad(i, 0);
+      (*ga)(i, (*argmax)[i]) += n.grad(i, 0);
     }
   });
 }
@@ -323,10 +339,11 @@ Var RowMean(const Var& a) {
     out(i, 0) = s * inv;
   }
   return NewNode(std::move(out), {a}, [inv](AutogradNode& n) {
-    Tensor& ga = n.parents[0]->EnsureGrad();
+    Tensor* ga = GradSink(*n.parents[0]);
+    if (!ga) return;
     for (int i = 0; i < n.grad.rows(); ++i) {
       const float g = n.grad(i, 0) * inv;
-      for (int j = 0; j < ga.cols(); ++j) ga(i, j) += g;
+      for (int j = 0; j < ga->cols(); ++j) (*ga)(i, j) += g;
     }
   });
 }
@@ -335,9 +352,10 @@ Var SumAll(const Var& a) {
   Tensor out({1});
   out(0) = a->value.Sum();
   return NewNode(std::move(out), {a}, [](AutogradNode& n) {
-    Tensor& ga = n.parents[0]->EnsureGrad();
+    Tensor* ga = GradSink(*n.parents[0]);
+    if (!ga) return;
     const float g = n.grad(0);
-    for (float& x : ga.vec()) x += g;
+    for (float& x : ga->vec()) x += g;
   });
 }
 
@@ -347,9 +365,10 @@ Var MeanAll(const Var& a) {
   Tensor out({1});
   out(0) = a->value.Sum() * inv;
   return NewNode(std::move(out), {a}, [inv](AutogradNode& n) {
-    Tensor& ga = n.parents[0]->EnsureGrad();
+    Tensor* ga = GradSink(*n.parents[0]);
+    if (!ga) return;
     const float g = n.grad(0) * inv;
-    for (float& x : ga.vec()) x += g;
+    for (float& x : ga->vec()) x += g;
   });
 }
 
@@ -364,11 +383,12 @@ Var EmbeddingLookup(const Var& weight, const std::vector<int>& indices) {
     for (int j = 0; j < d; ++j) out(static_cast<int>(i), j) = weight->value(indices[i], j);
   }
   return NewNode(std::move(out), {weight}, [indices](AutogradNode& n) {
-    Tensor& gw = n.parents[0]->EnsureGrad();
+    Tensor* gw = GradSink(*n.parents[0]);
+    if (!gw) return;
     const int d = n.grad.cols();
     for (size_t i = 0; i < indices.size(); ++i) {
       for (int j = 0; j < d; ++j) {
-        gw(indices[i], j) += n.grad(static_cast<int>(i), j);
+        (*gw)(indices[i], j) += n.grad(static_cast<int>(i), j);
       }
     }
   });
@@ -402,12 +422,15 @@ Var Conv1dMean(const Var& input, const Var& weight, const Var& bias, int k) {
   return NewNode(
       std::move(out), {input, weight, bias},
       [k, len, d_in, d_out, num_slices, inv](AutogradNode& n) {
-        Tensor& gin = n.parents[0]->EnsureGrad();
-        Tensor& gw = n.parents[1]->EnsureGrad();
-        Tensor& gb = n.parents[2]->EnsureGrad();
+        Tensor* gin = GradSink(*n.parents[0]);
+        Tensor* gw = GradSink(*n.parents[1]);
+        Tensor* gb = GradSink(*n.parents[2]);
         const Tensor& in = n.parents[0]->value;
         const Tensor& w = n.parents[1]->value;
-        for (int o = 0; o < d_out; ++o) gb.vec()[o] += n.grad(0, o);
+        if (gb) {
+          for (int o = 0; o < d_out; ++o) gb->vec()[o] += n.grad(0, o);
+        }
+        if (!gin && !gw) return;
         for (int s = 0; s < num_slices; ++s) {
           for (int r = 0; r < k; ++r) {
             const int row = s + r;
@@ -418,9 +441,9 @@ Var Conv1dMean(const Var& input, const Var& weight, const Var& bias, int k) {
               for (int o = 0; o < d_out; ++o) {
                 const float go = n.grad(0, o) * inv;
                 gx += go * w(wrow, o);
-                gw(wrow, o) += go * in(row, c);
+                if (gw) (*gw)(wrow, o) += go * in(row, c);
               }
-              gin(row, c) += gx;
+              if (gin) (*gin)(row, c) += gx;
             }
           }
         }
@@ -459,9 +482,10 @@ Var LayerNormRows(const Var& a, const Var& gain, const Var& bias) {
                  [mean, inv_std](AutogradNode& n) {
     const Var& a = n.parents[0];
     const Var& gain = n.parents[1];
-    Tensor& ga = a->EnsureGrad();
-    Tensor& gg = n.parents[1]->EnsureGrad();
-    Tensor& gb = n.parents[2]->EnsureGrad();
+    Tensor* ga = GradSink(*a);
+    Tensor* gg = GradSink(*n.parents[1]);
+    Tensor* gb = GradSink(*n.parents[2]);
+    if (!ga && !gg && !gb) return;
     const int m = n.grad.rows();
     const int nc = n.grad.cols();
     for (int i = 0; i < m; ++i) {
@@ -473,17 +497,18 @@ Var LayerNormRows(const Var& a, const Var& gain, const Var& bias) {
       for (int j = 0; j < nc; ++j) {
         const float xhat = (a->value(i, j) - mu) * istd;
         const float dy = n.grad(i, j);
-        gg.vec()[j] += dy * xhat;
-        gb.vec()[j] += dy;
+        if (gg) gg->vec()[j] += dy * xhat;
+        if (gb) gb->vec()[j] += dy;
         const float dxhat = dy * gain->value(j);
         sum_dxhat += dxhat;
         sum_dxhat_xhat += dxhat * xhat;
       }
+      if (!ga) continue;
       for (int j = 0; j < nc; ++j) {
         const float xhat = (a->value(i, j) - mu) * istd;
         const float dxhat = n.grad(i, j) * gain->value(j);
-        ga(i, j) += istd * (dxhat - (sum_dxhat + xhat * sum_dxhat_xhat) /
-                                        static_cast<float>(nc));
+        (*ga)(i, j) += istd * (dxhat - (sum_dxhat + xhat * sum_dxhat_xhat) /
+                                           static_cast<float>(nc));
       }
     }
   });
@@ -499,9 +524,10 @@ Var Dropout(const Var& a, float p, Rng& rng, bool train) {
     out.vec()[i] *= (*mask)[i];
   }
   return NewNode(std::move(out), {a}, [mask](AutogradNode& n) {
-    Tensor& ga = n.parents[0]->EnsureGrad();
+    Tensor* ga = GradSink(*n.parents[0]);
+    if (!ga) return;
     for (size_t i = 0; i < n.grad.size(); ++i) {
-      ga.vec()[i] += n.grad.vec()[i] * (*mask)[i];
+      ga->vec()[i] += n.grad.vec()[i] * (*mask)[i];
     }
   });
 }
@@ -519,9 +545,10 @@ Var ScatterSumCols(const Var& values, const std::vector<int>& col_indices,
     out(0, idx) += values->value(0, static_cast<int>(j));
   }
   return NewNode(std::move(out), {values}, [col_indices](AutogradNode& n) {
-    Tensor& gv = n.parents[0]->EnsureGrad();
+    Tensor* gv = GradSink(*n.parents[0]);
+    if (!gv) return;
     for (size_t j = 0; j < col_indices.size(); ++j) {
-      gv(0, static_cast<int>(j)) += n.grad(0, col_indices[j]);
+      (*gv)(0, static_cast<int>(j)) += n.grad(0, col_indices[j]);
     }
   });
 }
@@ -535,9 +562,11 @@ Var BceWithLogits(const Var& logit, float target) {
   Tensor out({1});
   out(0) = loss;
   return NewNode(std::move(out), {logit}, [target](AutogradNode& n) {
+    Tensor* gl = GradSink(*n.parents[0]);
+    if (!gl) return;
     const float x = n.parents[0]->value.vec()[0];
     const float sigma = 1.0f / (1.0f + std::exp(-x));
-    n.parents[0]->EnsureGrad().vec()[0] += n.grad(0) * (sigma - target);
+    gl->vec()[0] += n.grad(0) * (sigma - target);
   });
 }
 
@@ -554,12 +583,13 @@ Var CrossEntropyWithLogits(const Var& logits, int index) {
   Tensor out({1});
   out(0) = log_z - logits->value(0, index);
   return NewNode(std::move(out), {logits}, [index, log_z](AutogradNode& n) {
-    Tensor& gl = n.parents[0]->EnsureGrad();
+    Tensor* gl = GradSink(*n.parents[0]);
+    if (!gl) return;
     const int nc = n.parents[0]->value.cols();
     const float g = n.grad(0);
     for (int j = 0; j < nc; ++j) {
       const float p = std::exp(n.parents[0]->value(0, j) - log_z);
-      gl(0, j) += g * (p - (j == index ? 1.0f : 0.0f));
+      (*gl)(0, j) += g * (p - (j == index ? 1.0f : 0.0f));
     }
   });
 }
@@ -576,14 +606,15 @@ Var NegLogNormalized(const Var& scores, int index) {
   Tensor out({1});
   out(0) = std::log(sum + eps) - std::log(si + eps);
   return NewNode(std::move(out), {scores}, [index, sum, si, eps](AutogradNode& n) {
-    Tensor& gs = n.parents[0]->EnsureGrad();
+    Tensor* gs = GradSink(*n.parents[0]);
+    if (!gs) return;
     const int nc = n.parents[0]->value.cols();
     const float g = n.grad(0);
     const float inv_sum = 1.0f / (sum + eps);
     for (int j = 0; j < nc; ++j) {
       float d = inv_sum;
       if (j == index) d -= 1.0f / (si + eps);
-      gs(0, j) += g * d;
+      (*gs)(0, j) += g * d;
     }
   });
 }

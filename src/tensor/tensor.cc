@@ -5,6 +5,8 @@
 #include <sstream>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
+#include "tensor/gemm_kernels.h"
 
 namespace nlidb {
 
@@ -191,6 +193,25 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   return out;
 }
 
+namespace {
+
+// Runs `rows(ib, ie)` over [0, m), partitioned across the global thread
+// pool when the kernel has enough arithmetic (`flops` = 2*m*k*n) to
+// amortize the fork/join. Each output row belongs to exactly one
+// contiguous chunk, so the partition never changes any element's
+// accumulation order — parallel and serial results are bitwise identical.
+template <typename RowsFn>
+void RunRowPartitioned(long long flops, int m, const RowsFn& rows) {
+  ThreadPool& pool = ThreadPool::Global();
+  if (flops >= kGemmParallelFlops && pool.parallelism() > 1) {
+    pool.ParallelFor(0, m, rows);
+  } else {
+    rows(0, m);
+  }
+}
+
+}  // namespace
+
 void MatMulAccumulate(const Tensor& a, const Tensor& b, Tensor& out) {
   const int m = a.rows();
   const int k = a.cols();
@@ -199,18 +220,10 @@ void MatMulAccumulate(const Tensor& a, const Tensor& b, Tensor& out) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  // i-k-j loop order keeps the inner loop streaming over contiguous rows
-  // of b and out, which is the whole optimization budget we need at the
-  // matrix sizes these models use.
-  for (int i = 0; i < m; ++i) {
-    for (int kk = 0; kk < k; ++kk) {
-      const float aik = pa[i * k + kk];
-      if (aik == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      float* orow = po + i * n;
-      for (int j = 0; j < n; ++j) orow[j] += aik * brow[j];
-    }
-  }
+  const gemm::RowKernels& kr = gemm::Kernels();
+  RunRowPartitioned(2LL * m * k * n, m, [&](int ib, int ie) {
+    kr.rows_ab(pa, pb, po, ib, ie, k, n);
+  });
 }
 
 void MatMulTransposeAAccumulate(const Tensor& a, const Tensor& b, Tensor& out) {
@@ -222,16 +235,34 @@ void MatMulTransposeAAccumulate(const Tensor& a, const Tensor& b, Tensor& out) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  for (int kk = 0; kk < k; ++kk) {
-    const float* arow = pa + kk * m;
-    const float* brow = pb + kk * n;
-    for (int i = 0; i < m; ++i) {
-      const float v = arow[i];
-      if (v == 0.0f) continue;
-      float* orow = po + i * n;
-      for (int j = 0; j < n; ++j) orow[j] += v * brow[j];
+  // This kernel's `a` is usually an activation matrix feeding a weight
+  // gradient, and those are often mostly zeros (zero-padded feature
+  // slots, ReLU outputs, one-hot selections). A skip-on-zero sweep beats
+  // the dense tiles there, so probe the density first; the probe is one
+  // pass over `a` against n passes of saved work per skipped value.
+  const size_t total = a.size();
+  size_t zeros = 0;
+  for (size_t idx = 0; idx < total; ++idx) zeros += (pa[idx] == 0.0f);
+  const bool sparse = zeros * 2 >= total;
+  const gemm::RowKernels& kr = gemm::Kernels();
+  RunRowPartitioned(2LL * m * k * n, m, [&](int ib, int ie) {
+    if (sparse) {
+      // kk-outer with increasing-kk accumulation per element: the same
+      // order as the dense tiles, so both paths match bitwise.
+      for (int kk = 0; kk < k; ++kk) {
+        const float* arow = pa + kk * m;
+        const float* brow = pb + kk * n;
+        for (int i = ib; i < ie; ++i) {
+          const float v = arow[i];
+          if (v == 0.0f) continue;
+          float* orow = po + i * n;
+          for (int j = 0; j < n; ++j) orow[j] += v * brow[j];
+        }
+      }
+    } else {
+      kr.rows_atb(pa, pb, po, ib, ie, k, m, n);
     }
-  }
+  });
 }
 
 void MatMulTransposeBAccumulate(const Tensor& a, const Tensor& b, Tensor& out) {
@@ -243,15 +274,24 @@ void MatMulTransposeBAccumulate(const Tensor& a, const Tensor& b, Tensor& out) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  for (int i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    for (int j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      float dot = 0.0f;
-      for (int kk = 0; kk < k; ++kk) dot += arow[kk] * brow[kk];
-      po[i * n + j] += dot;
-    }
-  }
+  const gemm::RowKernels& kr = gemm::Kernels();
+  RunRowPartitioned(2LL * m * k * n, m, [&](int ib, int ie) {
+    kr.rows_abt(pa, pb, po, ib, ie, k, n);
+  });
 }
+
+namespace gemm {
+
+const RowKernels& Kernels() {
+  static const RowKernels kernels = [] {
+    if (avx2::Available()) {
+      return RowKernels{avx2::RowsAB, avx2::RowsABt, avx2::RowsAtB};
+    }
+    return RowKernels{base::RowsAB, base::RowsABt, base::RowsAtB};
+  }();
+  return kernels;
+}
+
+}  // namespace gemm
 
 }  // namespace nlidb

@@ -112,12 +112,38 @@ class Tensor {
 
 /// out = a * b for rank-2 tensors ([m,k] x [k,n] -> [m,n]).
 Tensor MatMul(const Tensor& a, const Tensor& b);
+
 /// out += a * b. `out` must already be [m,n].
+///
+/// All three accumulate kernels are register-blocked and tiled, with a
+/// row-partitioned parallel path (ThreadPool::Global) above
+/// `kGemmParallelFlops`. Every output element receives its k partial
+/// products in increasing-k order no matter which path runs, so results
+/// are bitwise identical to the scalar reference kernel — parallelism and
+/// tiling never change model outputs (DESIGN.md "Performance
+/// architecture").
 void MatMulAccumulate(const Tensor& a, const Tensor& b, Tensor& out);
-/// out += a^T * b ([k,m]^T x [k,n] -> [m,n]).
+/// out += a^T * b ([k,m]^T x [k,n] -> [m,n]). When `a` is mostly zeros
+/// (sparse activation gradients: zero-padded feature slots, ReLU outputs,
+/// embedding-style one-hots), a skip-on-zero path is used instead of the
+/// dense tiles; both paths produce bitwise-identical results.
 void MatMulTransposeAAccumulate(const Tensor& a, const Tensor& b, Tensor& out);
 /// out += a * b^T ([m,k] x [n,k]^T -> [m,n]).
 void MatMulTransposeBAccumulate(const Tensor& a, const Tensor& b, Tensor& out);
+
+/// Scalar reference kernels (the seed's naive loops, kept in their own
+/// translation unit with baseline compile flags). Used by tests to verify
+/// the tiled kernels bitwise and by bench_micro_substrate to report
+/// speedup against the seed implementation.
+void MatMulAccumulateReference(const Tensor& a, const Tensor& b, Tensor& out);
+void MatMulTransposeAAccumulateReference(const Tensor& a, const Tensor& b,
+                                         Tensor& out);
+void MatMulTransposeBAccumulateReference(const Tensor& a, const Tensor& b,
+                                         Tensor& out);
+
+/// Work threshold (2*m*n*k flops) above which the accumulate kernels
+/// partition rows across the global thread pool.
+inline constexpr long long kGemmParallelFlops = 1LL << 23;
 
 size_t NumElements(const std::vector<int>& shape);
 

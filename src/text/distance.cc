@@ -1,6 +1,9 @@
 #include "text/distance.h"
 
 #include <algorithm>
+#include <cmath>
+
+#include "common/workspace.h"
 
 namespace nlidb {
 namespace text {
@@ -45,8 +48,34 @@ float PhraseSemanticDistance(const EmbeddingProvider& provider,
 float PhraseCosine(const EmbeddingProvider& provider,
                    const std::vector<std::string>& a,
                    const std::vector<std::string>& b) {
-  return EmbeddingProvider::Cosine(provider.PhraseVector(a),
-                                   provider.PhraseVector(b));
+  // The annotator's context-free pass evaluates this for every
+  // (window, column) pair of a request, so the phrase means are staged in
+  // the thread-local arena: after the first request no call allocates.
+  // Accumulation order matches PhraseVector + Cosine exactly.
+  Workspace& ws = Workspace::ThreadLocal();
+  Workspace::Scope scope(ws);
+  const int dim = provider.dim();
+  float* va = ws.Floats(static_cast<size_t>(dim));
+  float* vb = ws.Floats(static_cast<size_t>(dim));
+  auto mean_into = [&](const std::vector<std::string>& words, float* out) {
+    if (words.empty()) return;
+    for (const auto& w : words) {
+      const std::vector<float>& v = provider.Vector(w);
+      for (int j = 0; j < dim; ++j) out[j] += v[j];
+    }
+    const float inv = 1.0f / static_cast<float>(words.size());
+    for (int j = 0; j < dim; ++j) out[j] *= inv;
+  };
+  mean_into(a, va);
+  mean_into(b, vb);
+  float dot = 0.0f, na = 0.0f, nb = 0.0f;
+  for (int j = 0; j < dim; ++j) {
+    dot += va[j] * vb[j];
+    na += va[j] * va[j];
+    nb += vb[j] * vb[j];
+  }
+  if (na < 1e-12f || nb < 1e-12f) return 0.0f;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
 }
 
 }  // namespace text

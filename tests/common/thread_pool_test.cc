@@ -1,0 +1,140 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace nlidb {
+namespace {
+
+TEST(ThreadPoolTest, StartupShutdownRepeated) {
+  // Construction/destruction must not leak threads or deadlock, including
+  // the degenerate serial pool.
+  for (int p : {1, 2, 4, 7}) {
+    ThreadPool pool(p);
+    EXPECT_EQ(pool.parallelism(), p);
+  }
+  // Clamped to >= 1.
+  ThreadPool clamped(0);
+  EXPECT_EQ(clamped.parallelism(), 1);
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.parallelism(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (int p : {1, 3, 8}) {
+    ThreadPool pool(p);
+    for (int n : {0, 1, 2, 5, 64, 1000}) {
+      std::vector<std::atomic<int>> hits(n);
+      pool.ParallelFor(0, n, [&](int b, int e) {
+        for (int i = b; i < e; ++i) hits[i].fetch_add(1);
+      });
+      for (int i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i << " pool " << p;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ChunksAreContiguousAndOrderedByIndex) {
+  // The static partition contract: each chunk is a contiguous [b, e)
+  // range, and writing results by index reproduces the serial order.
+  ThreadPool pool(4);
+  const int n = 103;  // deliberately not a multiple of the parallelism
+  std::vector<int> out(n, -1);
+  pool.ParallelFor(0, n, [&](int b, int e) {
+    ASSERT_LE(b, e);
+    for (int i = b; i < e; ++i) out[i] = i * i;
+  });
+  for (int i = 0; i < n; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPoolTest, DeterministicResultOrdering) {
+  // Index-addressed writes give identical results on every run and at
+  // every parallelism — the property GEMM row partitioning relies on.
+  auto run = [](int parallelism) {
+    ThreadPool pool(parallelism);
+    std::vector<double> out(257, 0.0);
+    pool.ParallelFor(0, static_cast<int>(out.size()), [&](int b, int e) {
+      for (int i = b; i < e; ++i) out[i] = 1.0 / (1.0 + i);
+    });
+    return out;
+  };
+  const std::vector<double> serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(5));
+  EXPECT_EQ(serial, run(16));
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesAndPoolStaysUsable) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 100,
+                       [&](int b, int /*e*/) {
+                         if (b <= 42) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The pool must remain reusable after a throwing loop.
+  std::atomic<int> sum{0};
+  pool.ParallelFor(0, 10, [&](int b, int e) {
+    for (int i = b; i < e; ++i) sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPoolTest, LowestChunkExceptionWins) {
+  // When several chunks throw, the rethrown error is the lowest chunk's,
+  // so failures are reproducible at any parallelism.
+  ThreadPool pool(4);
+  try {
+    pool.ParallelFor(0, 400, [&](int b, int /*e*/) {
+      throw std::runtime_error("chunk@" + std::to_string(b));
+    });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk@0");
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  // A ParallelFor issued from inside a worker must not deadlock (workers
+  // never wait on the queue they service); the nested loop runs inline.
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  pool.ParallelFor(0, 8, [&](int ob, int oe) {
+    for (int o = ob; o < oe; ++o) {
+      pool.ParallelFor(0, 8, [&](int ib, int ie) {
+        for (int i = ib; i < ie; ++i) hits[o * 8 + i].fetch_add(1);
+      });
+    }
+  });
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, EmptyAndReversedRangesAreNoOps) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(5, 5, [&](int, int) { ++calls; });
+  pool.ParallelFor(7, 3, [&](int, int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, GlobalPoolResize) {
+  ThreadPool::SetGlobalParallelism(3);
+  EXPECT_EQ(ThreadPool::Global().parallelism(), 3);
+  ThreadPool::SetGlobalParallelism(1);
+  EXPECT_EQ(ThreadPool::Global().parallelism(), 1);
+  // Leave the global pool at the environment default for other tests in
+  // this binary (none currently, but keep the invariant).
+  ThreadPool::SetGlobalParallelism(ThreadPool::DefaultParallelism());
+}
+
+TEST(ThreadPoolTest, DefaultParallelismIsPositive) {
+  EXPECT_GE(ThreadPool::DefaultParallelism(), 1);
+}
+
+}  // namespace
+}  // namespace nlidb

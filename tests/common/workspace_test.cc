@@ -1,0 +1,104 @@
+#include "common/workspace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+
+namespace nlidb {
+namespace {
+
+TEST(WorkspaceTest, FloatsAreZeroInitialized) {
+  Workspace ws;
+  float* a = ws.Floats(100);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a[i], 0.0f);
+  // Dirty the buffer, release it, re-acquire: must come back zeroed.
+  for (int i = 0; i < 100; ++i) a[i] = 3.5f;
+  ws.Reset();
+  float* b = ws.Floats(100);
+  EXPECT_EQ(b, a) << "reset should reuse the retained block";
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(b[i], 0.0f);
+}
+
+TEST(WorkspaceTest, BuffersDoNotOverlapAndStayAligned) {
+  Workspace ws;
+  float* a = ws.Floats(17);  // deliberately not a multiple of 16
+  float* b = ws.Floats(5);
+  // Bump distance is rounded up to 16 floats (64 bytes), so consecutive
+  // buffers never share a cache line.
+  EXPECT_GE(b - a, 17);
+  EXPECT_EQ((b - a) % 16, 0);
+  EXPECT_EQ(ws.live_buffers(), 2);
+}
+
+TEST(WorkspaceTest, ResetRetainsCapacity) {
+  Workspace ws;
+  (void)ws.Floats(1000);
+  (void)ws.Floats(200000);  // forces a second (oversized) block
+  const size_t reserved = ws.reserved();
+  EXPECT_GE(reserved, 201000u);
+  ws.Reset();
+  EXPECT_EQ(ws.reserved(), reserved);
+  EXPECT_EQ(ws.live_buffers(), 0);
+}
+
+TEST(WorkspaceTest, ScopeRewindsToSnapshot) {
+  Workspace ws;
+  float* outer = ws.Floats(32);
+  outer[0] = 7.0f;
+  float* inner_first = nullptr;
+  {
+    Workspace::Scope scope(ws);
+    inner_first = ws.Floats(64);
+    (void)ws.Floats(128);
+    EXPECT_EQ(ws.live_buffers(), 3);
+  }
+  // Scope end releases only the inner buffers; the outer one survives.
+  EXPECT_EQ(ws.live_buffers(), 1);
+  EXPECT_EQ(outer[0], 7.0f);
+  float* reused = ws.Floats(64);
+  EXPECT_EQ(reused, inner_first) << "scope must rewind the bump pointer";
+}
+
+TEST(WorkspaceTest, NestedScopes) {
+  Workspace ws;
+  Workspace::Scope a(ws);
+  float* x = ws.Floats(16);
+  {
+    Workspace::Scope b(ws);
+    float* y = ws.Floats(16);
+    EXPECT_NE(x, y);
+    {
+      Workspace::Scope c(ws);
+      (void)ws.Floats(300000);  // spills into a fresh block inside c
+      EXPECT_GT(ws.live_buffers(), 2);
+    }
+    EXPECT_EQ(ws.live_buffers(), 2);
+    float* y2 = ws.Floats(8);
+    EXPECT_NE(y2, nullptr);
+  }
+  EXPECT_EQ(ws.live_buffers(), 1);
+}
+
+TEST(WorkspaceTest, ScopeOnFreshWorkspace) {
+  // A scope opened before the first allocation must rewind to empty.
+  Workspace ws;
+  {
+    Workspace::Scope scope(ws);
+    (void)ws.Floats(10);
+    (void)ws.Floats(10);
+  }
+  EXPECT_EQ(ws.live_buffers(), 0);
+}
+
+TEST(WorkspaceTest, ThreadLocalIsPerThread) {
+  Workspace* main_ws = &Workspace::ThreadLocal();
+  Workspace* other_ws = nullptr;
+  std::thread t([&] { other_ws = &Workspace::ThreadLocal(); });
+  t.join();
+  EXPECT_NE(main_ws, other_ws);
+  EXPECT_EQ(main_ws, &Workspace::ThreadLocal());
+}
+
+}  // namespace
+}  // namespace nlidb

@@ -89,6 +89,44 @@ TEST(ColumnMentionClassifierTest, LearnsMentionDetectionOnCorpus) {
   EXPECT_GT(static_cast<float>(correct) / total, 0.62f);
 }
 
+TEST(ColumnMentionClassifierTest, PredictBatchMatchesSerialPredictBitwise) {
+  // The batched scorer stacks every column into shared GEMMs; because
+  // each column occupies its own row throughout, the per-column result
+  // must equal the serial Predict to the last bit (the annotator's
+  // eval-metric stability depends on this).
+  text::EmbeddingProvider provider(24);
+  ColumnMentionClassifier clf(TinyConfig(24), provider);
+  clf.AddVocabulary({"who", "won", "the", "race", "winning", "driver",
+                     "points", "season", "year"});
+  const std::vector<std::string> q = {"who", "won", "the", "race"};
+  const std::vector<std::vector<std::string>> cols = {
+      {"winning", "driver"},
+      {"race"},
+      {"points"},
+      // Longer than max_column_words: exercises the capping + the
+      // mixed-length grouping inside the batch.
+      {"season", "year", "race", "points", "driver", "won"},
+      {"race", "points", "season"},
+      {"unseen", "tokens", "here"},
+  };
+  const std::vector<float> batch = clf.PredictBatch(q, cols);
+  ASSERT_EQ(batch.size(), cols.size());
+  for (size_t c = 0; c < cols.size(); ++c) {
+    const float serial = clf.Predict(q, cols[c]);
+    EXPECT_EQ(batch[c], serial) << "column " << c;  // exact, not NEAR
+  }
+}
+
+TEST(ColumnMentionClassifierTest, PredictBatchEdgeSizes) {
+  text::EmbeddingProvider provider(24);
+  ColumnMentionClassifier clf(TinyConfig(24), provider);
+  clf.AddVocabulary({"a", "b", "c"});
+  EXPECT_TRUE(clf.PredictBatch({"a", "b"}, {}).empty());
+  const std::vector<float> one = clf.PredictBatch({"a", "b"}, {{"c"}});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], clf.Predict({"a", "b"}, {"c"}));
+}
+
 TEST(ColumnMentionClassifierTest, GradientsReachEmbeddingLookups) {
   text::EmbeddingProvider provider(24);
   ColumnMentionClassifier clf(TinyConfig(24), provider);
