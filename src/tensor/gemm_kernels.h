@@ -54,7 +54,23 @@ struct RowKernels {
   RowsAtBFn rows_atb;
 };
 
-/// The kernel tier for this machine, resolved once on first use.
+/// Kernel tier selection. `kAuto` picks the best tier the CPU supports;
+/// the explicit tiers exist so correctness harnesses (golden traces,
+/// differential fuzzers) can pin or sweep tiers. Requesting `kAvx2` on a
+/// machine without AVX2 falls back to `kBase`.
+enum class Tier { kAuto, kBase, kAvx2 };
+
+/// Forces the tier used by `Kernels()`. Also settable through the
+/// NLIDB_GEMM_TIER environment variable (base | avx2 | auto), read once
+/// before the first kernel dispatch; SetTier overrides it. Safe to call
+/// concurrently with kernel dispatch (the selection is atomic), but for
+/// reproducible output switch tiers only between inference requests.
+void SetTier(Tier tier);
+
+/// The tier `Kernels()` currently resolves to: always kBase or kAvx2.
+Tier ActiveTier();
+
+/// The kernel table for the active tier.
 const RowKernels& Kernels();
 
 }  // namespace gemm

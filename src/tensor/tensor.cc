@@ -1,8 +1,11 @@
 #include "tensor/tensor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
+#include <string>
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
@@ -282,14 +285,43 @@ void MatMulTransposeBAccumulate(const Tensor& a, const Tensor& b, Tensor& out) {
 
 namespace gemm {
 
+namespace {
+
+constexpr RowKernels kBaseKernels{base::RowsAB, base::RowsABt, base::RowsAtB};
+constexpr RowKernels kAvx2Kernels{avx2::RowsAB, avx2::RowsABt, avx2::RowsAtB};
+
+Tier TierFromEnv() {
+  const char* env = std::getenv("NLIDB_GEMM_TIER");
+  if (env == nullptr) return Tier::kAuto;
+  const std::string v(env);
+  if (v == "base") return Tier::kBase;
+  if (v == "avx2") return Tier::kAvx2;
+  return Tier::kAuto;
+}
+
+// The requested tier: env default, overridable by SetTier. Atomic so a
+// test harness flipping tiers between requests never races the dispatch
+// reads in concurrent kernels.
+std::atomic<Tier>& RequestedTier() {
+  static std::atomic<Tier> tier{TierFromEnv()};
+  return tier;
+}
+
+}  // namespace
+
+void SetTier(Tier tier) {
+  RequestedTier().store(tier, std::memory_order_relaxed);
+}
+
+Tier ActiveTier() {
+  static const bool has_avx2 = avx2::Available();
+  const Tier requested = RequestedTier().load(std::memory_order_relaxed);
+  if (requested == Tier::kBase) return Tier::kBase;
+  return has_avx2 ? Tier::kAvx2 : Tier::kBase;
+}
+
 const RowKernels& Kernels() {
-  static const RowKernels kernels = [] {
-    if (avx2::Available()) {
-      return RowKernels{avx2::RowsAB, avx2::RowsABt, avx2::RowsAtB};
-    }
-    return RowKernels{base::RowsAB, base::RowsABt, base::RowsAtB};
-  }();
-  return kernels;
+  return ActiveTier() == Tier::kAvx2 ? kAvx2Kernels : kBaseKernels;
 }
 
 }  // namespace gemm

@@ -114,6 +114,118 @@ TEST(ThreadPoolTest, NestedParallelForRunsInline) {
   for (int i = 0; i < 64; ++i) EXPECT_EQ(hits[i].load(), 1);
 }
 
+TEST(ThreadPoolTest, ZeroTasksNeverInvokeTheBody) {
+  // The degenerate "no work" call must not touch the queue, wake workers,
+  // or invoke the body — at any pool size, repeatedly.
+  for (int p : {1, 2, 16}) {
+    ThreadPool pool(p);
+    std::atomic<int> calls{0};
+    for (int rep = 0; rep < 100; ++rep) {
+      pool.ParallelFor(0, 0, [&](int, int) { calls.fetch_add(1); });
+    }
+    EXPECT_EQ(calls.load(), 0) << "pool " << p;
+  }
+}
+
+TEST(ThreadPoolTest, MoreThreadsThanWorkItems) {
+  // With parallelism > len the partition must produce at most len chunks,
+  // all non-empty — never an empty chunk that would call body(b, b).
+  ThreadPool pool(16);
+  for (int n : {1, 2, 3, 7}) {
+    std::atomic<int> chunks{0};
+    std::vector<std::atomic<int>> hits(n);
+    pool.ParallelFor(0, n, [&](int b, int e) {
+      EXPECT_LT(b, e) << "empty chunk";
+      chunks.fetch_add(1);
+      for (int i = b; i < e; ++i) hits[i].fetch_add(1);
+    });
+    EXPECT_LE(chunks.load(), n);
+    EXPECT_GE(chunks.load(), 1);
+    for (int i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, NestedParallelForAcrossDistinctPoolsRunsInline) {
+  // The inline-when-in-worker rule is process-wide, not per-pool: a
+  // worker of pool A issuing a ParallelFor on pool B must run it inline,
+  // otherwise two pools could deadlock each other. The inner loop
+  // therefore executes as exactly one serial chunk.
+  ThreadPool outer(4);
+  ThreadPool inner(4);
+  std::atomic<int> inner_chunks{0};
+  std::vector<std::atomic<int>> hits(64);
+  outer.ParallelFor(0, 8, [&](int ob, int oe) {
+    for (int o = ob; o < oe; ++o) {
+      inner.ParallelFor(0, 8, [&](int ib, int ie) {
+        inner_chunks.fetch_add(1);
+        for (int i = ib; i < ie; ++i) hits[o * 8 + i].fetch_add(1);
+      });
+    }
+  });
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(hits[i].load(), 1);
+  // 8 outer iterations, each inner loop one serial chunk.
+  EXPECT_EQ(inner_chunks.load(), 8);
+}
+
+TEST(ThreadPoolTest, ExceptionFromWorkerMidChunk) {
+  // A worker (not the calling thread — chunk 0 stays on the caller, all
+  // later chunks are queued to workers) throws halfway through its chunk.
+  // The error must surface on the caller, writes made before the throw
+  // must be visible (the completion latch orders them), and the pool must
+  // stay usable.
+  ThreadPool pool(4);
+  std::vector<int> out(400, -1);
+  try {
+    pool.ParallelFor(0, 400, [&](int b, int e) {
+      for (int i = b; i < e; ++i) {
+        if (b != 0 && i == b + (e - b) / 2) {
+          throw std::runtime_error("mid-chunk@" + std::to_string(b));
+        }
+        out[i] = i;
+      }
+    });
+    FAIL() << "expected throw";
+  } catch (const std::runtime_error& err) {
+    EXPECT_NE(std::string(err.what()).find("mid-chunk@"), std::string::npos);
+  }
+  // Chunk 0 ran on the calling thread and never threw: fully written.
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(out[i], i);
+  // Every thrown chunk stopped exactly at its midpoint — the first half
+  // of each chunk is visible to the caller after ParallelFor returns.
+  for (int c = 1; c < 4; ++c) {
+    const int b = c * 100;
+    for (int i = b; i < b + 50; ++i) EXPECT_EQ(out[i], i);
+    for (int i = b + 50; i < b + 100; ++i) EXPECT_EQ(out[i], -1);
+  }
+  std::atomic<int> sum{0};
+  pool.ParallelFor(0, 10, [&](int b, int e) {
+    for (int i = b; i < e; ++i) sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPoolTest, ExceptionInsideNestedParallelForPropagates) {
+  // A nested (inline) ParallelFor that throws must unwind through the
+  // outer chunk and be rethrown by the outer call, leaving both loops'
+  // state consistent.
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 6,
+                       [&](int b, int /*e*/) {
+                         pool.ParallelFor(0, 4, [&](int ib, int /*ie*/) {
+                           if (b == 0 && ib == 0) {
+                             throw std::runtime_error("nested");
+                           }
+                         });
+                       }),
+      std::runtime_error);
+  std::atomic<int> sum{0};
+  pool.ParallelFor(0, 10, [&](int b, int e) {
+    for (int i = b; i < e; ++i) sum.fetch_add(i);
+  });
+  EXPECT_EQ(sum.load(), 45);
+}
+
 TEST(ThreadPoolTest, EmptyAndReversedRangesAreNoOps) {
   ThreadPool pool(4);
   int calls = 0;

@@ -3,7 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <stdexcept>
 #include <thread>
+
+#include "common/thread_pool.h"
 
 namespace nlidb {
 namespace {
@@ -89,6 +92,91 @@ TEST(WorkspaceTest, ScopeOnFreshWorkspace) {
     (void)ws.Floats(10);
   }
   EXPECT_EQ(ws.live_buffers(), 0);
+}
+
+TEST(WorkspaceTest, ScopeRewindsOnException) {
+  // Stack unwinding through a throwing region must rewind the arena
+  // exactly as a clean scope exit does — the kernels-in-fan-out failure
+  // mode, where an exception mid-request would otherwise leak bump space
+  // on every retry.
+  Workspace ws;
+  float* outer = ws.Floats(32);
+  outer[0] = 5.0f;
+  const size_t reserved_before = ws.reserved();
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    try {
+      Workspace::Scope scope(ws);
+      (void)ws.Floats(64);
+      (void)ws.Floats(128);
+      throw std::runtime_error("mid-request failure");
+    } catch (const std::runtime_error&) {
+    }
+    EXPECT_EQ(ws.live_buffers(), 1);
+  }
+  EXPECT_EQ(ws.reserved(), reserved_before)
+      << "repeated rewind-on-exception must not grow the arena";
+  EXPECT_EQ(outer[0], 5.0f);
+}
+
+TEST(WorkspaceStressTest, InterleavedScopesAcrossPoolThreads) {
+  // The fan-out pattern of the annotator under load: every pool thread
+  // hammers its own thread-local arena with nested scopes, interleaved
+  // rewinds, and occasional exceptions, while checking its buffers are
+  // never shared or corrupted. After a warmup pass, steady-state requests
+  // must not allocate — per-thread reserved() stays flat.
+#if defined(NLIDB_SANITIZER_BUILD)
+  const int kRounds = 30;
+#else
+  const int kRounds = 300;
+#endif
+  ThreadPool pool(8);
+
+  // One simulated request. Returns false on any correctness violation:
+  // corrupted outer buffer after inner rewinds, or arena growth on a
+  // thread whose arena already reached its high-water mark (which chunk
+  // lands on which worker is scheduler-dependent, so the steady-state
+  // check is per-thread, against that thread's own previous watermark).
+  auto hammer = [](int item) {
+    Workspace& ws = Workspace::ThreadLocal();
+    const size_t reserved_before = ws.reserved();
+    const bool warmed = reserved_before > 0;
+    {
+      Workspace::Scope request_scope(ws);
+      float* a = ws.Floats(64);
+      const float tag = static_cast<float>(item + 1);
+      for (int i = 0; i < 64; ++i) a[i] = tag;
+      for (int inner = 0; inner < 4; ++inner) {
+        try {
+          Workspace::Scope scope(ws);
+          float* b = ws.Floats(257);  // odd size: exercises align rounding
+          for (int i = 0; i < 257; ++i) b[i] = -tag;
+          if (inner == 2) throw std::runtime_error("simulated kernel failure");
+        } catch (const std::runtime_error&) {
+        }
+        // The outer buffer must be untouched by inner scopes rewinding.
+        for (int i = 0; i < 64; ++i) {
+          if (a[i] != tag) return false;
+        }
+      }
+    }
+    return !warmed || ws.reserved() == reserved_before;
+  };
+
+  std::atomic<bool> ok{true};
+  for (int round = 0; round < kRounds; ++round) {
+    pool.ParallelFor(0, 64, [&](int b, int e) {
+      for (int i = b; i < e; ++i) {
+        if (!hammer(i)) ok.store(false);
+      }
+    });
+    ASSERT_TRUE(ok.load()) << "round " << round;
+  }
+
+  // The calling thread ran chunk 0 of every round: its arena must have
+  // settled at exactly one retained block despite kRounds * interleaved
+  // scope rewinds and exceptions.
+  EXPECT_GT(Workspace::ThreadLocal().reserved(), 0u);
+  EXPECT_EQ(Workspace::ThreadLocal().live_buffers(), 0);
 }
 
 TEST(WorkspaceTest, ThreadLocalIsPerThread) {

@@ -1,0 +1,253 @@
+// Property-based differential fuzzing (seeded, deterministic): random
+// schemas/tables/questions from data/generator drive cross-implementation
+// invariants of the concurrent inference substrate:
+//
+//   1. tiled GEMM kernels (both ISA tiers, serial and row-partitioned)
+//      are bitwise equal to the *Reference loops;
+//   2. PredictBatch is bitwise equal to per-column Predict;
+//   3. parallel Annotate equals serial Annotate structurally;
+//   4. executor results are stable under row shuffling.
+//
+// Every case derives from a fixed seed, so a failure reproduces exactly.
+// Release runs >= 200 cases; sanitizer builds scale the counts down
+// (they run the same paths 5-20x slower).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/annotator.h"
+#include "data/generator.h"
+#include "sql/executor.h"
+#include "sql/statistics.h"
+#include "tensor/gemm_kernels.h"
+#include "tensor/tensor.h"
+#include "testing/trace.h"
+
+namespace nlidb {
+namespace {
+
+#if defined(NLIDB_SANITIZER_BUILD)
+constexpr int kScale = 4;  // divide iteration counts under sanitizers
+#else
+constexpr int kScale = 1;
+#endif
+
+bool BitwiseEqual(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+Tensor RandomTensor(Rng& rng, int rows, int cols, float zero_probability) {
+  Tensor t({rows, cols});
+  float* p = t.data();
+  for (size_t i = 0; i < t.size(); ++i) {
+    p[i] = rng.NextBool(zero_probability) ? 0.0f : rng.NextGaussian();
+  }
+  return t;
+}
+
+class DifferentialFuzzTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    gemm::SetTier(gemm::Tier::kAuto);
+    ThreadPool::SetGlobalParallelism(ThreadPool::DefaultParallelism());
+  }
+};
+
+TEST_F(DifferentialFuzzTest, TiledGemmMatchesReferenceBitwise) {
+  Rng rng(2026);
+  int cases = 0;
+  const int shapes = 40 / kScale;
+  for (int trial = 0; trial < shapes; ++trial) {
+    // Mostly small odd shapes (tile-remainder coverage); every 10th trial
+    // is large enough to cross the kGemmParallelFlops row-partition
+    // threshold so the pooled path is exercised too.
+    int m, k, n;
+    if (trial % 10 == 9) {
+      m = k = n = rng.NextInt(160, 176);
+      ThreadPool::SetGlobalParallelism(8);
+    } else {
+      m = rng.NextInt(1, 40);
+      k = rng.NextInt(1, 40);
+      n = rng.NextInt(1, 40);
+      ThreadPool::SetGlobalParallelism(rng.NextBool() ? 1 : 8);
+    }
+    // The sparse probe in MatMulTransposeAAccumulate flips implementation
+    // at >= 50% zeros; cover both sides.
+    const float zero_p = rng.NextBool() ? 0.0f : 0.7f;
+    const Tensor a = RandomTensor(rng, m, k, zero_p);
+    const Tensor at = a.Transposed();
+    const Tensor b = RandomTensor(rng, k, n, 0.0f);
+    const Tensor bt = b.Transposed();
+    const Tensor seed_out = RandomTensor(rng, m, n, 0.0f);
+
+    Tensor want_ab = seed_out, want_atb = seed_out, want_abt = seed_out;
+    MatMulAccumulateReference(a, b, want_ab);
+    MatMulTransposeAAccumulateReference(at, b, want_atb);
+    MatMulTransposeBAccumulateReference(a, bt, want_abt);
+
+    for (gemm::Tier tier : {gemm::Tier::kBase, gemm::Tier::kAuto}) {
+      gemm::SetTier(tier);
+      Tensor got_ab = seed_out, got_atb = seed_out, got_abt = seed_out;
+      MatMulAccumulate(a, b, got_ab);
+      MatMulTransposeAAccumulate(at, b, got_atb);
+      MatMulTransposeBAccumulate(a, bt, got_abt);
+      EXPECT_TRUE(BitwiseEqual(got_ab, want_ab))
+          << "AB " << m << "x" << k << "x" << n << " trial " << trial;
+      EXPECT_TRUE(BitwiseEqual(got_atb, want_atb))
+          << "AtB " << m << "x" << k << "x" << n << " trial " << trial;
+      EXPECT_TRUE(BitwiseEqual(got_abt, want_abt))
+          << "ABt " << m << "x" << k << "x" << n << " trial " << trial;
+      cases += 3;
+    }
+  }
+  RecordProperty("cases", cases);
+#if !defined(NLIDB_SANITIZER_BUILD)
+  EXPECT_GE(cases, 200);
+#endif
+}
+
+class ClassifierFuzz : public DifferentialFuzzTest {
+ protected:
+  static void SetUpTestSuite() {
+    provider_ = new text::EmbeddingProvider();
+    data::RegisterDomainClusters(*provider_);
+    config_ = new core::ModelConfig(core::ModelConfig::Tiny());
+    config_->word_dim = provider_->dim();
+    classifier_ = new core::ColumnMentionClassifier(*config_, *provider_);
+
+    data::GeneratorConfig gc;
+    gc.num_tables = 8;
+    gc.questions_per_table = 4;
+    gc.seed = 99;
+    data::WikiSqlGenerator gen(gc, data::TrainDomains());
+    corpus_ = new data::Dataset(gen.Generate());
+    for (const auto& ex : corpus_->examples) {
+      classifier_->AddVocabulary(ex.tokens);
+    }
+  }
+
+  static void TearDownTestSuite() {
+    delete corpus_;
+    delete classifier_;
+    delete config_;
+    delete provider_;
+  }
+
+  static text::EmbeddingProvider* provider_;
+  static core::ModelConfig* config_;
+  static core::ColumnMentionClassifier* classifier_;
+  static data::Dataset* corpus_;
+};
+
+text::EmbeddingProvider* ClassifierFuzz::provider_ = nullptr;
+core::ModelConfig* ClassifierFuzz::config_ = nullptr;
+core::ColumnMentionClassifier* ClassifierFuzz::classifier_ = nullptr;
+data::Dataset* ClassifierFuzz::corpus_ = nullptr;
+
+TEST_F(ClassifierFuzz, PredictBatchMatchesPredictBitwise) {
+  const int limit =
+      std::min<int>(16 / kScale + 4, corpus_->examples.size());
+  int cases = 0;
+  for (int i = 0; i < limit; ++i) {
+    const data::Example& ex = corpus_->examples[i];
+    const sql::Schema& schema = ex.schema();
+    std::vector<std::vector<std::string>> columns;
+    for (int c = 0; c < schema.num_columns(); ++c) {
+      columns.push_back(schema.column(c).DisplayTokens());
+    }
+    const std::vector<float> batch =
+        classifier_->PredictBatch(ex.tokens, columns);
+    ASSERT_EQ(batch.size(), columns.size());
+    for (size_t c = 0; c < columns.size(); ++c) {
+      const float single = classifier_->Predict(ex.tokens, columns[c]);
+      EXPECT_EQ(testing::FloatBits(batch[c]), testing::FloatBits(single))
+          << "example " << i << " column " << c << " (" << ex.question << ")";
+      ++cases;
+    }
+  }
+  RecordProperty("cases", cases);
+  EXPECT_GT(cases, 0);
+}
+
+TEST_F(ClassifierFuzz, ParallelAnnotateMatchesSerialAnnotate) {
+  core::Annotator annotator(*config_, *provider_, classifier_, nullptr);
+  const int limit =
+      std::min<int>(16 / kScale + 4, corpus_->examples.size());
+  int cases = 0;
+  for (int i = 0; i < limit; ++i) {
+    const data::Example& ex = corpus_->examples[i];
+    const auto stats = sql::ComputeTableStatistics(*ex.table, *provider_);
+
+    ThreadPool::SetGlobalParallelism(1);
+    const core::Annotation serial =
+        annotator.Annotate(ex.tokens, *ex.table, stats);
+    ThreadPool::SetGlobalParallelism(8);
+    const core::Annotation parallel =
+        annotator.Annotate(ex.tokens, *ex.table, stats);
+
+    EXPECT_EQ(testing::AnnotationToString(serial),
+              testing::AnnotationToString(parallel))
+        << "question: " << ex.question;
+    ++cases;
+  }
+  RecordProperty("cases", cases);
+  EXPECT_GT(cases, 0);
+}
+
+TEST_F(DifferentialFuzzTest, ExecutorStableUnderRowShuffling) {
+  data::GeneratorConfig gc;
+  gc.num_tables = 10;
+  gc.questions_per_table = 6;
+  gc.seed = 777;
+  data::WikiSqlGenerator gen(gc, data::TrainDomains());
+  const data::Dataset ds = gen.Generate();
+
+  Rng rng(31337);
+  int cases = 0;
+  const int limit =
+      std::min<int>(static_cast<int>(ds.examples.size()), 60 / kScale + 10);
+  for (int i = 0; i < limit; ++i) {
+    const data::Example& ex = ds.examples[i];
+    const sql::Table& table = *ex.table;
+
+    std::vector<int> order(table.num_rows());
+    for (int r = 0; r < table.num_rows(); ++r) order[r] = r;
+    rng.Shuffle(order);
+    sql::Table shuffled(table.name(), table.schema());
+    for (int r : order) {
+      ASSERT_TRUE(shuffled.AddRow(table.Row(r)).ok());
+    }
+
+    const auto base = sql::Execute(ex.query, table);
+    const auto perm = sql::Execute(ex.query, shuffled);
+    ASSERT_EQ(base.ok(), perm.ok()) << ex.question;
+    if (!base.ok()) continue;
+    ++cases;
+
+    if (ex.query.agg == sql::Aggregate::kSum ||
+        ex.query.agg == sql::Aggregate::kAvg) {
+      // Float accumulation order changes under row permutation; demand
+      // agreement to rounding, not bitwise.
+      ASSERT_EQ(base->size(), perm->size()) << ex.question;
+      for (size_t v = 0; v < base->size(); ++v) {
+        ASSERT_TRUE((*base)[v].is_real() && (*perm)[v].is_real());
+        EXPECT_NEAR((*base)[v].number(), (*perm)[v].number(),
+                    1e-9 * (1.0 + std::fabs((*base)[v].number())))
+            << ex.question;
+      }
+    } else {
+      // Multiset equality — the Acc_ex comparison itself.
+      EXPECT_TRUE(sql::ResultsEqual(*base, *perm)) << ex.question;
+    }
+  }
+  RecordProperty("cases", cases);
+  EXPECT_GT(cases, 0);
+}
+
+}  // namespace
+}  // namespace nlidb

@@ -2,6 +2,12 @@
 // reject arbitrary garbage with a clean Status — never crash — and the
 // annotator must survive adversarial questions (empty, enormous, symbol
 // soup, unicode-ish bytes).
+//
+// Two layers: seeded random sweeps (nlidb::testing::RandomText /
+// RandomBytes) for breadth, and committed seed-regression corpora under
+// tests/corpus/ replayed verbatim so inputs that once broke a layer stay
+// fixed forever. Add a line to the matching corpus file whenever a fuzz
+// failure is minimized.
 
 #include <gtest/gtest.h>
 
@@ -13,39 +19,45 @@
 #include "sql/csv.h"
 #include "sql/executor.h"
 #include "sql/parser.h"
+#include "testing/random_text.h"
 #include "text/dependency.h"
 #include "text/tokenizer.h"
 
 namespace nlidb {
 namespace {
 
+#if defined(NLIDB_SANITIZER_BUILD)
+constexpr int kSweepScale = 10;  // sanitizer builds: same paths, fewer reps
+#else
+constexpr int kSweepScale = 1;
+#endif
+
 sql::Schema FuzzSchema() {
   return sql::Schema({{"alpha", sql::DataType::kText},
                       {"beta", sql::DataType::kReal}});
 }
 
-std::string RandomText(Rng& rng, int max_len) {
-  static const char* kPieces[] = {"SELECT", "WHERE", "AND",  "=",    ">",
-                                  "<",      "alpha", "beta", "c1",   "v1",
-                                  "g1",     "g99",   "\"x\"", "42",  "??",
-                                  "(",      ")",     "'",    "\\",   "\t"};
-  std::string out;
-  const int n = rng.NextInt(0, max_len);
-  for (int i = 0; i < n; ++i) {
-    if (i > 0) out += ' ';
-    out += kPieces[rng.NextUint64(std::size(kPieces))];
+void ParseAndMaybeExecute(const std::string& text) {
+  auto q = sql::ParseSql(text, FuzzSchema());
+  if (q.ok()) {
+    // Whatever parsed must be executable against a matching table.
+    sql::Table t("t", FuzzSchema());
+    ASSERT_TRUE(t.AddRow({sql::Value::Text("x"), sql::Value::Real(1)}).ok());
+    auto r = sql::Execute(*q, t);
+    (void)r;
   }
-  return out;
 }
 
 TEST(FuzzTest, SqlParserNeverCrashes) {
   Rng rng(101);
   int ok = 0;
+  // Not scaled down under sanitizers: parsing is cheap, and the ok > 0
+  // check below needs the full sweep before a random string happens to
+  // form a valid query.
   for (int trial = 0; trial < 3000; ++trial) {
-    auto q = sql::ParseSql(RandomText(rng, 12), FuzzSchema());
+    auto q = sql::ParseSql(testing::RandomText(rng, 12), FuzzSchema());
     ok += q.ok();
     if (q.ok()) {
-      // Whatever parsed must be executable against a matching table.
       sql::Table t("t", FuzzSchema());
       ASSERT_TRUE(t.AddRow({sql::Value::Text("x"), sql::Value::Real(1)}).ok());
       auto r = sql::Execute(*q, t);
@@ -56,6 +68,13 @@ TEST(FuzzTest, SqlParserNeverCrashes) {
   EXPECT_GT(ok, 0);
 }
 
+TEST(FuzzTest, SqlParserCorpusRegression) {
+  for (const std::string& text : testing::LoadCorpus("sql_parser.txt")) {
+    SCOPED_TRACE(text);
+    ParseAndMaybeExecute(text);
+  }
+}
+
 TEST(FuzzTest, RecoverSqlNeverCrashes) {
   Rng rng(102);
   core::Annotation annotation;
@@ -63,9 +82,22 @@ TEST(FuzzTest, RecoverSqlNeverCrashes) {
   pair.column = 0;
   pair.value_text = "x";
   annotation.pairs.push_back(pair);
-  for (int trial = 0; trial < 3000; ++trial) {
-    const auto tokens = SplitWhitespace(RandomText(rng, 10));
+  for (int trial = 0; trial < 3000 / kSweepScale; ++trial) {
+    const auto tokens = SplitWhitespace(testing::RandomText(rng, 10));
     auto q = core::RecoverSql(tokens, annotation, FuzzSchema());
+    (void)q;
+  }
+}
+
+TEST(FuzzTest, RecoverSqlCorpusRegression) {
+  core::Annotation annotation;
+  core::MentionPair pair;
+  pair.column = 0;
+  pair.value_text = "x";
+  annotation.pairs.push_back(pair);
+  for (const std::string& text : testing::LoadCorpus("recover_sql.txt")) {
+    SCOPED_TRACE(text);
+    auto q = core::RecoverSql(SplitWhitespace(text), annotation, FuzzSchema());
     (void)q;
   }
 }
@@ -74,7 +106,7 @@ TEST(FuzzTest, CsvParserNeverCrashes) {
   Rng rng(103);
   static const char* kCsvPieces[] = {"a,b", "\"", ",", "\n", "1", "x",
                                      "\"\"", ",,,", "a b c"};
-  for (int trial = 0; trial < 2000; ++trial) {
+  for (int trial = 0; trial < 2000 / kSweepScale; ++trial) {
     std::string csv;
     const int n = rng.NextInt(0, 8);
     for (int i = 0; i < n; ++i) {
@@ -85,32 +117,66 @@ TEST(FuzzTest, CsvParserNeverCrashes) {
   }
 }
 
-TEST(FuzzTest, TokenizerHandlesArbitraryBytes) {
-  Rng rng(104);
-  for (int trial = 0; trial < 500; ++trial) {
-    std::string text;
-    const int n = rng.NextInt(0, 64);
-    for (int i = 0; i < n; ++i) {
-      text += static_cast<char>(rng.NextUint64(256));
-    }
-    auto tokens = text::Tokenize(text);
-    for (const auto& t : tokens) EXPECT_FALSE(t.empty());
-    // The dependency parser must accept whatever the tokenizer emits.
-    auto tree = text::DependencyTree::Parse(tokens);
-    EXPECT_EQ(tree.size(), static_cast<int>(tokens.size()));
+TEST(FuzzTest, CsvParserCorpusRegression) {
+  for (const std::string& text : testing::LoadCorpus("csv.txt")) {
+    SCOPED_TRACE(text);
+    auto t = sql::ParseCsv(text, "fuzz");
+    (void)t;
   }
 }
 
-TEST(FuzzTest, AnnotatorSurvivesAdversarialQuestions) {
-  text::EmbeddingProvider provider;
-  data::RegisterDomainClusters(provider);
-  core::ModelConfig config = core::ModelConfig::Tiny();
-  config.word_dim = provider.dim();
-  core::Annotator annotator(config, provider, nullptr, nullptr);
-  sql::Table table("t", FuzzSchema());
-  ASSERT_TRUE(table.AddRow({sql::Value::Text("hello"), sql::Value::Real(3)}).ok());
-  auto stats = sql::ComputeTableStatistics(table, provider);
+void TokenizeAndParseTree(const std::string& text) {
+  auto tokens = text::Tokenize(text);
+  for (const auto& t : tokens) EXPECT_FALSE(t.empty());
+  // The dependency parser must accept whatever the tokenizer emits.
+  auto tree = text::DependencyTree::Parse(tokens);
+  EXPECT_EQ(tree.size(), static_cast<int>(tokens.size()));
+}
 
+TEST(FuzzTest, TokenizerHandlesArbitraryBytes) {
+  Rng rng(104);
+  for (int trial = 0; trial < 500 / kSweepScale; ++trial) {
+    TokenizeAndParseTree(testing::RandomBytes(rng, 64));
+  }
+}
+
+TEST(FuzzTest, TokenizerCorpusRegression) {
+  for (const std::string& text : testing::LoadCorpus("tokenizer_bytes.txt")) {
+    SCOPED_TRACE(::testing::PrintToString(text));
+    TokenizeAndParseTree(text);
+  }
+}
+
+class AnnotatorFuzz : public ::testing::Test {
+ protected:
+  AnnotatorFuzz()
+      : config_(core::ModelConfig::Tiny()),
+        table_("t", FuzzSchema()) {
+    data::RegisterDomainClusters(provider_);
+    config_.word_dim = provider_.dim();
+    EXPECT_TRUE(
+        table_.AddRow({sql::Value::Text("hello"), sql::Value::Real(3)}).ok());
+    stats_ = sql::ComputeTableStatistics(table_, provider_);
+  }
+
+  void Annotate(const std::string& question) {
+    core::Annotator annotator(config_, provider_, nullptr, nullptr);
+    auto tokens = text::Tokenize(question);
+    if (tokens.empty()) return;
+    core::Annotation a = annotator.Annotate(tokens, table_, stats_);
+    for (const auto& p : a.pairs) {
+      EXPECT_GE(p.column, 0);
+      EXPECT_LT(p.column, table_.num_columns());
+    }
+  }
+
+  text::EmbeddingProvider provider_;
+  core::ModelConfig config_;
+  sql::Table table_;
+  std::vector<sql::ColumnStatistics> stats_;
+};
+
+TEST_F(AnnotatorFuzz, SurvivesAdversarialQuestions) {
   const char* nasty[] = {
       "",
       "?",
@@ -119,14 +185,13 @@ TEST(FuzzTest, AnnotatorSurvivesAdversarialQuestions) {
       "the the the the of of of",
       "hello hello hello 3 3 3",
   };
-  for (const char* q : nasty) {
-    auto tokens = text::Tokenize(q);
-    if (tokens.empty()) continue;
-    core::Annotation a = annotator.Annotate(tokens, table, stats);
-    for (const auto& p : a.pairs) {
-      EXPECT_GE(p.column, 0);
-      EXPECT_LT(p.column, table.num_columns());
-    }
+  for (const char* q : nasty) Annotate(q);
+}
+
+TEST_F(AnnotatorFuzz, CorpusRegression) {
+  for (const std::string& q : testing::LoadCorpus("annotator_questions.txt")) {
+    SCOPED_TRACE(q);
+    Annotate(q);
   }
 }
 

@@ -1,0 +1,89 @@
+#include "testing/golden.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "testing/random_text.h"
+
+namespace nlidb {
+namespace testing {
+
+namespace {
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) return false;
+  out << content;
+  return out.good();
+}
+
+/// First line where the two texts diverge (1-based), with both versions,
+/// for a readable failure message without dumping the whole trace.
+std::string FirstDiff(const std::string& expected, const std::string& actual) {
+  std::istringstream es(expected), as(actual);
+  std::string el, al;
+  int line = 0;
+  for (;;) {
+    ++line;
+    const bool eok = static_cast<bool>(std::getline(es, el));
+    const bool aok = static_cast<bool>(std::getline(as, al));
+    if (!eok && !aok) return "texts are equal";
+    if (eok != aok || el != al) {
+      std::ostringstream os;
+      os << "first difference at line " << line << ":\n  golden: "
+         << (eok ? el : "<end of file>") << "\n  actual: "
+         << (aok ? al : "<end of file>");
+      return os.str();
+    }
+  }
+}
+
+}  // namespace
+
+bool UpdatingGoldens() {
+  const char* env = std::getenv("NLIDB_UPDATE_GOLDENS");
+  return env != nullptr && env[0] == '1';
+}
+
+::testing::AssertionResult MatchesGolden(const std::string& name,
+                                         const std::string& actual) {
+  const std::string golden_path = TestSourcePath("goldens/" + name);
+  if (UpdatingGoldens()) {
+    if (!WriteFile(golden_path, actual)) {
+      return ::testing::AssertionFailure()
+             << "failed to update golden " << golden_path;
+    }
+    return ::testing::AssertionSuccess();
+  }
+
+  std::string expected;
+  if (!ReadFile(golden_path, &expected)) {
+    return ::testing::AssertionFailure()
+           << "missing golden " << golden_path
+           << " — run with NLIDB_UPDATE_GOLDENS=1 to create it";
+  }
+  if (expected == actual) return ::testing::AssertionSuccess();
+
+  std::error_code ec;
+  std::filesystem::create_directories("golden_diffs", ec);
+  const std::string diff_path = "golden_diffs/" + name + ".actual";
+  WriteFile(diff_path, actual);
+  return ::testing::AssertionFailure()
+         << "golden mismatch for " << name << "; " << FirstDiff(expected, actual)
+         << "\nactual written to " << diff_path
+         << "\nrun with NLIDB_UPDATE_GOLDENS=1 to accept the new behavior";
+}
+
+}  // namespace testing
+}  // namespace nlidb

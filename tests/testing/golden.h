@@ -1,0 +1,34 @@
+#ifndef NLIDB_TESTS_TESTING_GOLDEN_H_
+#define NLIDB_TESTS_TESTING_GOLDEN_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace nlidb {
+namespace testing {
+
+/// Compares `actual` against the committed golden file
+/// tests/goldens/<name> in the source tree.
+///
+/// On mismatch the result message carries the first differing line, and
+/// the full actual text is written to ./golden_diffs/<name>.actual
+/// (relative to the test's working directory, i.e. the build tree) so CI
+/// can upload it as an artifact and a human can inspect or promote it.
+///
+/// Running with NLIDB_UPDATE_GOLDENS=1 rewrites the golden in the source
+/// tree with `actual` and succeeds — the regeneration path after an
+/// intentional behavior change. A missing golden file fails (or is
+/// created, under NLIDB_UPDATE_GOLDENS=1).
+///
+/// Use as: EXPECT_TRUE(MatchesGolden("pipeline_trace.golden", trace));
+::testing::AssertionResult MatchesGolden(const std::string& name,
+                                         const std::string& actual);
+
+/// True when NLIDB_UPDATE_GOLDENS=1 is set for this run.
+bool UpdatingGoldens();
+
+}  // namespace testing
+}  // namespace nlidb
+
+#endif  // NLIDB_TESTS_TESTING_GOLDEN_H_

@@ -1,0 +1,97 @@
+#include "testing/random_text.h"
+
+#include <cctype>
+#include <fstream>
+#include <iterator>
+
+#include "common/logging.h"
+
+namespace nlidb {
+namespace testing {
+
+std::string RandomText(Rng& rng, int max_len) {
+  static const char* kPieces[] = {"SELECT", "WHERE", "AND",  "=",    ">",
+                                  "<",      "alpha", "beta", "c1",   "v1",
+                                  "g1",     "g99",   "\"x\"", "42",  "??",
+                                  "(",      ")",     "'",    "\\",   "\t"};
+  std::string out;
+  const int n = rng.NextInt(0, max_len);
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) out += ' ';
+    out += kPieces[rng.NextUint64(std::size(kPieces))];
+  }
+  return out;
+}
+
+std::string RandomBytes(Rng& rng, int max_len) {
+  std::string out;
+  const int n = rng.NextInt(0, max_len);
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    out += static_cast<char>(rng.NextUint64(256));
+  }
+  return out;
+}
+
+namespace {
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+std::string DecodeEscapes(const std::string& line) {
+  std::string out;
+  out.reserve(line.size());
+  for (size_t i = 0; i < line.size(); ++i) {
+    if (line[i] != '\\' || i + 1 >= line.size()) {
+      out += line[i];
+      continue;
+    }
+    const char next = line[i + 1];
+    switch (next) {
+      case '\\': out += '\\'; ++i; break;
+      case 't': out += '\t'; ++i; break;
+      case 'n': out += '\n'; ++i; break;
+      case 'r': out += '\r'; ++i; break;
+      case 'x': {
+        if (i + 3 < line.size() && HexDigit(line[i + 2]) >= 0 &&
+            HexDigit(line[i + 3]) >= 0) {
+          out += static_cast<char>(HexDigit(line[i + 2]) * 16 +
+                                   HexDigit(line[i + 3]));
+          i += 3;
+        } else {
+          out += line[i];
+        }
+        break;
+      }
+      default: out += line[i]; break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TestSourcePath(const std::string& relative) {
+  return std::string(NLIDB_TEST_SOURCE_DIR) + "/" + relative;
+}
+
+std::vector<std::string> LoadCorpus(const std::string& name) {
+  const std::string path = TestSourcePath("corpus/" + name);
+  std::ifstream in(path);
+  NLIDB_CHECK(in.good()) << "missing corpus file " << path;
+  std::vector<std::string> cases;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    cases.push_back(DecodeEscapes(line));
+  }
+  NLIDB_CHECK(!cases.empty()) << "empty corpus file " << path;
+  return cases;
+}
+
+}  // namespace testing
+}  // namespace nlidb

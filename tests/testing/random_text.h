@@ -1,0 +1,37 @@
+#ifndef NLIDB_TESTS_TESTING_RANDOM_TEXT_H_
+#define NLIDB_TESTS_TESTING_RANDOM_TEXT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace nlidb {
+namespace testing {
+
+/// Whitespace-joined garbage built from SQL-ish and hostile pieces
+/// (keywords, symbols, quotes, escapes, annotation symbols). The input
+/// of the parser/recovery/annotator no-crash sweeps; any string this
+/// produces must be rejected cleanly or handled, never crash.
+std::string RandomText(Rng& rng, int max_len);
+
+/// A string of `n <= max_len` uniformly random bytes (0..255), for
+/// tokenizer/byte-level robustness sweeps.
+std::string RandomBytes(Rng& rng, int max_len);
+
+/// Loads a seed-regression corpus file from tests/corpus/<name>.
+///
+/// Format: one case per line. Lines starting with '#' and blank lines
+/// are skipped. Escapes \\, \t, \n, \r, and \xNN are decoded so cases
+/// can carry bytes that a line-oriented file cannot hold verbatim.
+/// Missing files are a test-setup error (process-fatal), not an empty
+/// corpus — a typo must not silently skip regression coverage.
+std::vector<std::string> LoadCorpus(const std::string& name);
+
+/// Absolute path of `relative` under the source tree's tests/ directory.
+std::string TestSourcePath(const std::string& relative);
+
+}  // namespace testing
+}  // namespace nlidb
+
+#endif  // NLIDB_TESTS_TESTING_RANDOM_TEXT_H_

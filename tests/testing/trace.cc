@@ -1,0 +1,119 @@
+#include "testing/trace.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/annotation.h"
+#include "sql/executor.h"
+
+namespace nlidb {
+namespace testing {
+
+std::string FloatBits(float v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", static_cast<double>(v));
+  return buf;
+}
+
+std::string DoubleBits(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+std::string SpanToString(text::Span span) {
+  if (span.empty()) return "[)";
+  std::ostringstream os;
+  os << "[" << span.begin << "," << span.end << ")";
+  return os.str();
+}
+
+std::string AnnotationToString(const core::Annotation& annotation) {
+  std::ostringstream os;
+  for (size_t i = 0; i < annotation.pairs.size(); ++i) {
+    const core::MentionPair& p = annotation.pairs[i];
+    os << "pair " << i << ": column=" << p.column
+       << " span=" << SpanToString(p.column_span) << " value=\"" << p.value_text
+       << "\" vspan=" << SpanToString(p.value_span) << "\n";
+  }
+  return os.str();
+}
+
+std::string ExecutionToString(const sql::SelectQuery& query,
+                              const sql::Table& table) {
+  auto result = sql::Execute(query, table);
+  if (!result.ok()) return "error " + result.status().ToString();
+  std::ostringstream os;
+  os << result->size() << " values:";
+  for (const sql::Value& v : *result) {
+    os << " " << v.ToString();
+    if (v.is_real()) os << "(" << DoubleBits(v.number()) << ")";
+  }
+  return os.str();
+}
+
+namespace {
+
+std::string JoinTokens(const std::vector<std::string>& tokens) {
+  std::ostringstream os;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (i > 0) os << " ";
+    os << tokens[i];
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string TraceExample(const core::NlidbPipeline& pipeline,
+                         const data::Example& example) {
+  const sql::Table& table = *example.table;
+  const sql::Schema& schema = table.schema();
+  std::ostringstream os;
+  os << "tokens: " << JoinTokens(example.tokens) << "\n";
+
+  // Classifier probabilities over every column — the most drift-sensitive
+  // numbers in the pipeline (everything downstream thresholds them).
+  std::vector<std::vector<std::string>> displays;
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    displays.push_back(schema.column(c).DisplayTokens());
+  }
+  const std::vector<float> probs =
+      pipeline.classifier().PredictBatch(example.tokens, displays);
+  os << "probs:";
+  for (float p : probs) os << " " << FloatBits(p);
+  os << "\n";
+
+  core::Annotation annotation;
+  const std::vector<std::string> sa =
+      pipeline.TranslateToAnnotatedSql(example.tokens, table, &annotation);
+  os << AnnotationToString(annotation);
+  os << "qa: "
+     << JoinTokens(core::BuildAnnotatedQuestion(
+            example.tokens, annotation, schema, pipeline.annotation_options()))
+     << "\n";
+  os << "sa: " << JoinTokens(sa) << "\n";
+
+  auto recovered = core::RecoverSql(sa, annotation, schema);
+  if (recovered.ok()) {
+    os << "sql: " << sql::ToSql(*recovered, schema) << "\n";
+    os << "exec: " << ExecutionToString(*recovered, table) << "\n";
+  } else {
+    os << "sql: error " << recovered.status().ToString() << "\n";
+  }
+  return os.str();
+}
+
+std::string TraceDataset(const core::NlidbPipeline& pipeline,
+                         const data::Dataset& dataset) {
+  std::ostringstream os;
+  os << "# nlidb pipeline trace v1\n";
+  for (size_t i = 0; i < dataset.examples.size(); ++i) {
+    os << "case " << i << "\n"
+       << TraceExample(pipeline, dataset.examples[i]);
+  }
+  return os.str();
+}
+
+}  // namespace testing
+}  // namespace nlidb

@@ -1,0 +1,49 @@
+#ifndef NLIDB_TESTS_TESTING_TRACE_H_
+#define NLIDB_TESTS_TESTING_TRACE_H_
+
+#include <string>
+
+#include "core/pipeline.h"
+#include "data/example.h"
+
+namespace nlidb {
+namespace testing {
+
+/// Bitwise-exact float rendering (C99 hexfloat, e.g. "0x1.99999ap-4").
+/// Two floats serialize equal iff they are the same bits, so a golden
+/// trace containing these catches one-ulp numeric drift that a decimal
+/// rendering would round away.
+std::string FloatBits(float v);
+std::string DoubleBits(double v);
+
+/// "[b,e)" for a token span; "[)" for an empty span.
+std::string SpanToString(text::Span span);
+
+/// One line per mention pair: column index, column span, value text,
+/// value span. The structural-equality currency of the differential
+/// fuzzer as well as the golden trace.
+std::string AnnotationToString(const core::Annotation& annotation);
+
+/// Executes `query` against `table` and renders the result values
+/// (reals additionally in hexfloat), or the error status.
+std::string ExecutionToString(const sql::SelectQuery& query,
+                              const sql::Table& table);
+
+/// Serializes every pipeline stage for one example:
+///   tokens, per-column classifier probabilities (hexfloat), the
+///   annotation (mention pairs + spans), the annotated question q^a, the
+///   decoded annotated SQL s^a, the recovered SQL, and executor results.
+/// Any nondeterminism or silent behavior drift in any stage changes this
+/// string and fails the golden comparison loudly.
+std::string TraceExample(const core::NlidbPipeline& pipeline,
+                         const data::Example& example);
+
+/// TraceExample over a whole dataset, with "case N" headers and a
+/// format-version banner so readers of a diff know what they look at.
+std::string TraceDataset(const core::NlidbPipeline& pipeline,
+                         const data::Dataset& dataset);
+
+}  // namespace testing
+}  // namespace nlidb
+
+#endif  // NLIDB_TESTS_TESTING_TRACE_H_

@@ -72,7 +72,9 @@ TEST(DependencyTest, DistanceIsMetricLike) {
     EXPECT_EQ(tree.Distance(i, i), 0);
     for (int j = 0; j < tree.size(); ++j) {
       EXPECT_EQ(tree.Distance(i, j), tree.Distance(j, i));
-      if (i != j) EXPECT_GT(tree.Distance(i, j), 0);
+      if (i != j) {
+        EXPECT_GT(tree.Distance(i, j), 0);
+      }
     }
   }
 }
