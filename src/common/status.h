@@ -30,7 +30,13 @@ const char* StatusCodeName(StatusCode code);
 ///
 /// The library does not throw exceptions across public API boundaries;
 /// fallible operations return `Status` or `StatusOr<T>`.
-class Status {
+///
+/// The class-level [[nodiscard]] makes silently dropping a returned
+/// Status a compile error under -Werror: every call site must propagate
+/// it (NLIDB_RETURN_IF_ERROR), branch on it, or log it. Intentionally
+/// fire-and-forget calls spell that out by assigning to a named
+/// variable and passing it to `Status::IgnoreError()`.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -75,6 +81,11 @@ class Status {
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;
 
+  /// Explicitly discards `status`. The only sanctioned way to drop a
+  /// Status on the floor; exists so the rare intentional cases are
+  /// greppable instead of invisible.
+  static void IgnoreError(const Status& status) { (void)status; }
+
  private:
   StatusCode code_;
   std::string message_;
@@ -86,7 +97,7 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 /// `value()` on an error status aborts (programming error), matching the
 /// crash-on-misuse convention of absl::StatusOr.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit conversions from both T and Status keep call sites terse,
   /// mirroring absl::StatusOr.

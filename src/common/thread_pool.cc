@@ -5,6 +5,8 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace nlidb {
 
@@ -17,10 +19,12 @@ thread_local bool tls_in_pool_worker = false;
 }  // namespace
 
 struct ThreadPool::LoopState {
-  std::mutex mu;
-  std::condition_variable done_cv;
-  int remaining = 0;
-  std::vector<std::exception_ptr> errors;  // one slot per chunk
+  Mutex mu;
+  CondVar done_cv;
+  int remaining NLIDB_GUARDED_BY(mu) = 0;
+  // One slot per chunk, written by the chunk that failed and read by the
+  // calling thread after `remaining` hits zero.
+  std::vector<std::exception_ptr> errors NLIDB_GUARDED_BY(mu);
 };
 
 ThreadPool::ThreadPool(int parallelism) {
@@ -33,10 +37,10 @@ ThreadPool::ThreadPool(int parallelism) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& t : workers_) t.join();
 }
 
@@ -45,8 +49,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     Job job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) work_cv_.Wait(mu_);
       if (queue_.empty()) return;  // shutdown with drained queue
       job = queue_.front();
       queue_.pop_front();
@@ -68,9 +72,9 @@ void ThreadPool::RunJob(const Job& job) {
     error = std::current_exception();
   }
   tls_in_pool_worker = was_worker;
-  std::lock_guard<std::mutex> lock(job.loop->mu);
+  MutexLock lock(job.loop->mu);
   if (error) job.loop->errors[job.chunk] = error;
-  if (--job.loop->remaining == 0) job.loop->done_cv.notify_all();
+  if (--job.loop->remaining == 0) job.loop->done_cv.NotifyAll();
 }
 
 void ThreadPool::ParallelFor(int begin, int end,
@@ -84,10 +88,16 @@ void ThreadPool::ParallelFor(int begin, int end,
   }
 
   LoopState loop;
-  loop.remaining = chunks;
-  loop.errors.resize(chunks);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    // The loop state is not shared until the jobs are enqueued below,
+    // but initializing under the lock keeps the guarded_by contract
+    // unconditional.
+    MutexLock lock(loop.mu);
+    loop.remaining = chunks;
+    loop.errors.resize(chunks);
+  }
+  {
+    MutexLock lock(mu_);
     NLIDB_CHECK(!shutdown_) << "ParallelFor on a shut-down pool";
     // Chunk 0 runs on the calling thread below; enqueue the rest.
     for (int c = 1; c < chunks; ++c) {
@@ -98,15 +108,16 @@ void ThreadPool::ParallelFor(int begin, int end,
       queue_.push_back(Job{&body, cb, ce, c, &loop});
     }
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 
   const int ce0 =
       begin + static_cast<int>(static_cast<long long>(len) / chunks);
   RunJob(Job{&body, begin, ce0, 0, &loop});
 
-  std::unique_lock<std::mutex> lock(loop.mu);
-  loop.done_cv.wait(lock, [&loop] { return loop.remaining == 0; });
-  // Deterministic error selection: lowest chunk index wins.
+  MutexLock lock(loop.mu);
+  while (loop.remaining != 0) loop.done_cv.Wait(loop.mu);
+  // Deterministic error selection: lowest chunk index wins. Rethrowing
+  // under the lock is fine; MutexLock releases during unwind.
   for (auto& e : loop.errors) {
     if (e) std::rethrow_exception(e);
   }
@@ -124,12 +135,12 @@ int ThreadPool::DefaultParallelism() {
 }
 
 namespace {
-std::mutex global_pool_mu;
-std::unique_ptr<ThreadPool> global_pool;
+Mutex global_pool_mu;
+std::unique_ptr<ThreadPool> global_pool NLIDB_GUARDED_BY(global_pool_mu);
 }  // namespace
 
 ThreadPool& ThreadPool::Global() {
-  std::lock_guard<std::mutex> lock(global_pool_mu);
+  MutexLock lock(global_pool_mu);
   if (!global_pool) {
     global_pool = std::make_unique<ThreadPool>(DefaultParallelism());
   }
@@ -138,7 +149,7 @@ ThreadPool& ThreadPool::Global() {
 
 void ThreadPool::SetGlobalParallelism(int parallelism) {
   const int p = std::max(parallelism, 1);
-  std::lock_guard<std::mutex> lock(global_pool_mu);
+  MutexLock lock(global_pool_mu);
   if (global_pool && global_pool->parallelism() == p) return;
   global_pool = std::make_unique<ThreadPool>(p);
 }

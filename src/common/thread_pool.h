@@ -1,13 +1,14 @@
 #ifndef NLIDB_COMMON_THREAD_POOL_H_
 #define NLIDB_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace nlidb {
 
@@ -79,14 +80,16 @@ class ThreadPool {
     LoopState* loop;
   };
 
-  void WorkerLoop();
+  void WorkerLoop() NLIDB_LOCKS_EXCLUDED(mu_);
   static void RunJob(const Job& job);
 
+  // The worker threads themselves; this std::thread use is the one the
+  // raw-thread lint rule exists to funnel everything else through.
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;  // workers wait for jobs
-  std::deque<Job> queue_;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar work_cv_;  // workers wait for jobs
+  std::deque<Job> queue_ NLIDB_GUARDED_BY(mu_);
+  bool shutdown_ NLIDB_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace nlidb

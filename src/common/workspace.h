@@ -16,8 +16,14 @@ namespace nlidb {
 /// allocator. Alignment is 64 bytes (one cache line / one AVX-512 lane)
 /// so arena buffers are as kernel-friendly as heap ones.
 ///
-/// Not thread-safe; use `ThreadLocal()` for one arena per thread (pool
-/// workers each get their own, so kernel fan-outs never contend).
+/// Thread-compatible, not thread-safe: a Workspace is owned by exactly
+/// one thread and carries no lock — `ThreadLocal()` hands each thread
+/// its own arena (pool workers each get their own, so kernel fan-outs
+/// never contend). That single-owner contract is what PR 2's TSan runs
+/// verify dynamically; statically it is encoded by this class having no
+/// Mutex (the mutex-unguarded lint rule fires on any lock added here
+/// without NLIDB_GUARDED_BY state) and by every cross-thread entry point
+/// going through ThreadLocal().
 class Workspace {
  public:
   Workspace() = default;
@@ -25,13 +31,15 @@ class Workspace {
   Workspace& operator=(const Workspace&) = delete;
 
   /// A zero-initialized scratch buffer of `n` floats, valid until Reset()
-  /// or the destruction of an enclosing Scope.
-  float* Floats(size_t n);
+  /// or the destruction of an enclosing Scope. Discarding the result
+  /// leaks the reservation until Reset, so it is a compile error.
+  [[nodiscard]] float* Floats(size_t n);
 
   /// RAII rewind point: buffers acquired inside the scope are released
   /// when it ends, buffers acquired before it stay live. Lets leaf
   /// helpers use the arena without coordinating a global Reset.
-  class Scope {
+  /// Like the arena itself, a Scope is pinned to the constructing thread.
+  class [[nodiscard]] Scope {
    public:
     explicit Scope(Workspace& ws);
     ~Scope();

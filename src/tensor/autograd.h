@@ -57,7 +57,7 @@ void ZeroGrad(const std::vector<Var>& vars);
 /// influence probing never reads. Intermediate nodes (including the
 /// embedding activations whose grads the influence profile reads) are
 /// per-graph and still accumulate normally.
-class InferenceGradScope {
+class [[nodiscard]] InferenceGradScope {
  public:
   InferenceGradScope();
   ~InferenceGradScope();
@@ -65,7 +65,7 @@ class InferenceGradScope {
   InferenceGradScope& operator=(const InferenceGradScope&) = delete;
 
   /// True when the calling thread is inside an InferenceGradScope.
-  static bool Active();
+  [[nodiscard]] static bool Active();
 
  private:
   bool prev_;
@@ -74,8 +74,10 @@ class InferenceGradScope {
 /// The gradient buffer a backward closure should accumulate into for
 /// `node`, or nullptr when the write (and the work producing it) should
 /// be skipped — see InferenceGradScope. Closures must route every
-/// parent-grad write through this.
-Tensor* GradSink(AutogradNode& node);
+/// parent-grad write through this; [[nodiscard]] because calling it and
+/// then writing `node.grad` directly would reintroduce exactly the
+/// shared-parameter race the scope exists to prevent.
+[[nodiscard]] Tensor* GradSink(AutogradNode& node);
 
 }  // namespace nlidb
 

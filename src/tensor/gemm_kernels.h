@@ -39,7 +39,7 @@ void RowsAtB(const float* a, const float* b, float* out, int ib, int ie, int k,
 namespace avx2 {
 /// True only when this TU was compiled at x86-64-v3 AND the running CPU
 /// supports AVX2; the base tier is used otherwise.
-bool Available();
+[[nodiscard]] bool Available();
 void RowsAB(const float* a, const float* b, float* out, int ib, int ie, int k,
             int n);
 void RowsABt(const float* a, const float* b, float* out, int ib, int ie, int k,
@@ -68,10 +68,14 @@ enum class Tier { kAuto, kBase, kAvx2 };
 void SetTier(Tier tier);
 
 /// The tier `Kernels()` currently resolves to: always kBase or kAvx2.
-Tier ActiveTier();
+/// The requested tier lives in a std::atomic (tensor.cc RequestedTier),
+/// which is the only sanctioned lock-free shared state in the kernel
+/// layer: the dispatch read is relaxed because tier choice never guards
+/// other memory — both tables compute bitwise-identical results.
+[[nodiscard]] Tier ActiveTier();
 
 /// The kernel table for the active tier.
-const RowKernels& Kernels();
+[[nodiscard]] const RowKernels& Kernels();
 
 }  // namespace gemm
 }  // namespace nlidb

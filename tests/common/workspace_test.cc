@@ -182,7 +182,9 @@ TEST(WorkspaceStressTest, InterleavedScopesAcrossPoolThreads) {
 TEST(WorkspaceTest, ThreadLocalIsPerThread) {
   Workspace* main_ws = &Workspace::ThreadLocal();
   Workspace* other_ws = nullptr;
-  std::thread t([&] { other_ws = &Workspace::ThreadLocal(); });
+  // A raw thread on purpose: the test needs a thread that is NOT a pool
+  // worker to prove ThreadLocal() hands out distinct arenas.
+  std::thread t([&] { other_ws = &Workspace::ThreadLocal(); });  // nlidb-lint: disable(raw-thread)
   t.join();
   EXPECT_NE(main_ws, other_ws);
   EXPECT_EQ(main_ws, &Workspace::ThreadLocal());

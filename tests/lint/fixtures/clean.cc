@@ -1,0 +1,12 @@
+// Lint fixture: a file that violates no rule. Mentions of std::thread,
+// rand(), and "#pragma once" in comments or strings must NOT fire.
+#include <string>
+
+namespace nlidb {
+
+int AddOne(int x) {
+  const std::string note = "std::thread rand() #pragma once";
+  return x + static_cast<int>(note.empty());
+}
+
+}  // namespace nlidb

@@ -1,0 +1,4 @@
+// Lint fixture: tier TUs with identical float literals (clean).
+namespace nlidb {
+float BaseScale() { return 1.5f; }
+}  // namespace nlidb

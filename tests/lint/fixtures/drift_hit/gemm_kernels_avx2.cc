@@ -1,0 +1,4 @@
+// Lint fixture: avx2 tier TU whose float literals drift from base.
+namespace nlidb {
+float Avx2Scale() { return 2.5f; }
+}  // namespace nlidb

@@ -1,0 +1,4 @@
+// Lint fixture: base tier TU whose float literals drift from avx2.
+namespace nlidb {
+float BaseScale() { return 1.5f; }
+}  // namespace nlidb

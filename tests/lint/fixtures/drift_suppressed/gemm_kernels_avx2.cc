@@ -1,0 +1,4 @@
+// Lint fixture: drifting literals, waived on both sides.
+namespace nlidb {
+float Avx2Scale() { return 2.5f; }  // nlidb-lint: disable(gemm-literal-drift)
+}  // namespace nlidb

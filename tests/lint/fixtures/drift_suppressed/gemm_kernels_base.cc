@@ -1,0 +1,4 @@
+// Lint fixture: drifting literals, waived on both sides.
+namespace nlidb {
+float BaseScale() { return 1.5f; }  // nlidb-lint: disable(gemm-literal-drift)
+}  // namespace nlidb

@@ -1,0 +1,5 @@
+// Lint fixture: header with no include guard at all.
+
+namespace nlidb {
+int NoGuard();
+}  // namespace nlidb

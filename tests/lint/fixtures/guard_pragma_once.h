@@ -1,0 +1,7 @@
+#pragma once
+
+// Lint fixture: #pragma once instead of a named guard.
+
+namespace nlidb {
+int PragmaOnce();
+}  // namespace nlidb

@@ -1,0 +1,9 @@
+#pragma once  // nlidb-lint: disable(include-guard)
+
+// Lint fixture: pragma once, waived. The missing named guard is also
+// anchored at the pragma line via the preceding-line rule.
+// nlidb-lint: disable(include-guard)
+
+namespace nlidb {
+int Waived();
+}  // namespace nlidb

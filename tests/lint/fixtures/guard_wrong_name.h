@@ -1,0 +1,10 @@
+#ifndef SOME_OTHER_GUARD_H
+#define SOME_OTHER_GUARD_H
+
+// Lint fixture: guard does not match the path-derived name.
+
+namespace nlidb {
+int WrongGuard();
+}  // namespace nlidb
+
+#endif  // SOME_OTHER_GUARD_H

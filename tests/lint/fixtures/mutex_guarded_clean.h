@@ -1,0 +1,21 @@
+#ifndef NLIDB_TESTS_LINT_FIXTURES_MUTEX_GUARDED_CLEAN_H_
+#define NLIDB_TESTS_LINT_FIXTURES_MUTEX_GUARDED_CLEAN_H_
+
+// Lint fixture: a properly annotated mutex member.
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace nlidb {
+
+class Counter {
+ public:
+  void Add(int d);
+
+ private:
+  Mutex mu_;
+  int total_ NLIDB_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace nlidb
+
+#endif  // NLIDB_TESTS_LINT_FIXTURES_MUTEX_GUARDED_CLEAN_H_

@@ -1,0 +1,20 @@
+#ifndef NLIDB_TESTS_LINT_FIXTURES_MUTEX_UNGUARDED_HIT_H_
+#define NLIDB_TESTS_LINT_FIXTURES_MUTEX_UNGUARDED_HIT_H_
+
+// Lint fixture: a mutex member with no NLIDB_GUARDED_BY state.
+#include <mutex>
+
+namespace nlidb {
+
+class Counter {
+ public:
+  void Add(int d);
+
+ private:
+  std::mutex mu_;
+  int total_ = 0;
+};
+
+}  // namespace nlidb
+
+#endif  // NLIDB_TESTS_LINT_FIXTURES_MUTEX_UNGUARDED_HIT_H_

@@ -1,0 +1,20 @@
+#ifndef NLIDB_TESTS_LINT_FIXTURES_MUTEX_UNGUARDED_SUPPRESSED_H_
+#define NLIDB_TESTS_LINT_FIXTURES_MUTEX_UNGUARDED_SUPPRESSED_H_
+
+// Lint fixture: the same mutex, waived.
+#include <mutex>
+
+namespace nlidb {
+
+class Counter {
+ public:
+  void Add(int d);
+
+ private:
+  std::mutex mu_;  // nlidb-lint: disable(mutex-unguarded)
+  int total_ = 0;
+};
+
+}  // namespace nlidb
+
+#endif  // NLIDB_TESTS_LINT_FIXTURES_MUTEX_UNGUARDED_SUPPRESSED_H_

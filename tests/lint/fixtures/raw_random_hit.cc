@@ -1,0 +1,9 @@
+// Lint fixture: nondeterministic randomness outside common/rng.
+#include <cstdlib>
+#include <random>
+
+int Roll() {
+  std::random_device rd;
+  srand(rd());
+  return rand() % 6;
+}

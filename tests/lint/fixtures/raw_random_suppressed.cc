@@ -1,0 +1,6 @@
+// Lint fixture: waived randomness.
+#include <cstdlib>
+
+int Roll() {
+  return rand() % 6;  // nlidb-lint: disable(raw-random)
+}

@@ -1,0 +1,11 @@
+// Lint fixture: raw threading primitives outside the pool.
+#include <future>
+#include <thread>
+
+void Spawn() {
+  std::thread t([] {});
+  t.join();
+  auto f = std::async([] { return 1; });
+  (void)f.get();
+  pthread_exit(nullptr);
+}

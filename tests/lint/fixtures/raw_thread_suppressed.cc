@@ -1,0 +1,11 @@
+// Lint fixture: the same primitives, waived line by line.
+#include <future>
+#include <thread>
+
+void Spawn() {
+  std::thread t([] {});  // nlidb-lint: disable(raw-thread)
+  t.join();
+  // nlidb-lint: disable(raw-thread)
+  auto f = std::async([] { return 1; });
+  (void)f.get();
+}

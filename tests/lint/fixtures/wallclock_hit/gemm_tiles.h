@@ -1,0 +1,17 @@
+#ifndef NLIDB_TESTS_LINT_FIXTURES_WALLCLOCK_HIT_GEMM_TILES_H_
+#define NLIDB_TESTS_LINT_FIXTURES_WALLCLOCK_HIT_GEMM_TILES_H_
+
+// Lint fixture: wall-clock reads inside a kernel TU (gemm_ basename).
+#include <chrono>
+#include <ctime>
+
+namespace nlidb {
+
+inline long KernelNow() {
+  auto t = std::chrono::system_clock::now().time_since_epoch().count();
+  return t + time(nullptr);
+}
+
+}  // namespace nlidb
+
+#endif  // NLIDB_TESTS_LINT_FIXTURES_WALLCLOCK_HIT_GEMM_TILES_H_

@@ -1,0 +1,15 @@
+#ifndef NLIDB_TESTS_LINT_FIXTURES_WALLCLOCK_SUPPRESSED_GEMM_TILES_H_
+#define NLIDB_TESTS_LINT_FIXTURES_WALLCLOCK_SUPPRESSED_GEMM_TILES_H_
+
+// Lint fixture: the same wall-clock reads, waived.
+#include <ctime>
+
+namespace nlidb {
+
+inline long KernelNow() {
+  return time(nullptr);  // nlidb-lint: disable(kernel-wall-clock)
+}
+
+}  // namespace nlidb
+
+#endif  // NLIDB_TESTS_LINT_FIXTURES_WALLCLOCK_SUPPRESSED_GEMM_TILES_H_

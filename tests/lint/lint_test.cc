@@ -1,0 +1,181 @@
+// Rule-fixture tests for the nlidb_lint checker (tools/lint_rules.cc).
+//
+// Every rule is exercised three ways against committed fixture files in
+// tests/lint/fixtures/: a positive hit, the same violation waived by a
+// `nlidb-lint: disable(rule)` comment, and a clean file. The suite ends
+// by asserting the real tree lints clean, which is the same gate CI
+// applies through the `nlidb_lint_tree` ctest entry.
+
+#include "tools/lint_rules.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace nlidb {
+namespace lint {
+namespace {
+
+std::string RepoRoot() { return std::string(NLIDB_TEST_SOURCE_DIR) + "/.."; }
+
+// `rel` is repo-relative ("tests/lint/fixtures/clean.cc"); findings use
+// the same relative path the CLI would print.
+SourceFile Load(const std::string& rel) {
+  SourceFile file;
+  const bool ok = LoadSourceFile(RepoRoot() + "/" + rel, rel, &file);
+  EXPECT_TRUE(ok) << "cannot read fixture " << rel;
+  return file;
+}
+
+std::vector<Finding> Lint(const std::vector<std::string>& rels) {
+  std::vector<SourceFile> files;
+  for (const std::string& rel : rels) files.push_back(Load(rel));
+  return LintFiles(files);
+}
+
+std::vector<std::string> Rules(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  for (const Finding& f : findings) rules.push_back(f.rule);
+  return rules;
+}
+
+int CountRule(const std::vector<Finding>& findings, const std::string& rule) {
+  const std::vector<std::string> rules = Rules(findings);
+  return static_cast<int>(std::count(rules.begin(), rules.end(), rule));
+}
+
+TEST(LintTest, CleanFileHasNoFindings) {
+  // clean.cc names std::thread / rand() / #pragma once in comments and
+  // string literals only; the stripper must keep those from firing.
+  EXPECT_TRUE(Lint({"tests/lint/fixtures/clean.cc"}).empty());
+}
+
+TEST(LintTest, RawThreadHit) {
+  const auto findings = Lint({"tests/lint/fixtures/raw_thread_hit.cc"});
+  EXPECT_EQ(CountRule(findings, "raw-thread"), 3);  // thread, async, pthread_
+  EXPECT_EQ(static_cast<int>(findings.size()),
+            CountRule(findings, "raw-thread"));
+}
+
+TEST(LintTest, RawThreadSuppressedSameLineAndPrecedingLine) {
+  EXPECT_TRUE(Lint({"tests/lint/fixtures/raw_thread_suppressed.cc"}).empty());
+}
+
+TEST(LintTest, RawRandomHit) {
+  const auto findings = Lint({"tests/lint/fixtures/raw_random_hit.cc"});
+  EXPECT_EQ(CountRule(findings, "raw-random"), 3);  // device, srand, rand
+}
+
+TEST(LintTest, RawRandomSuppressed) {
+  EXPECT_TRUE(Lint({"tests/lint/fixtures/raw_random_suppressed.cc"}).empty());
+}
+
+TEST(LintTest, MutexUnguardedHit) {
+  const auto findings = Lint({"tests/lint/fixtures/mutex_unguarded_hit.h"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "mutex-unguarded");
+  EXPECT_NE(findings[0].message.find("mu_"), std::string::npos);
+}
+
+TEST(LintTest, MutexUnguardedSuppressedAndAnnotatedClean) {
+  EXPECT_TRUE(
+      Lint({"tests/lint/fixtures/mutex_unguarded_suppressed.h"}).empty());
+  EXPECT_TRUE(Lint({"tests/lint/fixtures/mutex_guarded_clean.h"}).empty());
+}
+
+TEST(LintTest, IncludeGuardMissing) {
+  const auto findings = Lint({"tests/lint/fixtures/guard_missing.h"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "include-guard");
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(LintTest, IncludeGuardPragmaOnce) {
+  const auto findings = Lint({"tests/lint/fixtures/guard_pragma_once.h"});
+  EXPECT_EQ(CountRule(findings, "include-guard"), 2);  // pragma + no guard
+}
+
+TEST(LintTest, IncludeGuardWrongName) {
+  const auto findings = Lint({"tests/lint/fixtures/guard_wrong_name.h"});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "include-guard");
+  EXPECT_NE(findings[0].message.find("SOME_OTHER_GUARD_H"),
+            std::string::npos);
+}
+
+TEST(LintTest, IncludeGuardSuppressed) {
+  EXPECT_TRUE(Lint({"tests/lint/fixtures/guard_suppressed.h"}).empty());
+}
+
+TEST(LintTest, KernelWallClockHit) {
+  const auto findings =
+      Lint({"tests/lint/fixtures/wallclock_hit/gemm_tiles.h"});
+  EXPECT_GE(CountRule(findings, "kernel-wall-clock"), 2);  // chrono + time()
+}
+
+TEST(LintTest, KernelWallClockSuppressed) {
+  EXPECT_TRUE(
+      Lint({"tests/lint/fixtures/wallclock_suppressed/gemm_tiles.h"})
+          .empty());
+}
+
+TEST(LintTest, GemmLiteralDriftHit) {
+  const auto findings =
+      Lint({"tests/lint/fixtures/drift_hit/gemm_kernels_base.cc",
+            "tests/lint/fixtures/drift_hit/gemm_kernels_avx2.cc"});
+  // 1.5f exists only in base, 2.5f only in avx2: one finding per TU.
+  EXPECT_EQ(CountRule(findings, "gemm-literal-drift"), 2);
+}
+
+TEST(LintTest, GemmLiteralDriftCleanAndSuppressed) {
+  EXPECT_TRUE(
+      Lint({"tests/lint/fixtures/drift_clean/gemm_kernels_base.cc",
+            "tests/lint/fixtures/drift_clean/gemm_kernels_avx2.cc"})
+          .empty());
+  EXPECT_TRUE(
+      Lint({"tests/lint/fixtures/drift_suppressed/gemm_kernels_base.cc",
+            "tests/lint/fixtures/drift_suppressed/gemm_kernels_avx2.cc"})
+          .empty());
+}
+
+TEST(LintTest, ExpectedGuardDerivation) {
+  EXPECT_EQ(ExpectedGuard("src/common/status.h"), "NLIDB_COMMON_STATUS_H_");
+  EXPECT_EQ(ExpectedGuard("tests/testing/golden.h"),
+            "NLIDB_TESTS_TESTING_GOLDEN_H_");
+  EXPECT_EQ(ExpectedGuard("bench/bench_json.h"), "NLIDB_BENCH_BENCH_JSON_H_");
+}
+
+TEST(LintTest, DefaultTreeSkipsFixturesAndFindsSources) {
+  const auto tree = DefaultTree(RepoRoot());
+  EXPECT_GT(tree.size(), 150u);
+  for (const std::string& path : tree) {
+    EXPECT_EQ(path.rfind("tests/lint/fixtures/", 0), std::string::npos)
+        << path;
+  }
+  EXPECT_TRUE(std::count(tree.begin(), tree.end(), "src/common/status.h"));
+  EXPECT_TRUE(std::count(tree.begin(), tree.end(), "tools/nlidb_lint.cc"));
+}
+
+// The gate CI enforces: the committed tree has zero findings. Any new
+// violation fails here (and in the standalone `nlidb_lint_tree` ctest
+// run) with the exact file:line: rule: message the CLI prints.
+TEST(LintTest, RealTreeLintsClean) {
+  const std::string root = RepoRoot();
+  std::vector<SourceFile> files;
+  for (const std::string& rel : DefaultTree(root)) {
+    SourceFile file;
+    ASSERT_TRUE(LoadSourceFile(root + "/" + rel, rel, &file)) << rel;
+    files.push_back(std::move(file));
+  }
+  const auto findings = LintFiles(files);
+  for (const Finding& f : findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << ": " << f.rule << ": "
+                  << f.message;
+  }
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace nlidb

@@ -1,0 +1,454 @@
+#include "tools/lint_rules.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <sstream>
+
+namespace nlidb {
+namespace lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::string Basename(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+std::string Dirname(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+std::string Trimmed(const std::string& s) {
+  size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return std::string();
+  size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+/// Blanks comments and string/char literal contents, preserving line
+/// structure, so rule regexes only ever see code tokens.
+std::string StripCommentsAndStrings(const std::string& src) {
+  std::string out;
+  out.reserve(src.size());
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kString;
+          out += ' ';
+        } else if (c == '\'') {
+          state = State::kChar;
+          out += ' ';
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out += '\n';
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          out += "  ";
+          ++i;
+        } else if ((state == State::kString && c == '"') ||
+                   (state == State::kChar && c == '\'')) {
+          state = State::kCode;
+          out += ' ';
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& s) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : s) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+/// True when the finding at `line` (1-based) in `file` is waived by a
+/// `nlidb-lint: disable(rule)` comment on the same or preceding line.
+bool Suppressed(const SourceFile& file, int line, const std::string& rule) {
+  const std::string needle = "nlidb-lint: disable(" + rule + ")";
+  for (int l = line - 1; l >= line - 2 && l >= 0; --l) {
+    if (static_cast<size_t>(l) < file.raw.size() &&
+        file.raw[l].find(needle) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Report(const SourceFile& file, int line, const std::string& rule,
+            const std::string& message, std::vector<Finding>* out) {
+  if (Suppressed(file, line, rule)) return;
+  out->push_back(Finding{file.path, line, rule, message});
+}
+
+// ---------------------------------------------------------------------------
+// raw-thread: threading primitives outside the pool.
+
+const char kRawThread[] = "raw-thread";
+
+bool ThreadPoolFile(const std::string& path) {
+  return path == "src/common/thread_pool.h" ||
+         path == "src/common/thread_pool.cc";
+}
+
+void CheckRawThread(const SourceFile& file, std::vector<Finding>* out) {
+  if (ThreadPoolFile(file.path)) return;
+  static const std::regex re(
+      "std::jthread\\b|std::thread\\b|std::async\\b|\\bpthread_[a-z_]+");
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    if (std::regex_search(file.code[i], re)) {
+      Report(file, static_cast<int>(i) + 1, kRawThread,
+             "raw threading primitive; all concurrency goes through "
+             "ThreadPool (src/common/thread_pool.h)",
+             out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// raw-random: nondeterministic RNG outside common/rng.
+
+const char kRawRandom[] = "raw-random";
+
+void CheckRawRandom(const SourceFile& file, std::vector<Finding>* out) {
+  if (file.path == "src/common/rng.h" || file.path == "src/common/rng.cc") {
+    return;
+  }
+  static const std::regex re(
+      "std::random_device|\\bsrand\\s*\\(|\\brand\\s*\\(");
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    if (std::regex_search(file.code[i], re)) {
+      Report(file, static_cast<int>(i) + 1, kRawRandom,
+             "nondeterministic randomness; use the seeded Rng in "
+             "src/common/rng.h so every run reproduces",
+             out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// kernel-wall-clock: GEMM kernel TUs must be time-free.
+
+const char kKernelWallClock[] = "kernel-wall-clock";
+
+bool KernelTu(const std::string& path) {
+  const std::string base = Basename(path);
+  return StartsWith(base, "gemm_") && !EndsWith(base, "_test.cc");
+}
+
+void CheckKernelWallClock(const SourceFile& file, std::vector<Finding>* out) {
+  if (!KernelTu(file.path)) return;
+  static const std::regex re(
+      "std::chrono|\\btime\\s*\\(|\\bclock\\s*\\(|\\bgettimeofday\\b|"
+      "\\blocaltime\\b|\\bstrftime\\b|\\bDate\\b");
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    if (std::regex_search(file.code[i], re)) {
+      Report(file, static_cast<int>(i) + 1, kKernelWallClock,
+             "wall-clock call inside a GEMM kernel TU; kernels must be "
+             "time-free so identical inputs give bitwise-identical outputs",
+             out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// gemm-literal-drift: float literals must match across ISA-tier TUs.
+
+const char kGemmLiteralDrift[] = "gemm-literal-drift";
+
+struct LiteralInfo {
+  int count = 0;
+  int first_line = 0;
+};
+
+std::map<std::string, LiteralInfo> FloatLiterals(const SourceFile& file) {
+  // Decimal floats (1.0f, .5, 2e-3) and C99 hexfloats (0x1.8p-2f).
+  static const std::regex re(
+      "\\b[0-9]+\\.[0-9]*(?:[eE][+-]?[0-9]+)?[fF]?|"
+      "\\.[0-9]+(?:[eE][+-]?[0-9]+)?[fF]?|"
+      "\\b[0-9]+[eE][+-]?[0-9]+[fF]?|"
+      "\\b0[xX][0-9a-fA-F]*\\.?[0-9a-fA-F]*[pP][+-]?[0-9]+[fF]?");
+  std::map<std::string, LiteralInfo> literals;
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+    for (auto it = std::sregex_iterator(line.begin(), line.end(), re);
+         it != std::sregex_iterator(); ++it) {
+      LiteralInfo& info = literals[it->str()];
+      if (info.count == 0) info.first_line = static_cast<int>(i) + 1;
+      ++info.count;
+    }
+  }
+  return literals;
+}
+
+bool TierTu(const std::string& path) {
+  static const std::regex re("^gemm_kernels_[a-z0-9]+\\.cc$");
+  return std::regex_match(Basename(path), re);
+}
+
+void CheckGemmLiteralDrift(const std::vector<const SourceFile*>& tier_tus,
+                           std::vector<Finding>* out) {
+  for (size_t a = 0; a < tier_tus.size(); ++a) {
+    for (size_t b = a + 1; b < tier_tus.size(); ++b) {
+      const SourceFile& fa = *tier_tus[a];
+      const SourceFile& fb = *tier_tus[b];
+      const auto la = FloatLiterals(fa);
+      const auto lb = FloatLiterals(fb);
+      auto diff = [&](const SourceFile& present,
+                      const std::map<std::string, LiteralInfo>& mine,
+                      const SourceFile& other,
+                      const std::map<std::string, LiteralInfo>& theirs) {
+        for (const auto& [lit, info] : mine) {
+          auto it = theirs.find(lit);
+          const int there = it == theirs.end() ? 0 : it->second.count;
+          if (info.count > there) {
+            std::ostringstream msg;
+            msg << "float literal " << lit << " appears " << info.count
+                << "x here but " << there << "x in " << Basename(other.path)
+                << "; ISA tiers must stay numerically identical";
+            Report(present, info.first_line, kGemmLiteralDrift, msg.str(),
+                   out);
+          }
+        }
+      };
+      diff(fa, la, fb, lb);
+      diff(fb, lb, fa, la);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// mutex-unguarded: every mutex member names the state it protects.
+
+const char kMutexUnguarded[] = "mutex-unguarded";
+
+void CheckMutexUnguarded(const SourceFile& file, std::vector<Finding>* out) {
+  static const std::regex decl(
+      "^\\s*(?:mutable\\s+)?(?:std::mutex|std::recursive_mutex|"
+      "std::timed_mutex|std::shared_mutex|(?:nlidb::)?Mutex)\\s+"
+      "([A-Za-z_][A-Za-z0-9_]*)\\s*;");
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(file.code[i], m, decl)) continue;
+    const std::string name = m[1].str();
+    const std::string guarded = "NLIDB_GUARDED_BY(" + name + ")";
+    const std::string pt_guarded = "NLIDB_PT_GUARDED_BY(" + name + ")";
+    bool annotated = false;
+    for (const std::string& line : file.code) {
+      if (line.find(guarded) != std::string::npos ||
+          line.find(pt_guarded) != std::string::npos) {
+        annotated = true;
+        break;
+      }
+    }
+    if (!annotated) {
+      Report(file, static_cast<int>(i) + 1, kMutexUnguarded,
+             "mutex '" + name +
+                 "' has no NLIDB_GUARDED_BY(" + name +
+                 ") state in this file; annotate what it protects "
+                 "(common/thread_annotations.h)",
+             out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// include-guard: path-derived guards, no #pragma once.
+
+const char kIncludeGuard[] = "include-guard";
+
+void CheckIncludeGuard(const SourceFile& file, std::vector<Finding>* out) {
+  if (!EndsWith(file.path, ".h")) return;
+  const std::string expected = ExpectedGuard(file.path);
+  int ifndef_line = 0;  // 1-based, 0 = not found
+  std::string found_guard;
+  bool define_ok = false;
+  for (size_t i = 0; i < file.raw.size(); ++i) {
+    const std::string t = Trimmed(file.raw[i]);
+    if (StartsWith(t, "#pragma once")) {
+      Report(file, static_cast<int>(i) + 1, kIncludeGuard,
+             "#pragma once; this tree uses named include guards "
+             "(expected " + expected + ")",
+             out);
+    }
+    if (ifndef_line == 0 && StartsWith(t, "#ifndef ")) {
+      ifndef_line = static_cast<int>(i) + 1;
+      found_guard = Trimmed(t.substr(8));
+      // The guard define must be the immediately following directive.
+      for (size_t j = i + 1; j < file.raw.size(); ++j) {
+        const std::string u = Trimmed(file.raw[j]);
+        if (u.empty()) continue;
+        define_ok = u == "#define " + found_guard;
+        break;
+      }
+    }
+  }
+  if (ifndef_line == 0) {
+    Report(file, 1, kIncludeGuard,
+           "missing include guard (expected #ifndef " + expected + ")", out);
+  } else if (found_guard != expected || !define_ok) {
+    Report(file, ifndef_line, kIncludeGuard,
+           "include guard '" + found_guard + "' does not match the "
+           "path-derived guard '" + expected + "' (or lacks the matching "
+           "#define)",
+           out);
+  }
+}
+
+}  // namespace
+
+std::string ExpectedGuard(const std::string& rel_path) {
+  std::string p = rel_path;
+  if (StartsWith(p, "src/")) p = p.substr(4);
+  std::string guard = "NLIDB_";
+  for (char c : p) {
+    guard += std::isalnum(static_cast<unsigned char>(c))
+                 ? static_cast<char>(
+                       std::toupper(static_cast<unsigned char>(c)))
+                 : '_';
+  }
+  guard += '_';
+  return guard;
+}
+
+SourceFile LoadSource(std::string path, const std::string& contents) {
+  SourceFile file;
+  file.path = std::move(path);
+  file.raw = SplitLines(contents);
+  file.code = SplitLines(StripCommentsAndStrings(contents));
+  return file;
+}
+
+bool LoadSourceFile(const std::string& abs_path, const std::string& rel_path,
+                    SourceFile* out) {
+  std::ifstream in(abs_path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = LoadSource(rel_path, buf.str());
+  return true;
+}
+
+std::vector<Finding> LintFiles(const std::vector<SourceFile>& files) {
+  std::vector<Finding> findings;
+  std::map<std::string, std::vector<const SourceFile*>> tier_tus_by_dir;
+  for (const SourceFile& file : files) {
+    CheckRawThread(file, &findings);
+    CheckRawRandom(file, &findings);
+    CheckKernelWallClock(file, &findings);
+    CheckMutexUnguarded(file, &findings);
+    CheckIncludeGuard(file, &findings);
+    if (TierTu(file.path)) {
+      tier_tus_by_dir[Dirname(file.path)].push_back(&file);
+    }
+  }
+  for (const auto& [dir, tus] : tier_tus_by_dir) {
+    CheckGemmLiteralDrift(tus, &findings);
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+std::vector<std::string> DefaultTree(const std::string& root) {
+  std::vector<std::string> paths;
+  for (const char* top : {"src", "tests", "tools", "bench"}) {
+    const fs::path dir = fs::path(root) / top;
+    if (!fs::is_directory(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".cc" && ext != ".cpp" && ext != ".inc") {
+        continue;
+      }
+      std::string rel =
+          fs::relative(entry.path(), fs::path(root)).generic_string();
+      if (StartsWith(rel, "tests/lint/fixtures/")) continue;
+      paths.push_back(std::move(rel));
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+std::vector<std::string> RuleDescriptions() {
+  return {
+      "raw-thread: no std::thread/std::async/pthread_* outside "
+      "src/common/thread_pool.*",
+      "raw-random: no rand()/srand()/std::random_device outside "
+      "src/common/rng.*",
+      "kernel-wall-clock: no clock/time calls inside GEMM kernel TUs",
+      "gemm-literal-drift: float literals identical across "
+      "gemm_kernels_<tier>.cc TUs in one directory",
+      "mutex-unguarded: every mutex member has NLIDB_GUARDED_BY state "
+      "in the same file",
+      "include-guard: headers carry the path-derived NLIDB_* include "
+      "guard; #pragma once is banned",
+  };
+}
+
+}  // namespace lint
+}  // namespace nlidb

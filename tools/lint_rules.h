@@ -1,0 +1,74 @@
+#ifndef NLIDB_TOOLS_LINT_RULES_H_
+#define NLIDB_TOOLS_LINT_RULES_H_
+
+// Project-rule checker behind the `nlidb_lint` CLI (DESIGN.md "Static
+// contract architecture").
+//
+// Enforces the contracts the compiler cannot: all threading goes through
+// ThreadPool, all randomness through common/rng, GEMM kernel TUs stay
+// wall-clock-free and literal-identical across ISA tiers, every mutex
+// member names the state it guards, and headers carry path-derived
+// include guards. Token/regex level on comment- and string-stripped
+// source — deliberately no libclang dependency so the checker builds
+// everywhere the library does.
+//
+// Suppression: a finding on line L is dropped when line L or L-1
+// contains `nlidb-lint: disable(<rule-id>)` in a comment.
+
+#include <string>
+#include <vector>
+
+namespace nlidb {
+namespace lint {
+
+/// One rule violation, formatted by the CLI as
+/// `file:line: rule-id: message`.
+struct Finding {
+  std::string file;  // repo-relative, '/'-separated
+  int line = 0;      // 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// A source file prepared for linting: the raw lines (used for
+/// suppression comments and include-guard checks) plus a parallel
+/// vector with comments and string/char literals blanked out, so rule
+/// patterns never fire on prose or on the rule definitions themselves.
+struct SourceFile {
+  std::string path;
+  std::vector<std::string> raw;
+  std::vector<std::string> code;
+};
+
+/// Splits `contents` into lines and computes the stripped view.
+SourceFile LoadSource(std::string path, const std::string& contents);
+
+/// Reads `abs_path` from disk and prepares it; `rel_path` is the
+/// repo-relative name used in findings and path-keyed rules. Returns
+/// false when the file cannot be read.
+bool LoadSourceFile(const std::string& abs_path, const std::string& rel_path,
+                    SourceFile* out);
+
+/// Runs every rule over the file set. Cross-file rules (the GEMM
+/// literal-drift check) compare files within the same directory, so a
+/// call must include sibling tier TUs together to check them.
+std::vector<Finding> LintFiles(const std::vector<SourceFile>& files);
+
+/// Repo-relative paths of the lintable tree under `root`: every
+/// .h/.cc/.cpp/.inc file below src/, tests/, tools/ and bench/, except
+/// the deliberately-violating rule fixtures under tests/lint/fixtures/
+/// (lint those by passing them explicitly). Sorted for stable output.
+std::vector<std::string> DefaultTree(const std::string& root);
+
+/// `rule-id: summary` lines for --list-rules.
+std::vector<std::string> RuleDescriptions();
+
+/// The include guard mandated for a header at `rel_path`:
+/// "common/status.h" (the leading "src/" is dropped first) maps to
+/// "NLIDB_COMMON_STATUS_H_".
+std::string ExpectedGuard(const std::string& rel_path);
+
+}  // namespace lint
+}  // namespace nlidb
+
+#endif  // NLIDB_TOOLS_LINT_RULES_H_

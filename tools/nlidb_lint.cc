@@ -1,0 +1,84 @@
+// CLI: project-rule checker gating CI (DESIGN.md "Static contract
+// architecture"). Token/regex level, no libclang.
+//
+//   nlidb_lint [--root <dir>] [--list-rules] [paths...]
+//
+// With no paths, lints every .h/.cc/.cpp/.inc under <root>/{src,tests,
+// tools,bench}, skipping the deliberately-violating fixtures in
+// tests/lint/fixtures/ (pass those explicitly to lint them). Paths are
+// taken relative to --root (default: the current directory). Output is
+// `file:line: rule-id: message`, one finding per line; exit status is 0
+// when clean, 1 when findings were reported, 2 on usage or I/O errors.
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "tools/lint_rules.h"
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  using nlidb::lint::Finding;
+  using nlidb::lint::SourceFile;
+
+  std::string root = ".";
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "nlidb_lint: --root needs a directory\n");
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--list-rules") {
+      for (const std::string& desc : nlidb::lint::RuleDescriptions()) {
+        std::printf("%s\n", desc.c_str());
+      }
+      return 0;
+    } else if (arg == "--help") {
+      std::printf("usage: nlidb_lint [--root <dir>] [--list-rules] "
+                  "[paths...]\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "nlidb_lint: unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (!fs::is_directory(root)) {
+    std::fprintf(stderr, "nlidb_lint: --root %s is not a directory\n",
+                 root.c_str());
+    return 2;
+  }
+  if (paths.empty()) paths = nlidb::lint::DefaultTree(root);
+
+  std::vector<SourceFile> files;
+  files.reserve(paths.size());
+  for (const std::string& rel : paths) {
+    const fs::path abs =
+        fs::path(rel).is_absolute() ? fs::path(rel) : fs::path(root) / rel;
+    SourceFile file;
+    if (!nlidb::lint::LoadSourceFile(abs.string(), rel, &file)) {
+      std::fprintf(stderr, "nlidb_lint: cannot read %s\n",
+                   abs.string().c_str());
+      return 2;
+    }
+    files.push_back(std::move(file));
+  }
+
+  const std::vector<Finding> findings = nlidb::lint::LintFiles(files);
+  for (const Finding& f : findings) {
+    std::printf("%s:%d: %s: %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+  if (findings.empty()) {
+    std::fprintf(stderr, "nlidb_lint: %zu files clean\n", files.size());
+    return 0;
+  }
+  std::fprintf(stderr, "nlidb_lint: %zu findings in %zu files\n",
+               findings.size(), files.size());
+  return 1;
+}

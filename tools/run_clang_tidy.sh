@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Runs clang-tidy with the repo's curated .clang-tidy profile over the
+# library and tool sources, using the CMake compile database.
+#
+#   tools/run_clang_tidy.sh [build-dir] [files...]
+#
+# With no files, lints every .cc/.cpp under src/ and tools/. Pass
+# explicit files (e.g. the changed set from `git diff --name-only`) to
+# lint a subset; non-C++ and deleted paths are filtered out, so piping a
+# raw diff list in is safe. Exit status is clang-tidy's: nonzero on
+# error-level findings (WarningsAsErrors in .clang-tidy decides which).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+[ "$#" -gt 0 ] && shift
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "run_clang_tidy.sh: clang-tidy not found on PATH" >&2
+  exit 2
+fi
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_clang_tidy.sh: $BUILD_DIR/compile_commands.json missing;" \
+       "configure cmake first (CMAKE_EXPORT_COMPILE_COMMANDS is on by" \
+       "default in this tree)" >&2
+  exit 2
+fi
+
+FILES=()
+if [ "$#" -gt 0 ]; then
+  for f in "$@"; do
+    case "$f" in
+      *.cc|*.cpp) [ -f "$f" ] && FILES+=("$f") ;;
+    esac
+  done
+else
+  while IFS= read -r f; do
+    FILES+=("$f")
+  done < <(find src tools -name '*.cc' -o -name '*.cpp' | sort)
+fi
+
+if [ "${#FILES[@]}" -eq 0 ]; then
+  echo "run_clang_tidy.sh: nothing to lint" >&2
+  exit 0
+fi
+
+echo "clang-tidy over ${#FILES[@]} files (profile: .clang-tidy)" >&2
+clang-tidy -p "$BUILD_DIR" --quiet "${FILES[@]}"

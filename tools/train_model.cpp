@@ -77,6 +77,11 @@ int main(int argc, char** argv) {
   if (dev.ok()) {
     std::printf("dev: %s\n",
                 eval::EvaluatePipeline(pipeline, *dev).ToString().c_str());
+  } else {
+    // A missing dev split is allowed (training-only corpora), but never
+    // silently: the status says why the dev line is absent.
+    std::fprintf(stderr, "warning: skipping dev eval: %s\n",
+                 dev.status().ToString().c_str());
   }
   Status s = core::SavePipeline(pipeline, model_dir);
   if (!s.ok()) {
