@@ -126,6 +126,12 @@ inline const char* SubstrateJsonPath() {
   return v != nullptr ? v : "BENCH_substrate.json";
 }
 
+/// Output path for bench_stage_breakdown's per-stage latency report.
+inline const char* ObservabilityJsonPath() {
+  const char* v = std::getenv("NLIDB_BENCH_OBS_JSON");
+  return v != nullptr ? v : "BENCH_observability.json";
+}
+
 }  // namespace bench
 }  // namespace nlidb
 

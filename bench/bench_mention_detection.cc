@@ -103,12 +103,16 @@ void SubstrateLatencySection(core::NlidbPipeline& pipeline, BenchEnv& env) {
       text::Tokenize("what is the goal count of the home team this season"),
       text::Tokenize("which film name did the director name release"),
   };
-  for (int width : {5, 10, 20}) {
-    const sql::Table table = MakeWideTable(width);
+  // Distinct live objects: the pipeline's stats cache keys on table
+  // address, so reusing one stack slot across widths would collide.
+  std::vector<sql::Table> wide_tables;
+  for (int width : {5, 10, 20}) wide_tables.push_back(MakeWideTable(width));
+  for (const sql::Table& table : wide_tables) {
+    const int width = table.num_columns();
     const double ns = TimeNs([&] {
       for (const auto& q : questions) {
-        auto a = pipeline.Annotate(q, table);
-        (void)a;
+        StatusOr<core::Annotation> a = pipeline.Annotate(q, table);
+        Status::IgnoreError(a.status());
       }
     }) / questions.size();
     std::printf("annotate end-to-end, %2d columns: %10.0f ns\n", width, ns);
@@ -178,8 +182,18 @@ int Run() {
   sketch.Train(env.splits.train);
 
   const float ours = CondColValAccuracy(
-      env.splits.test, [&](const data::Example& ex) {
-        return pipeline->TranslateTokens(ex.tokens, *ex.table);
+      env.splits.test,
+      [&](const data::Example& ex) -> StatusOr<sql::SelectQuery> {
+        core::QueryRequest request;
+        request.table = ex.table.get();
+        request.tokens = ex.tokens;
+        request.execute = false;
+        request.collect_timings = false;
+        StatusOr<core::QueryResult> result = pipeline->Query(request);
+        if (!result.ok()) return result.status();
+        core::QueryResult out = std::move(result).value();
+        if (!out.recovery_status.ok()) return out.recovery_status;
+        return std::move(*out.query);
       });
   const float sketch_acc = CondColValAccuracy(
       env.splits.test, [&](const data::Example& ex) {

@@ -24,11 +24,12 @@ eval::AccuracyReport EvalVariant(const core::NlidbPipeline& pipeline,
                                  const data::Dataset& dataset) {
   return eval::Evaluate(dataset, [&](const data::Example& ex)
                                      -> StatusOr<sql::SelectQuery> {
-    core::Annotation ann = pipeline.Annotate(ex.tokens, *ex.table);
+    StatusOr<core::Annotation> ann = pipeline.Annotate(ex.tokens, *ex.table);
+    if (!ann.ok()) return ann.status();
     const auto qa =
-        core::BuildAnnotatedQuestion(ex.tokens, ann, ex.schema(), options);
+        core::BuildAnnotatedQuestion(ex.tokens, *ann, ex.schema(), options);
     const auto sa = translator.Translate(qa);
-    return core::RecoverSql(sa, ann, ex.schema());
+    return core::RecoverSql(sa, *ann, ex.schema());
   });
 }
 

@@ -30,7 +30,10 @@ eval::RecoveryReport EvalVariantRecovery(
   if (report.count == 0) return report;
   int before = 0, after = 0;
   for (const data::Example& ex : dataset.examples) {
-    core::Annotation ann = pipeline.Annotate(ex.tokens, *ex.table);
+    StatusOr<core::Annotation> annotated =
+        pipeline.Annotate(ex.tokens, *ex.table);
+    if (!annotated.ok()) continue;  // invalid example: neither side scores
+    const core::Annotation& ann = *annotated;
     const auto qa =
         core::BuildAnnotatedQuestion(ex.tokens, ann, ex.schema(), options);
     const auto sa = translator.Translate(qa);

@@ -56,25 +56,27 @@ int main() {
       "how many people live in mayo with the english name carrowteige ?";
   std::printf("Q: %s\n\n", question.c_str());
 
-  const auto tokens = text::Tokenize(question);
-  core::Annotation annotation;
-  const auto sa = pipeline.TranslateToAnnotatedSql(tokens, table, &annotation);
-  const auto qa = core::BuildAnnotatedQuestion(tokens, annotation, schema,
-                                               pipeline.annotation_options());
-  std::printf("q^a: %s\n", Join(qa, " ").c_str());
-  std::printf("s^a: %s\n", Join(sa, " ").c_str());
-  auto recovered = core::RecoverSql(sa, annotation, schema);
-  if (!recovered.ok()) {
-    std::printf("recovery failed: %s\n", recovered.status().ToString().c_str());
+  core::QueryRequest request;
+  request.table = &table;
+  request.question = question;
+  StatusOr<core::QueryResult> response = pipeline.Query(request);
+  if (!response.ok()) {
+    std::printf("query failed: %s\n", response.status().ToString().c_str());
     return 1;
   }
-  std::printf("s:   %s\n\n", sql::ToSql(*recovered, schema).c_str());
+  const core::QueryResult& r = *response;
+  std::printf("q^a: %s\n", Join(r.annotated_question, " ").c_str());
+  std::printf("s^a: %s\n", Join(r.annotated_sql, " ").c_str());
+  if (!r.query.has_value()) {
+    std::printf("recovery failed: %s\n", r.recovery_status.ToString().c_str());
+    return 1;
+  }
+  std::printf("s:   %s\n\n", sql::ToSql(*r.query, schema).c_str());
   std::printf("gold: SELECT population WHERE county = \"mayo\" AND "
               "english_name = \"carrowteige\"\n");
-  auto result = sql::Execute(*recovered, table);
-  if (result.ok() && !result->empty()) {
+  if (r.rows.has_value() && !r.rows->empty()) {
     std::printf("result: %s (expected 356)\n",
-                (*result)[0].ToString().c_str());
+                (*r.rows)[0].ToString().c_str());
   }
 
   // Bonus: the same latent structure, different domain — the paper's

@@ -58,12 +58,22 @@ int main() {
       "which film directed by jerzy antczak did piotr adamczyk star in ?";
   std::printf("Q: %s\n\n", question.c_str());
 
+  // One structured Query() pass returns every stage: the annotation,
+  // q^a, s^a, the recovered SQL, the execution rows, and the timings.
+  core::QueryRequest request;
+  request.table = &table;
+  request.question = question;
+  StatusOr<core::QueryResult> response = pipeline.Query(request);
+  if (!response.ok()) {
+    std::printf("query failed: %s\n", response.status().ToString().c_str());
+    return 1;
+  }
+  const core::QueryResult& r = *response;
+
   // Stage 1: annotation.
-  const auto tokens = text::Tokenize(question);
-  core::Annotation annotation = pipeline.Annotate(tokens, table);
   std::printf("mention pairs:\n");
-  for (size_t i = 0; i < annotation.pairs.size(); ++i) {
-    const core::MentionPair& p = annotation.pairs[i];
+  for (size_t i = 0; i < r.annotation.pairs.size(); ++i) {
+    const core::MentionPair& p = r.annotation.pairs[i];
     std::printf("  c%zu -> column '%s'%s%s\n", i + 1,
                 p.column >= 0 ? schema.column(p.column).name.c_str() : "?",
                 p.column_span.empty() ? " (implicit)" : "",
@@ -73,28 +83,28 @@ int main() {
                        "'")
                           .c_str());
   }
-  const auto qa = core::BuildAnnotatedQuestion(tokens, annotation, schema,
-                                               pipeline.annotation_options());
-  std::printf("q^a: %s\n\n", Join(qa, " ").c_str());
+  std::printf("q^a: %s\n\n", Join(r.annotated_question, " ").c_str());
 
   // Stage 2: seq2seq translation to annotated SQL.
-  core::Annotation ann_out;
-  const auto sa = pipeline.TranslateToAnnotatedSql(tokens, table, &ann_out);
-  std::printf("s^a: %s\n", Join(sa, " ").c_str());
+  std::printf("s^a: %s\n", Join(r.annotated_sql, " ").c_str());
 
   // Stage 3: deterministic recovery + execution.
-  auto recovered = core::RecoverSql(sa, ann_out, schema);
-  if (!recovered.ok()) {
-    std::printf("recovery failed: %s\n", recovered.status().ToString().c_str());
+  if (!r.query.has_value()) {
+    std::printf("recovery failed: %s\n",
+                r.recovery_status.ToString().c_str());
     return 1;
   }
-  std::printf("s:   %s\n\n", sql::ToSql(*recovered, schema).c_str());
-  auto result = sql::Execute(*recovered, table);
-  if (result.ok()) {
+  std::printf("s:   %s\n\n", sql::ToSql(*r.query, schema).c_str());
+  if (r.rows.has_value()) {
     std::printf("result:");
-    for (const auto& v : *result) std::printf(" %s", v.ToString().c_str());
+    for (const auto& v : *r.rows) std::printf(" %s", v.ToString().c_str());
     std::printf("\n");
     std::printf("expected: chopin desire love\n");
+  }
+  std::printf("\nper-stage wall time:\n");
+  for (const auto& stage : r.stages.children) {
+    std::printf("  %-10s %8.2f ms\n", stage.name.c_str(),
+                stage.wall_ns / 1e6);
   }
   return 0;
 }

@@ -49,30 +49,35 @@ void PrintTable(const sql::Table& table) {
 
 void Ask(const core::NlidbPipeline& pipeline, const sql::Table& table,
          const std::string& question) {
-  const auto tokens = text::Tokenize(question);
-  if (tokens.empty()) return;
-  core::Annotation annotation;
-  const auto sa =
-      pipeline.TranslateToAnnotatedSql(tokens, table, &annotation);
-  const auto qa = core::BuildAnnotatedQuestion(
-      tokens, annotation, table.schema(), pipeline.annotation_options());
-  std::printf("  q^a: %s\n", Join(qa, " ").c_str());
-  std::printf("  s^a: %s\n", Join(sa, " ").c_str());
-  auto recovered = core::RecoverSql(sa, annotation, table.schema());
-  if (!recovered.ok()) {
+  core::QueryRequest request;
+  request.table = &table;
+  request.question = question;
+  StatusOr<core::QueryResult> response = pipeline.Query(request);
+  if (!response.ok()) {
+    std::printf("  %s\n", response.status().ToString().c_str());
+    return;
+  }
+  const core::QueryResult& r = *response;
+  std::printf("  q^a: %s\n", Join(r.annotated_question, " ").c_str());
+  std::printf("  s^a: %s\n", Join(r.annotated_sql, " ").c_str());
+  if (!r.query.has_value()) {
     std::printf("  could not recover SQL: %s\n",
-                recovered.status().ToString().c_str());
+                r.recovery_status.ToString().c_str());
     return;
   }
-  std::printf("  SQL: %s\n", sql::ToSql(*recovered, table.schema()).c_str());
-  auto result = sql::Execute(*recovered, table);
-  if (!result.ok()) {
-    std::printf("  execution error: %s\n", result.status().ToString().c_str());
+  std::printf("  SQL: %s\n", sql::ToSql(*r.query, table.schema()).c_str());
+  if (!r.rows.has_value()) {
+    std::printf("  execution error: %s\n",
+                r.execution_status.ToString().c_str());
     return;
   }
-  std::printf("  result (%zu):", result->size());
-  for (size_t i = 0; i < result->size() && i < 10; ++i) {
-    std::printf(" [%s]", (*result)[i].ToString().c_str());
+  std::printf("  result (%zu):", r.rows->size());
+  for (size_t i = 0; i < r.rows->size() && i < 10; ++i) {
+    std::printf(" [%s]", (*r.rows)[i].ToString().c_str());
+  }
+  std::printf("\n  stages:");
+  for (const auto& stage : r.stages.children) {
+    std::printf(" %s=%.2fms", stage.name.c_str(), stage.wall_ns / 1e6);
   }
   std::printf("\n");
 }

@@ -52,17 +52,20 @@ int main() {
     std::printf("\nQ: %s\n", ex.question.c_str());
     std::printf("gold SQL:      %s\n",
                 nlidb::sql::ToSql(ex.query, ex.schema()).c_str());
-    auto predicted = pipeline.Translate(ex.question, *ex.table);
-    if (predicted.ok()) {
+    nlidb::core::QueryRequest request;
+    request.table = ex.table.get();
+    request.question = ex.question;
+    auto response = pipeline.Query(request);
+    if (response.ok() && response->query.has_value()) {
       std::printf("predicted SQL: %s\n",
-                  nlidb::sql::ToSql(*predicted, ex.schema()).c_str());
-      auto result = nlidb::sql::Execute(*predicted, *ex.table);
-      if (result.ok()) {
-        std::printf("result rows: %zu\n", result->size());
+                  nlidb::sql::ToSql(*response->query, ex.schema()).c_str());
+      if (response->rows.has_value()) {
+        std::printf("result rows: %zu\n", response->rows->size());
       }
     } else {
-      std::printf("translation failed: %s\n",
-                  predicted.status().ToString().c_str());
+      const nlidb::Status& error =
+          response.ok() ? response->recovery_status : response.status();
+      std::printf("translation failed: %s\n", error.ToString().c_str());
     }
   }
   return 0;

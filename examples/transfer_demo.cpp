@@ -60,17 +60,22 @@ int main() {
   };
   for (const char* q : questions) {
     std::printf("Q: %s\n", q);
-    auto pred = pipeline.Translate(q, table);
-    if (!pred.ok()) {
-      std::printf("  translation failed: %s\n\n",
-                  pred.status().ToString().c_str());
+    core::QueryRequest request;
+    request.table = &table;
+    request.question = q;
+    auto response = pipeline.Query(request);
+    if (!response.ok() || !response->query.has_value()) {
+      const Status& error =
+          response.ok() ? response->recovery_status : response.status();
+      std::printf("  translation failed: %s\n\n", error.ToString().c_str());
       continue;
     }
-    std::printf("  SQL: %s\n", sql::ToSql(*pred, schema).c_str());
-    auto result = sql::Execute(*pred, table);
-    if (result.ok()) {
+    std::printf("  SQL: %s\n", sql::ToSql(*response->query, schema).c_str());
+    if (response->rows.has_value()) {
       std::printf("  result:");
-      for (const auto& v : *result) std::printf(" [%s]", v.ToString().c_str());
+      for (const auto& v : *response->rows) {
+        std::printf(" [%s]", v.ToString().c_str());
+      }
       std::printf("\n");
     }
     std::printf("\n");

@@ -5,8 +5,10 @@
 #include <memory>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "common/trace.h"
 
 namespace nlidb {
 
@@ -67,6 +69,10 @@ void ThreadPool::RunJob(const Job& job) {
   tls_in_pool_worker = true;
   std::exception_ptr error;
   try {
+    // Spans the body opens parent under the span that was current on the
+    // enqueuing thread, keeping the per-request trace tree connected
+    // across the fan-out.
+    trace::ScopedParent trace_parent(job.trace_parent);
     (*job.body)(job.begin, job.end);
   } catch (...) {
     error = std::current_exception();
@@ -79,14 +85,31 @@ void ThreadPool::RunJob(const Job& job) {
 
 void ThreadPool::ParallelFor(int begin, int end,
                              const std::function<void(int, int)>& body) {
+  static metrics::Counter& parallel_fors =
+      metrics::MetricsRegistry::Global().GetCounter(
+          "thread_pool.parallel_fors");
+  static metrics::Counter& inline_runs =
+      metrics::MetricsRegistry::Global().GetCounter(
+          "thread_pool.inline_runs");
+  static metrics::Counter& jobs_enqueued =
+      metrics::MetricsRegistry::Global().GetCounter(
+          "thread_pool.jobs_enqueued");
+  static metrics::MaxGauge& queue_depth_peak =
+      metrics::MetricsRegistry::Global().GetGauge(
+          "thread_pool.queue_depth_peak");
+
   const int len = end - begin;
   if (len <= 0) return;
   const int chunks = std::min(parallelism(), len);
   if (chunks <= 1 || tls_in_pool_worker) {
+    inline_runs.Increment();
     body(begin, end);
     return;
   }
 
+  parallel_fors.Increment();
+  jobs_enqueued.Increment(chunks - 1);
+  const int trace_parent = trace::CurrentSpanId();
   LoopState loop;
   {
     // The loop state is not shared until the jobs are enqueued below,
@@ -105,14 +128,15 @@ void ThreadPool::ParallelFor(int begin, int end,
                                  static_cast<long long>(len) * c / chunks);
       const int ce = begin + static_cast<int>(
                                  static_cast<long long>(len) * (c + 1) / chunks);
-      queue_.push_back(Job{&body, cb, ce, c, &loop});
+      queue_.push_back(Job{&body, cb, ce, c, &loop, trace_parent});
     }
+    queue_depth_peak.Update(static_cast<int64_t>(queue_.size()));
   }
   work_cv_.NotifyAll();
 
   const int ce0 =
       begin + static_cast<int>(static_cast<long long>(len) / chunks);
-  RunJob(Job{&body, begin, ce0, 0, &loop});
+  RunJob(Job{&body, begin, ce0, 0, &loop, trace_parent});
 
   MutexLock lock(loop.mu);
   while (loop.remaining != 0) loop.done_cv.Wait(loop.mu);

@@ -78,6 +78,9 @@ class ThreadPool {
     int begin, end;
     int chunk;
     LoopState* loop;
+    // Trace span open on the enqueuing thread, re-installed around the
+    // body so worker-side spans join the enqueuing request's tree.
+    int trace_parent;
   };
 
   void WorkerLoop() NLIDB_LOCKS_EXCLUDED(mu_);

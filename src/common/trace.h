@@ -1,0 +1,166 @@
+#ifndef NLIDB_COMMON_TRACE_H_
+#define NLIDB_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nlidb {
+namespace trace {
+
+/// Monotonic wall clock in nanoseconds, relative to process start.
+///
+/// This is the single sanctioned timing source for library code: the
+/// raw-timing lint rule forbids std::chrono clocks everywhere outside
+/// trace.cc and bench/, so stage timing, histograms and benches that
+/// live in src/ all read time through here. Relative-to-epoch keeps the
+/// values small enough to subtract without overflow concerns.
+uint64_t NowNs();
+
+/// One finished span, as delivered to a `TraceSink`.
+///
+/// Spans form a tree per request: `parent_id` is the span that was
+/// current on the emitting thread (or installed via `ScopedParent` for
+/// pool workers) when the span was opened, and 0 means root. Ids are
+/// process-unique and monotonically increasing, so sorting by id
+/// recovers creation order.
+struct SpanRecord {
+  std::string name;         // stage name, e.g. "pipeline.annotate"
+  uint64_t start_ns = 0;    // NowNs() at construction
+  uint64_t duration_ns = 0; // NowNs() delta at destruction
+  int span_id = 0;
+  int parent_id = 0;        // 0 = root
+  int thread_id = 0;        // dense per-thread id (see metrics.h)
+  std::vector<std::pair<std::string, std::string>> annotations;
+};
+
+/// Receives finished spans. Implementations must be thread-safe:
+/// `OnSpanEnd` is called concurrently from pool workers.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void OnSpanEnd(const SpanRecord& record) = 0;
+};
+
+/// True when a sink is installed. One relaxed atomic load; this is the
+/// entire cost of a disabled `TraceSpan`.
+bool Enabled();
+
+/// Installs (or, with nullptr, removes) the process-wide sink. The
+/// previous sink is returned so tests can restore it. Spans already in
+/// flight when the sink is swapped are delivered to whichever sink is
+/// current when they close.
+std::shared_ptr<TraceSink> SetSink(std::shared_ptr<TraceSink> sink);
+
+/// The currently installed sink (may be null).
+std::shared_ptr<TraceSink> CurrentSink();
+
+/// Reads NLIDB_TRACE once and installs the matching sink if the
+/// variable is set and no sink is installed yet: "stderr" installs a
+/// `StderrSummarySink`, anything else is treated as a JSON-lines file
+/// path. Called lazily from the first `TraceSpan`; safe to call
+/// directly (e.g. from tool main()s that want tracing before the first
+/// span).
+void InitFromEnv();
+
+/// The id of the span currently open on this thread (0 if none).
+/// Captured before a ThreadPool fan-out and re-installed on workers via
+/// `ScopedParent` so worker spans parent under the enqueuing span.
+int CurrentSpanId();
+
+/// RAII: makes `parent_id` the current parent on this thread for the
+/// scope's lifetime. Used by ThreadPool::RunJob to stitch worker spans
+/// into the enqueuing request's tree.
+class ScopedParent {
+ public:
+  explicit ScopedParent(int parent_id);
+  ~ScopedParent();
+  ScopedParent(const ScopedParent&) = delete;
+  ScopedParent& operator=(const ScopedParent&) = delete;
+
+ private:
+  int saved_;
+};
+
+/// RAII span. Construction opens the span (when tracing is enabled) and
+/// makes it the current parent on this thread; destruction closes it,
+/// restores the previous parent, and delivers the record to the sink.
+///
+/// Disabled cost: one relaxed atomic load in the constructor, one
+/// branch in the destructor — cheap enough to leave in hot loops.
+class TraceSpan {
+ public:
+  /// `name` must outlive the span (string literals in practice).
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches a key/value pair to the span (no-op when disabled).
+  void Annotate(const char* key, std::string value);
+  void Annotate(const char* key, int64_t value);
+
+  /// True when this span is live (tracing was enabled at construction).
+  bool active() const { return active_; }
+
+ private:
+  bool active_;
+  const char* name_ = nullptr;
+  uint64_t start_ns_ = 0;
+  int span_id_ = 0;
+  int parent_id_ = 0;
+  std::vector<std::pair<std::string, std::string>> annotations_;
+};
+
+/// Appends one JSON object per finished span to a file. Thread-safe;
+/// flushed and closed on destruction.
+class JsonLinesSink : public TraceSink {
+ public:
+  explicit JsonLinesSink(const std::string& path);
+  ~JsonLinesSink() override;
+  void OnSpanEnd(const SpanRecord& record) override;
+
+  /// False if the file could not be opened (records are then dropped).
+  bool ok() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Aggregates per-name count/total-ns and prints a table to stderr when
+/// destroyed (i.e. at process exit for the env-installed sink).
+class StderrSummarySink : public TraceSink {
+ public:
+  StderrSummarySink();
+  ~StderrSummarySink() override;
+  void OnSpanEnd(const SpanRecord& record) override;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Buffers records in memory for tests.
+class InMemorySink : public TraceSink {
+ public:
+  InMemorySink();
+  ~InMemorySink() override;
+  void OnSpanEnd(const SpanRecord& record) override;
+
+  /// Snapshot of all records received so far, in completion order.
+  std::vector<SpanRecord> Records() const;
+  void Clear();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace trace
+}  // namespace nlidb
+
+#endif  // NLIDB_COMMON_TRACE_H_

@@ -3,8 +3,10 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "text/distance.h"
 #include "text/stopwords.h"
 
@@ -217,6 +219,13 @@ std::vector<ColumnMentionCandidate> Annotator::ClassifierColumnPass(
     std::vector<bool>& claimed, const std::vector<bool>& matched) const {
   std::vector<ColumnMentionCandidate> out;
   if (classifier_ == nullptr) return out;
+  static metrics::Counter& columns_scored =
+      metrics::MetricsRegistry::Global().GetCounter(
+          "annotator.classifier_columns_scored");
+  static metrics::Counter& influence_fanouts =
+      metrics::MetricsRegistry::Global().GetCounter(
+          "annotator.influence_fanouts");
+  trace::TraceSpan span("annotator.classifier");
   AdversarialLocator locator(config_);
 
   // Phase 1 (batched): score every unmatched column in one classifier
@@ -230,6 +239,7 @@ std::vector<ColumnMentionCandidate> Annotator::ClassifierColumnPass(
     displays.push_back(schema.column(c).DisplayTokens());
   }
   if (pending.empty()) return out;
+  columns_scored.Increment(static_cast<int64_t>(pending.size()));
   const std::vector<float> probs = classifier_->PredictBatch(tokens, displays);
 
   // Phase 2 (parallel): influence profiles for the accepted columns.
@@ -242,9 +252,14 @@ std::vector<ColumnMentionCandidate> Annotator::ClassifierColumnPass(
   for (size_t j = 0; j < pending.size(); ++j) {
     if (probs[j] >= kClassifierThreshold) accepted.push_back(static_cast<int>(j));
   }
+  influence_fanouts.Increment(static_cast<int64_t>(accepted.size()));
   std::vector<InfluenceProfile> profiles(accepted.size());
   ThreadPool::Global().ParallelFor(
       0, static_cast<int>(accepted.size()), [&](int jb, int je) {
+        // Worker-side span; parented under "annotator.classifier" via
+        // the trace-parent propagation in ThreadPool::RunJob.
+        trace::TraceSpan chunk("annotator.influence");
+        chunk.Annotate("columns", static_cast<int64_t>(je - jb));
         for (int j = jb; j < je; ++j) {
           profiles[j] = locator.ComputeInfluence(*classifier_, tokens,
                                                  displays[accepted[j]]);
@@ -285,10 +300,30 @@ std::vector<ColumnMentionCandidate> Annotator::ClassifierColumnPass(
   return out;
 }
 
-Annotation Annotator::Annotate(
+StatusOr<Annotation> Annotator::Annotate(
     const std::vector<std::string>& tokens, const sql::Table& table,
     const std::vector<sql::ColumnStatistics>& stats,
     const NlMetadata* metadata) const {
+  if (tokens.empty()) {
+    return Status::InvalidArgument("empty question");
+  }
+  if (static_cast<int>(stats.size()) != table.num_columns()) {
+    return Status::InvalidArgument(
+        "column statistics do not match the table schema (" +
+        std::to_string(stats.size()) + " stats for " +
+        std::to_string(table.num_columns()) + " columns)");
+  }
+  static metrics::Counter& exact_matches =
+      metrics::MetricsRegistry::Global().GetCounter(
+          "annotator.exact_value_matches");
+  static metrics::Counter& context_free_matches =
+      metrics::MetricsRegistry::Global().GetCounter(
+          "annotator.context_free_matches");
+  static metrics::Counter& learned_detections =
+      metrics::MetricsRegistry::Global().GetCounter(
+          "annotator.learned_value_detections");
+  trace::TraceSpan span("annotator.annotate");
+
   // Confidence-ordered token claiming:
   //  1. exact table-cell value matches,
   //  2. context-free column matches,
@@ -297,21 +332,32 @@ Annotation Annotator::Annotate(
   const sql::Schema& schema = table.schema();
 
   // Stage 1: exact table-cell value matches claim their tokens.
-  std::vector<ValueDetector::Detection> values =
-      ExactCellValueMatches(tokens, table);
+  std::vector<ValueDetector::Detection> values;
   std::vector<bool> claimed(tokens.size(), false);
-  for (const auto& det : values) Claim(claimed, det.span);
+  {
+    trace::TraceSpan stage("annotator.exact_values");
+    values = ExactCellValueMatches(tokens, table);
+    for (const auto& det : values) Claim(claimed, det.span);
+    exact_matches.Increment(static_cast<int64_t>(values.size()));
+  }
 
   // Stage 2: context-free column matches on unclaimed tokens.
   std::vector<bool> matched(schema.num_columns(), false);
-  std::vector<ColumnMentionCandidate> columns =
-      ContextFreeColumnPass(tokens, schema, metadata, claimed, matched);
+  std::vector<ColumnMentionCandidate> columns;
+  {
+    trace::TraceSpan stage("annotator.context_free");
+    columns = ContextFreeColumnPass(tokens, schema, metadata, claimed,
+                                    matched);
+    context_free_matches.Increment(static_cast<int64_t>(columns.size()));
+  }
 
   // Stage 3: learned value detections, longest span first so a full
   // multi-word value is not blocked by its own sub-span.
   if (value_detector_ != nullptr) {
+    trace::TraceSpan stage("annotator.values");
     std::vector<ValueDetector::Detection> learned =
         value_detector_->Detect(tokens, stats);
+    learned_detections.Increment(static_cast<int64_t>(learned.size()));
     std::sort(learned.begin(), learned.end(),
               [](const ValueDetector::Detection& a,
                  const ValueDetector::Detection& b) {
@@ -335,6 +381,7 @@ Annotation Annotator::Annotate(
   for (auto& cand : ClassifierColumnPass(tokens, schema, claimed, matched)) {
     columns.push_back(std::move(cand));
   }
+  trace::TraceSpan resolve("annotator.resolve");
   return resolver_.Resolve(tokens, columns, values);
 }
 

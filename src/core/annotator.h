@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/adversarial.h"
 #include "core/column_mention_classifier.h"
 #include "core/mention_resolver.h"
@@ -46,11 +47,13 @@ class Annotator {
             const ValueDetector* value_detector);
 
   /// Annotates a tokenized question against a table. `stats` must be the
-  /// statistics of the same table's columns.
-  Annotation Annotate(const std::vector<std::string>& tokens,
-                      const sql::Table& table,
-                      const std::vector<sql::ColumnStatistics>& stats,
-                      const NlMetadata* metadata = nullptr) const;
+  /// statistics of the same table's columns; an empty question or a
+  /// stats/schema size mismatch is an InvalidArgument error rather than
+  /// a silently-empty annotation.
+  StatusOr<Annotation> Annotate(
+      const std::vector<std::string>& tokens, const sql::Table& table,
+      const std::vector<sql::ColumnStatistics>& stats,
+      const NlMetadata* metadata = nullptr) const;
 
   /// Best context-free match of `phrase_tokens` inside `tokens`:
   /// the window with the highest blended edit/semantic similarity, if it

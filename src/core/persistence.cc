@@ -62,23 +62,29 @@ Status SavePipeline(const NlidbPipeline& pipeline, const std::string& dir) {
 
 Status LoadPipeline(NlidbPipeline& pipeline, const std::string& dir) {
   const std::filesystem::path base(dir);
+  // Checkpoint loading rewrites the learned parameters, so it goes
+  // through the explicit mutable-for-training surface.
+  NlidbPipeline::TrainableComponents components =
+      pipeline.MutableForTraining();
   // Vocabularies first: AddVocabulary assigns the same ids in file order
   // (and initializes embedding rows, which the checkpoints then
   // overwrite with the trained values).
   auto clf_tokens = LoadVocabTokens((base / kClassifierVocab).string());
   if (!clf_tokens.ok()) return clf_tokens.status();
-  pipeline.classifier().AddVocabulary(*clf_tokens);
+  components.classifier->AddVocabulary(*clf_tokens);
   auto tr_tokens = LoadVocabTokens((base / kTranslatorVocab).string());
   if (!tr_tokens.ok()) return tr_tokens.status();
-  pipeline.translator().AddVocabulary(*tr_tokens);
+  components.translator->AddVocabulary(*tr_tokens);
 
   NLIDB_RETURN_IF_ERROR(nn::Checkpoint::Load(
-      (base / kClassifierCkpt).string(), pipeline.classifier().Parameters()));
+      (base / kClassifierCkpt).string(),
+      components.classifier->Parameters()));
   NLIDB_RETURN_IF_ERROR(nn::Checkpoint::Load(
       (base / kValueDetectorCkpt).string(),
-      pipeline.value_detector().Parameters()));
+      components.value_detector->Parameters()));
   NLIDB_RETURN_IF_ERROR(nn::Checkpoint::Load(
-      (base / kTranslatorCkpt).string(), pipeline.translator().Parameters()));
+      (base / kTranslatorCkpt).string(),
+      components.translator->Parameters()));
   return Status::Ok();
 }
 

@@ -1,11 +1,23 @@
 #include "core/pipeline.h"
 
+#include <utility>
+
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/trace.h"
+#include "core/annotation.h"
 #include "text/tokenizer.h"
 
 namespace nlidb {
 namespace core {
+
+const StageTiming* StageTiming::Child(const std::string& child_name) const {
+  for (const StageTiming& child : children) {
+    if (child.name == child_name) return &child;
+  }
+  return nullptr;
+}
 
 NlidbPipeline::NlidbPipeline(const ModelConfig& config,
                              std::shared_ptr<text::EmbeddingProvider> provider)
@@ -47,24 +59,12 @@ TrainReport NlidbPipeline::Train(const data::Dataset& train) {
   return report;
 }
 
-Annotation NlidbPipeline::Annotate(const std::vector<std::string>& tokens,
-                                   const sql::Table& table) const {
-  const auto& stats = stats_cache_->For(table);
-  return annotator_->Annotate(tokens, table, stats, metadata_);
+NlidbPipeline::TrainableComponents NlidbPipeline::MutableForTraining() {
+  return TrainableComponents{classifier_.get(), value_detector_.get(),
+                             translator_.get()};
 }
 
-std::vector<std::string> NlidbPipeline::TranslateToAnnotatedSql(
-    const std::vector<std::string>& tokens, const sql::Table& table,
-    Annotation* annotation_out) const {
-  Annotation annotation = Annotate(tokens, table);
-  const std::vector<std::string> annotated_question = BuildAnnotatedQuestion(
-      tokens, annotation, table.schema(), annotation_options());
-  std::vector<std::string> sa = translator_->Translate(annotated_question);
-  if (annotation_out != nullptr) *annotation_out = std::move(annotation);
-  return sa;
-}
-
-StatusOr<sql::SelectQuery> NlidbPipeline::TranslateTokens(
+StatusOr<Annotation> NlidbPipeline::Annotate(
     const std::vector<std::string>& tokens, const sql::Table& table) const {
   if (tokens.empty()) {
     return Status::InvalidArgument("empty question");
@@ -72,15 +72,160 @@ StatusOr<sql::SelectQuery> NlidbPipeline::TranslateTokens(
   if (table.num_columns() == 0) {
     return Status::InvalidArgument("table has no columns");
   }
-  Annotation annotation;
-  const std::vector<std::string> sa =
-      TranslateToAnnotatedSql(tokens, table, &annotation);
-  return RecoverSql(sa, annotation, table.schema());
+  const auto& stats = stats_cache_->For(table);
+  return annotator_->Annotate(tokens, table, stats, metadata_);
+}
+
+StatusOr<QueryResult> NlidbPipeline::Query(const QueryRequest& request) const {
+  static metrics::Counter& queries =
+      metrics::MetricsRegistry::Global().GetCounter("pipeline.queries");
+  static metrics::Counter& recovery_failures =
+      metrics::MetricsRegistry::Global().GetCounter(
+          "pipeline.recovery_failures");
+  static metrics::Counter& execution_failures =
+      metrics::MetricsRegistry::Global().GetCounter(
+          "pipeline.execution_failures");
+  static metrics::Histogram& latency =
+      metrics::MetricsRegistry::Global().GetHistogram("pipeline.latency_ns");
+
+  trace::TraceSpan span("pipeline.query");
+  queries.Increment();
+  if (request.table == nullptr) {
+    return Status::InvalidArgument("QueryRequest.table is null");
+  }
+  const sql::Table& table = *request.table;
+  if (table.num_columns() == 0) {
+    return Status::InvalidArgument("table has no columns");
+  }
+
+  QueryResult result;
+  const bool timings = request.collect_timings;
+  const uint64_t query_start = trace::NowNs();
+  uint64_t stage_start = 0;
+  auto begin_stage = [&] {
+    if (timings) stage_start = trace::NowNs();
+  };
+  auto end_stage = [&](const char* name) {
+    if (timings) {
+      result.stages.children.push_back(
+          StageTiming{name, trace::NowNs() - stage_start, {}});
+    }
+  };
+  if (timings) result.stages.name = "query";
+
+  {
+    trace::TraceSpan stage("pipeline.tokenize");
+    begin_stage();
+    result.tokens = request.tokens.empty() ? text::Tokenize(request.question)
+                                           : request.tokens;
+    end_stage("tokenize");
+  }
+  if (result.tokens.empty()) {
+    return Status::InvalidArgument("empty question");
+  }
+  span.Annotate("num_tokens", static_cast<int64_t>(result.tokens.size()));
+  span.Annotate("num_columns", static_cast<int64_t>(table.num_columns()));
+
+  {
+    trace::TraceSpan stage("pipeline.annotate");
+    begin_stage();
+    StatusOr<Annotation> annotation = Annotate(result.tokens, table);
+    if (!annotation.ok()) return annotation.status();
+    result.annotation = std::move(annotation).value();
+    end_stage("annotate");
+  }
+
+  {
+    trace::TraceSpan stage("pipeline.build_qa");
+    begin_stage();
+    result.annotated_question = BuildAnnotatedQuestion(
+        result.tokens, result.annotation, table.schema(),
+        annotation_options());
+    end_stage("build_qa");
+  }
+
+  {
+    trace::TraceSpan stage("pipeline.translate");
+    begin_stage();
+    result.annotated_sql = translator_->Translate(result.annotated_question);
+    end_stage("translate");
+  }
+
+  {
+    trace::TraceSpan stage("pipeline.recover");
+    begin_stage();
+    StatusOr<sql::SelectQuery> recovered =
+        RecoverSql(result.annotated_sql, result.annotation, table.schema());
+    if (recovered.ok()) {
+      result.query = std::move(recovered).value();
+    } else {
+      result.recovery_status = recovered.status();
+      recovery_failures.Increment();
+    }
+    end_stage("recover");
+  }
+
+  if (request.execute && result.query.has_value()) {
+    trace::TraceSpan stage("pipeline.execute");
+    begin_stage();
+    StatusOr<std::vector<sql::Value>> rows = sql::Execute(*result.query, table);
+    if (rows.ok()) {
+      result.rows = std::move(rows).value();
+    } else {
+      result.execution_status = rows.status();
+      execution_failures.Increment();
+    }
+    end_stage("execute");
+  }
+
+  const uint64_t total_ns = trace::NowNs() - query_start;
+  if (timings) result.stages.wall_ns = total_ns;
+  latency.Record(total_ns);
+  span.Annotate("recovered", static_cast<int64_t>(result.query.has_value()));
+  return result;
+}
+
+StatusOr<sql::SelectQuery> NlidbPipeline::TranslateTokens(
+    const std::vector<std::string>& tokens, const sql::Table& table) const {
+  QueryRequest request;
+  request.table = &table;
+  request.tokens = tokens;
+  request.execute = false;
+  request.collect_timings = false;
+  StatusOr<QueryResult> result = Query(request);
+  if (!result.ok()) return result.status();
+  QueryResult out = std::move(result).value();
+  if (!out.recovery_status.ok()) return out.recovery_status;
+  return std::move(*out.query);
 }
 
 StatusOr<sql::SelectQuery> NlidbPipeline::Translate(
     const std::string& question, const sql::Table& table) const {
-  return TranslateTokens(text::Tokenize(question), table);
+  QueryRequest request;
+  request.table = &table;
+  request.question = question;
+  request.execute = false;
+  request.collect_timings = false;
+  StatusOr<QueryResult> result = Query(request);
+  if (!result.ok()) return result.status();
+  QueryResult out = std::move(result).value();
+  if (!out.recovery_status.ok()) return out.recovery_status;
+  return std::move(*out.query);
+}
+
+std::vector<std::string> NlidbPipeline::TranslateToAnnotatedSql(
+    const std::vector<std::string>& tokens, const sql::Table& table,
+    Annotation* annotation_out) const {
+  QueryRequest request;
+  request.table = &table;
+  request.tokens = tokens;
+  request.execute = false;
+  request.collect_timings = false;
+  StatusOr<QueryResult> result = Query(request);
+  if (!result.ok()) return {};
+  QueryResult out = std::move(result).value();
+  if (annotation_out != nullptr) *annotation_out = std::move(out.annotation);
+  return std::move(out.annotated_sql);
 }
 
 }  // namespace core

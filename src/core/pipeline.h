@@ -1,24 +1,82 @@
 #ifndef NLIDB_CORE_PIPELINE_H_
 #define NLIDB_CORE_PIPELINE_H_
 
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "core/annotator.h"
 #include "core/trainer.h"
+#include "sql/executor.h"
 
 namespace nlidb {
 namespace core {
+
+/// Input to `NlidbPipeline::Query`. Exactly one of `question` /
+/// `tokens` should be set; a non-empty `tokens` wins and skips the
+/// tokenizer stage.
+struct QueryRequest {
+  const sql::Table* table = nullptr;  // required
+  std::string question;               // raw NL question (tokenized here)
+  std::vector<std::string> tokens;    // pre-tokenized question
+
+  /// Run the recovered SQL against `table` and fill `QueryResult::rows`.
+  bool execute = true;
+
+  /// Fill `QueryResult::stages` with per-stage wall times. Cheap (a
+  /// handful of clock reads per request) but off-able for benchmarks
+  /// that measure the pipeline itself.
+  bool collect_timings = true;
+};
+
+/// Wall time of one pipeline stage, forming a per-request tree rooted
+/// at the "query" node. Mirrors the TraceSpan tree a sink would see,
+/// but returned inline with the result so callers need no sink.
+struct StageTiming {
+  std::string name;
+  uint64_t wall_ns = 0;
+  std::vector<StageTiming> children;
+
+  /// The direct child named `child_name`, or nullptr.
+  const StageTiming* Child(const std::string& child_name) const;
+};
+
+/// Everything one pipeline pass produces. Intermediate artifacts
+/// (annotation, q^a, s^a) are first-class: per-stage inspection is how
+/// Seq2SQL-class systems are debugged and evaluated, so the API keeps
+/// them instead of discarding them on the way to the SQL.
+struct QueryResult {
+  std::vector<std::string> tokens;              // post-tokenizer question
+  Annotation annotation;                        // step 1 output
+  std::vector<std::string> annotated_question;  // q^a fed to the seq2seq
+  std::vector<std::string> annotated_sql;       // decoded s^a
+
+  /// Step 3: recovered SQL. Unset iff `recovery_status` is an error
+  /// (the decoder emitted an unrecoverable token stream).
+  std::optional<sql::SelectQuery> query;
+  Status recovery_status = Status::Ok();
+
+  /// Execution result; unset when `request.execute` was false, recovery
+  /// failed, or execution itself failed (see `execution_status`).
+  std::optional<std::vector<sql::Value>> rows;
+  Status execution_status = Status::Ok();
+
+  /// Per-stage wall times ("query" root; children: tokenize, annotate,
+  /// build_qa, translate, recover, execute). Empty when
+  /// `request.collect_timings` was false.
+  StageTiming stages;
+};
 
 /// The end-to-end transfer-learnable NLIDB (the paper's full system):
 ///
 ///   question --(1. annotate: classifier + adversarial locator + value
 ///   detector + dependency resolver)--> q^a --(2. seq2seq with copy)-->
-///   s^a --(3. deterministic recovery)--> SQL.
+///   s^a --(3. deterministic recovery)--> SQL --(4. executor)--> rows.
 ///
-/// Train once on a corpus; `Translate` then works against any table,
+/// Train once on a corpus; `Query` then works against any table,
 /// including tables from domains never seen in training (the
 /// transfer-learnability claim evaluated in Table IV).
 class NlidbPipeline {
@@ -32,35 +90,48 @@ class NlidbPipeline {
   /// Trains all three learned components on `train`.
   TrainReport Train(const data::Dataset& train);
 
-  /// Full pipeline on a raw question string.
+  /// The pipeline entry point. Returns an error only for an invalid
+  /// request (no table, empty question, zero-column table); downstream
+  /// model failures (unrecoverable s^a, execution errors) come back
+  /// inside the result so callers still see every intermediate stage.
+  StatusOr<QueryResult> Query(const QueryRequest& request) const;
+
+  /// Step 1 only: q -> annotation. Fails on empty input or a
+  /// zero-column table instead of annotating garbage.
+  StatusOr<Annotation> Annotate(const std::vector<std::string>& tokens,
+                                const sql::Table& table) const;
+
+  /// Deprecated pre-Query surface, kept for one PR as thin wrappers.
+  /// Each discards the intermediate stages that `Query` returns.
+  [[deprecated("use Query(QueryRequest) instead")]]
   StatusOr<sql::SelectQuery> Translate(const std::string& question,
                                        const sql::Table& table) const;
-
-  /// Full pipeline on pre-tokenized input.
+  [[deprecated("use Query(QueryRequest) instead")]]
   StatusOr<sql::SelectQuery> TranslateTokens(
       const std::vector<std::string>& tokens, const sql::Table& table) const;
-
-  /// Steps 1-2 only: returns the decoded annotated SQL tokens s^a and the
-  /// annotation used (for Table III's before/after-recovery comparison).
+  [[deprecated("use Query(QueryRequest) instead")]]
   std::vector<std::string> TranslateToAnnotatedSql(
       const std::vector<std::string>& tokens, const sql::Table& table,
       Annotation* annotation_out) const;
 
-  /// Step 1 only.
-  Annotation Annotate(const std::vector<std::string>& tokens,
-                      const sql::Table& table) const;
-
   const ModelConfig& config() const { return config_; }
   AnnotationOptions annotation_options() const;
   const text::EmbeddingProvider& provider() const { return *provider_; }
-  ColumnMentionClassifier& classifier() { return *classifier_; }
   const ColumnMentionClassifier& classifier() const { return *classifier_; }
-  ValueDetector& value_detector() { return *value_detector_; }
   const ValueDetector& value_detector() const { return *value_detector_; }
-  Seq2SeqTranslator& translator() { return *translator_; }
   const Seq2SeqTranslator& translator() const { return *translator_; }
   const Annotator& annotator() const { return *annotator_; }
   TableStatsCache& stats_cache() const { return *stats_cache_; }
+
+  /// Mutable access to the learned components, for training and
+  /// checkpoint loading only. Inference paths use the const accessors;
+  /// the loud name makes any other use visible in review.
+  struct TrainableComponents {
+    ColumnMentionClassifier* classifier;
+    ValueDetector* value_detector;
+    Seq2SeqTranslator* translator;
+  };
+  TrainableComponents MutableForTraining();
 
   /// Optional database-specific NL metadata used at annotation time.
   void set_metadata(const NlMetadata* metadata) { metadata_ = metadata; }

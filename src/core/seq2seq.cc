@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/strings.h"
+#include "common/trace.h"
 #include "core/annotation.h"
 #include "tensor/ops.h"
 
@@ -74,6 +76,8 @@ void Seq2SeqTranslator::AddVocabulary(const std::vector<std::string>& tokens) {
 Seq2SeqTranslator::EncoderOutput Seq2SeqTranslator::Encode(
     const std::vector<std::string>& source) const {
   NLIDB_CHECK(!source.empty()) << "Encode of empty source";
+  trace::TraceSpan span("seq2seq.encode");
+  span.Annotate("source_len", static_cast<int64_t>(source.size()));
   EncoderOutput out;
   out.source_ids = vocab_.Encode(source);
   Var emb = embedding_->Forward(out.source_ids);
@@ -102,8 +106,14 @@ Seq2SeqTranslator::StepOutput Seq2SeqTranslator::DecodeStep(
   Var beta_i = attention_->Context(weights, enc.states);
   Var logits = output_proj_->Forward(ops::ConcatCols({d_i, beta_i}));
   Var scores = ops::Exp(logits);
+  static metrics::Counter& decode_steps =
+      metrics::MetricsRegistry::Global().GetCounter("seq2seq.decode_steps");
+  static metrics::Counter& copy_steps =
+      metrics::MetricsRegistry::Global().GetCounter("seq2seq.copy_steps");
+  decode_steps.Increment();
   if (config_.use_copy_mechanism) {
     // M_i[token] += exp(e_ij) for every source position j carrying it.
+    copy_steps.Increment();
     Var copy_mass = ops::ScatterSumCols(ops::Exp(energies), enc.source_ids,
                                         kVocabBudget);
     scores = ops::Add(scores, copy_mass);
@@ -137,7 +147,10 @@ Var Seq2SeqTranslator::Loss(const std::vector<std::string>& source,
 
 std::vector<std::string> Seq2SeqTranslator::BeamSearch(
     const std::vector<std::string>& source, int beam_width) const {
+  trace::TraceSpan span("seq2seq.translate");
+  span.Annotate("beam_width", static_cast<int64_t>(beam_width));
   EncoderOutput enc = Encode(source);
+  trace::TraceSpan decode_span("seq2seq.decode");
   const int h2 = 2 * config_.seq2seq_hidden;
 
   struct Beam {

@@ -57,9 +57,16 @@ Annotation GoldAnnotation(const data::Example& example) {
 const std::vector<sql::ColumnStatistics>& TableStatsCache::For(
     const sql::Table& table) {
   auto it = cache_.find(&table);
-  if (it != cache_.end()) return it->second;
-  auto [pos, inserted] =
-      cache_.emplace(&table, sql::ComputeTableStatistics(table, *provider_));
+  // The address key can collide when a table is destroyed and another is
+  // constructed at the same address; a column-count mismatch is the
+  // cheap tell, and serving the stale entry would feed the annotator
+  // statistics from an unrelated schema.
+  if (it != cache_.end() &&
+      it->second.size() == static_cast<size_t>(table.num_columns())) {
+    return it->second;
+  }
+  auto [pos, inserted] = cache_.insert_or_assign(
+      &table, sql::ComputeTableStatistics(table, *provider_));
   return pos->second;
 }
 

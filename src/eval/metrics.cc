@@ -60,10 +60,36 @@ AccuracyReport Evaluate(const data::Dataset& dataset,
   return report;
 }
 
+namespace {
+
+/// One structured pipeline pass over an example; no execution, no
+/// timing collection (evaluation measures accuracy, not latency).
+StatusOr<core::QueryResult> RunPipeline(const core::NlidbPipeline& pipeline,
+                                        const data::Example& example) {
+  core::QueryRequest request;
+  request.table = example.table.get();
+  request.tokens = example.tokens;
+  request.execute = false;
+  request.collect_timings = false;
+  return pipeline.Query(request);
+}
+
+/// Collapses a QueryResult to the recovered SQL, surfacing the recovery
+/// error when step 3 failed (the pre-Query `TranslateTokens` contract).
+StatusOr<sql::SelectQuery> RecoveredQuery(
+    StatusOr<core::QueryResult> result) {
+  if (!result.ok()) return result.status();
+  core::QueryResult out = std::move(result).value();
+  if (!out.recovery_status.ok()) return out.recovery_status;
+  return std::move(*out.query);
+}
+
+}  // namespace
+
 AccuracyReport EvaluatePipeline(const core::NlidbPipeline& pipeline,
                                 const data::Dataset& dataset) {
   return Evaluate(dataset, [&pipeline](const data::Example& example) {
-    return pipeline.TranslateTokens(example.tokens, *example.table);
+    return RecoveredQuery(RunPipeline(pipeline, example));
   });
 }
 
@@ -76,7 +102,7 @@ MentionReport EvaluateMentions(const core::NlidbPipeline& pipeline,
   int span_tp = 0, span_fp = 0, span_fn = 0;
   for (const data::Example& example : dataset.examples) {
     // --- ($COND_COL, $COND_VAL) accuracy through the full pipeline ------
-    auto predicted = pipeline.TranslateTokens(example.tokens, *example.table);
+    auto predicted = RecoveredQuery(RunPipeline(pipeline, example));
     if (predicted.ok()) {
       auto key_set = [](const sql::SelectQuery& q) {
         std::set<std::string> keys;
@@ -144,18 +170,18 @@ RecoveryReport EvaluateRecovery(const core::NlidbPipeline& pipeline,
   if (report.count == 0) return report;
   int before = 0, after = 0;
   for (const data::Example& example : dataset.examples) {
-    core::Annotation annotation;
-    const std::vector<std::string> sa = pipeline.TranslateToAnnotatedSql(
-        example.tokens, *example.table, &annotation);
+    StatusOr<core::QueryResult> result = RunPipeline(pipeline, example);
+    if (!result.ok()) continue;  // invalid example: neither side scores
+    const core::Annotation& annotation = result->annotation;
+    const std::vector<std::string>& sa = result->annotated_sql;
     // Before recovery: decoded s^a must equal the gold query rendered
     // under the same (predicted) annotation.
     const std::vector<std::string> gold_sa = core::BuildAnnotatedSql(
         example.query, annotation, example.schema(),
         pipeline.annotation_options());
     if (sa == gold_sa) ++before;
-    auto recovered = core::RecoverSql(sa, annotation, example.schema());
-    if (recovered.ok() &&
-        QueryMatch(*recovered, example.query, example.schema())) {
+    if (result->query.has_value() &&
+        QueryMatch(*result->query, example.query, example.schema())) {
       ++after;
     }
   }

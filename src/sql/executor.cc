@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
 #include "common/strings.h"
+#include "common/trace.h"
 
 namespace nlidb {
 namespace sql {
@@ -32,6 +34,14 @@ bool ConditionHolds(const Condition& cond, const Value& cell) {
 
 StatusOr<std::vector<Value>> Execute(const SelectQuery& query,
                                      const Table& table) {
+  static metrics::Counter& executions =
+      metrics::MetricsRegistry::Global().GetCounter("sql.executions");
+  static metrics::Counter& rows_scanned =
+      metrics::MetricsRegistry::Global().GetCounter("sql.rows_scanned");
+  trace::TraceSpan span("sql.execute");
+  span.Annotate("num_rows", static_cast<int64_t>(table.num_rows()));
+  executions.Increment();
+  rows_scanned.Increment(table.num_rows());
   const Schema& schema = table.schema();
   if (query.select_column < 0 || query.select_column >= schema.num_columns()) {
     return Status::InvalidArgument("select column out of range");

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "tensor/gemm_kernels.h"
 
@@ -321,7 +322,18 @@ Tier ActiveTier() {
 }
 
 const RowKernels& Kernels() {
-  return ActiveTier() == Tier::kAvx2 ? kAvx2Kernels : kBaseKernels;
+  // Dispatch-tier visibility: which ISA path the process actually runs
+  // (a silent fallback to base on an AVX2 box is a perf bug).
+  static metrics::Counter& dispatch_avx2 =
+      metrics::MetricsRegistry::Global().GetCounter("gemm.dispatch.avx2");
+  static metrics::Counter& dispatch_base =
+      metrics::MetricsRegistry::Global().GetCounter("gemm.dispatch.base");
+  if (ActiveTier() == Tier::kAvx2) {
+    dispatch_avx2.Increment();
+    return kAvx2Kernels;
+  }
+  dispatch_base.Increment();
+  return kBaseKernels;
 }
 
 }  // namespace gemm

@@ -124,13 +124,14 @@ TEST_F(AnnotatorTest, AnnotateWithoutModelsUsesExactEvidence) {
   auto stats = sql::ComputeTableStatistics(t, provider_);
   const auto tokens =
       text::Tokenize("what is the film name directed by jerzy antczak ?");
-  Annotation a = ann.Annotate(tokens, t, stats);
+  StatusOr<Annotation> a = ann.Annotate(tokens, t, stats);
+  ASSERT_TRUE(a.ok()) << a.status();
   // film_name matched context-free; "jerzy antczak" matched exactly.
-  const int film_pair = a.PairForColumn(0);
-  const int director_pair = a.PairForColumn(1);
+  const int film_pair = a->PairForColumn(0);
+  const int director_pair = a->PairForColumn(1);
   ASSERT_GE(film_pair, 0);
   ASSERT_GE(director_pair, 0);
-  EXPECT_EQ(a.pairs[director_pair].value_text, "jerzy antczak");
+  EXPECT_EQ(a->pairs[director_pair].value_text, "jerzy antczak");
 }
 
 TEST_F(AnnotatorTest, MetadataPhrasesProvideExtraCandidates) {

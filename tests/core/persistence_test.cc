@@ -48,10 +48,23 @@ TEST(PipelinePersistenceTest, SaveLoadPreservesBehavior) {
   // trained pipeline's predictions exactly.
   NlidbPipeline restored(config, provider);
   ASSERT_TRUE(LoadPipeline(restored, dir).ok());
+  auto translate = [](const NlidbPipeline& pipeline, const data::Example& ex)
+      -> StatusOr<sql::SelectQuery> {
+    QueryRequest request;
+    request.table = ex.table.get();
+    request.tokens = ex.tokens;
+    request.execute = false;
+    request.collect_timings = false;
+    StatusOr<QueryResult> result = pipeline.Query(request);
+    if (!result.ok()) return result.status();
+    QueryResult out = std::move(result).value();
+    if (!out.recovery_status.ok()) return out.recovery_status;
+    return std::move(*out.query);
+  };
   int compared = 0;
   for (const auto& ex : splits.dev.examples) {
-    auto a = trained.TranslateTokens(ex.tokens, *ex.table);
-    auto b = restored.TranslateTokens(ex.tokens, *ex.table);
+    auto a = translate(trained, ex);
+    auto b = translate(restored, ex);
     ASSERT_EQ(a.ok(), b.ok());
     if (a.ok()) {
       EXPECT_TRUE(*a == *b) << ex.question;

@@ -44,22 +44,75 @@ TEST_F(PipelineTest, AnnotationOptionsMirrorConfig) {
 TEST_F(PipelineTest, EmptyInputsRejectedCleanly) {
   NlidbPipeline pipeline(config_, provider_);
   sql::Table table = FilmTable();
-  auto r1 = pipeline.Translate("", table);
+  QueryRequest empty_question;
+  empty_question.table = &table;
+  empty_question.question = "";
+  auto r1 = pipeline.Query(empty_question);
   EXPECT_FALSE(r1.ok());
   EXPECT_EQ(r1.status().code(), StatusCode::kInvalidArgument);
   sql::Table empty("empty", sql::Schema{});
-  auto r2 = pipeline.TranslateTokens({"hello"}, empty);
+  QueryRequest empty_schema;
+  empty_schema.table = &empty;
+  empty_schema.tokens = {"hello"};
+  auto r2 = pipeline.Query(empty_schema);
   EXPECT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kInvalidArgument);
+  QueryRequest null_table;
+  null_table.question = "hello ?";
+  auto r3 = pipeline.Query(null_table);
+  EXPECT_FALSE(r3.ok());
+  EXPECT_EQ(r3.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST_F(PipelineTest, UntrainedPipelineDoesNotCrash) {
   NlidbPipeline pipeline(config_, provider_);
   sql::Table table = FilmTable();
   // Untrained models produce garbage, but the pipeline must return a
-  // clean Status either way.
-  auto result = pipeline.Translate("which film by sofia garcia ?", table);
-  (void)result;  // ok or a recovery error; never a crash
-  SUCCEED();
+  // clean result either way: Query succeeds and reports any recovery
+  // failure in-band instead of crashing.
+  QueryRequest request;
+  request.table = &table;
+  request.question = "which film by sofia garcia ?";
+  auto result = pipeline.Query(request);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->query.has_value(), result->recovery_status.ok());
+}
+
+TEST_F(PipelineTest, QueryReturnsEveryStage) {
+  NlidbPipeline pipeline(config_, provider_);
+  sql::Table table = FilmTable();
+  QueryRequest request;
+  request.table = &table;
+  request.question = "which film name directed by sofia garcia ?";
+  auto result = pipeline.Query(request);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_FALSE(result->tokens.empty());
+  EXPECT_FALSE(result->annotated_question.empty());
+  EXPECT_FALSE(result->annotated_sql.empty());
+  // Stage timings cover the whole pipeline, in order.
+  ASSERT_FALSE(result->stages.children.empty());
+  EXPECT_EQ(result->stages.name, "query");
+  EXPECT_NE(result->stages.Child("annotate"), nullptr);
+  EXPECT_NE(result->stages.Child("translate"), nullptr);
+  EXPECT_EQ(result->stages.Child("no_such_stage"), nullptr);
+  if (result->query.has_value()) {
+    // execute=true by default: rows or an execution error, never neither.
+    EXPECT_NE(result->rows.has_value(), !result->execution_status.ok());
+  }
+}
+
+TEST_F(PipelineTest, QueryTimingsCanBeDisabled) {
+  NlidbPipeline pipeline(config_, provider_);
+  sql::Table table = FilmTable();
+  QueryRequest request;
+  request.table = &table;
+  request.question = "which film name directed by sofia garcia ?";
+  request.collect_timings = false;
+  request.execute = false;
+  auto result = pipeline.Query(request);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->stages.children.empty());
+  EXPECT_FALSE(result->rows.has_value());
 }
 
 TEST_F(PipelineTest, AnnotateUsesExactEvidenceWithoutTraining) {
@@ -67,11 +120,20 @@ TEST_F(PipelineTest, AnnotateUsesExactEvidenceWithoutTraining) {
   sql::Table table = FilmTable();
   const auto tokens =
       text::Tokenize("which film name directed by sofia garcia ?");
-  Annotation ann = pipeline.Annotate(tokens, table);
+  StatusOr<Annotation> ann = pipeline.Annotate(tokens, table);
+  ASSERT_TRUE(ann.ok()) << ann.status();
   // "sofia garcia" occurs verbatim in the director column.
-  const int pair = ann.PairForColumn(1);
+  const int pair = ann->PairForColumn(1);
   ASSERT_GE(pair, 0);
-  EXPECT_EQ(ann.pairs[pair].value_text, "sofia garcia");
+  EXPECT_EQ(ann->pairs[pair].value_text, "sofia garcia");
+}
+
+TEST_F(PipelineTest, AnnotateRejectsEmptyTokens) {
+  NlidbPipeline pipeline(config_, provider_);
+  sql::Table table = FilmTable();
+  StatusOr<Annotation> ann = pipeline.Annotate({}, table);
+  EXPECT_FALSE(ann.ok());
+  EXPECT_EQ(ann.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST_F(PipelineTest, StatsCacheSharedAcrossCalls) {
@@ -95,17 +157,19 @@ TEST_F(PipelineTest, MetadataInjectionImprovesAnnotation) {
   metadata.column_phrases = {{"headcount figure"}, {}};
   const auto tokens = text::Tokenize("what is the headcount figure of mayo ?");
 
-  Annotation without = pipeline.Annotate(tokens, table);
+  StatusOr<Annotation> without = pipeline.Annotate(tokens, table);
   pipeline.set_metadata(&metadata);
-  Annotation with = pipeline.Annotate(tokens, table);
+  StatusOr<Annotation> with = pipeline.Annotate(tokens, table);
   pipeline.set_metadata(nullptr);
 
+  ASSERT_TRUE(without.ok()) << without.status();
+  ASSERT_TRUE(with.ok()) << with.status();
   auto has_population_span = [](const Annotation& a) {
     const int p = a.PairForColumn(0);
     return p >= 0 && !a.pairs[p].column_span.empty();
   };
-  EXPECT_TRUE(has_population_span(with));
-  EXPECT_FALSE(has_population_span(without));
+  EXPECT_TRUE(has_population_span(*with));
+  EXPECT_FALSE(has_population_span(*without));
 }
 
 TEST_F(PipelineTest, TrainReturnsPairCounts) {

@@ -184,14 +184,16 @@ TEST_F(ClassifierFuzz, ParallelAnnotateMatchesSerialAnnotate) {
     const auto stats = sql::ComputeTableStatistics(*ex.table, *provider_);
 
     ThreadPool::SetGlobalParallelism(1);
-    const core::Annotation serial =
+    const StatusOr<core::Annotation> serial =
         annotator.Annotate(ex.tokens, *ex.table, stats);
     ThreadPool::SetGlobalParallelism(8);
-    const core::Annotation parallel =
+    const StatusOr<core::Annotation> parallel =
         annotator.Annotate(ex.tokens, *ex.table, stats);
 
-    EXPECT_EQ(testing::AnnotationToString(serial),
-              testing::AnnotationToString(parallel))
+    ASSERT_TRUE(serial.ok()) << serial.status();
+    ASSERT_TRUE(parallel.ok()) << parallel.status();
+    EXPECT_EQ(testing::AnnotationToString(*serial),
+              testing::AnnotationToString(*parallel))
         << "question: " << ex.question;
     ++cases;
   }

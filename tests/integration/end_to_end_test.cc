@@ -12,6 +12,25 @@
 namespace nlidb {
 namespace {
 
+// Old Translate* contract expressed through the structured Query API:
+// recovered SQL on success, the first failing status otherwise.
+StatusOr<sql::SelectQuery> TranslateExample(const core::NlidbPipeline& pipeline,
+                                            const sql::Table& table,
+                                            const std::vector<std::string>& tokens,
+                                            const std::string& question = "") {
+  core::QueryRequest request;
+  request.table = &table;
+  request.question = question;
+  request.tokens = tokens;
+  request.execute = false;
+  request.collect_timings = false;
+  StatusOr<core::QueryResult> result = pipeline.Query(request);
+  if (!result.ok()) return result.status();
+  core::QueryResult out = std::move(result).value();
+  if (!out.recovery_status.ok()) return out.recovery_status;
+  return std::move(*out.query);
+}
+
 class EndToEndTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
@@ -87,7 +106,7 @@ TEST_F(EndToEndTest, ZeroShotTransferProducesQueries) {
   for (const auto& sub : overnight.subdomains) {
     for (const auto& ex : sub.test.examples) {
       ++attempted;
-      auto pred = pipeline_->TranslateTokens(ex.tokens, *ex.table);
+      auto pred = TranslateExample(*pipeline_, *ex.table, ex.tokens);
       succeeded += pred.ok();
     }
   }
@@ -98,7 +117,7 @@ TEST_F(EndToEndTest, ZeroShotTransferProducesQueries) {
 
 TEST_F(EndToEndTest, TranslateFromRawStringWorks) {
   const data::Example& ex = splits_->test.examples.front();
-  auto pred = pipeline_->Translate(ex.question, *ex.table);
+  auto pred = TranslateExample(*pipeline_, *ex.table, {}, ex.question);
   ASSERT_TRUE(pred.ok()) << pred.status();
   EXPECT_GE(pred->select_column, 0);
 }
@@ -106,12 +125,12 @@ TEST_F(EndToEndTest, TranslateFromRawStringWorks) {
 TEST_F(EndToEndTest, CheckpointRoundTripPreservesPredictions) {
   const std::string path =
       std::string(::testing::TempDir()) + "/pipeline_ckpt.bin";
-  auto params = pipeline_->translator().Parameters();
+  auto params = pipeline_->MutableForTraining().translator->Parameters();
   ASSERT_TRUE(nn::Checkpoint::Save(path, params).ok());
   const data::Example& ex = splits_->test.examples.front();
-  auto before = pipeline_->TranslateTokens(ex.tokens, *ex.table);
+  auto before = TranslateExample(*pipeline_, *ex.table, ex.tokens);
   ASSERT_TRUE(nn::Checkpoint::Load(path, params).ok());
-  auto after = pipeline_->TranslateTokens(ex.tokens, *ex.table);
+  auto after = TranslateExample(*pipeline_, *ex.table, ex.tokens);
   ASSERT_EQ(before.ok(), after.ok());
   if (before.ok()) {
     EXPECT_TRUE(*before == *after);

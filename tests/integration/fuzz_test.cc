@@ -163,7 +163,10 @@ class AnnotatorFuzz : public ::testing::Test {
     core::Annotator annotator(config_, provider_, nullptr, nullptr);
     auto tokens = text::Tokenize(question);
     if (tokens.empty()) return;
-    core::Annotation a = annotator.Annotate(tokens, table_, stats_);
+    StatusOr<core::Annotation> annotated =
+        annotator.Annotate(tokens, table_, stats_);
+    ASSERT_TRUE(annotated.ok()) << annotated.status();
+    const core::Annotation& a = *annotated;
     for (const auto& p : a.pairs) {
       EXPECT_GE(p.column, 0);
       EXPECT_LT(p.column, table_.num_columns());

@@ -10,8 +10,10 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 
 #include "common/thread_pool.h"
+#include "common/trace.h"
 #include "core/pipeline.h"
 #include "data/generator.h"
 #include "tensor/gemm_kernels.h"
@@ -101,6 +103,38 @@ TEST_F(GoldenTraceTest, MatchesCommittedGolden) {
   const std::string trace = testing::TraceDataset(*pipeline_, *trace_corpus_);
   ThreadPool::SetGlobalParallelism(ThreadPool::DefaultParallelism());
   EXPECT_TRUE(testing::MatchesGolden("pipeline_trace.golden", trace));
+}
+
+TEST_F(GoldenTraceTest, InstrumentationDoesNotPerturbNumerics) {
+  // The observability layer must be purely observational: running the
+  // exact same corpus with tracing enabled (spans recorded to an
+  // in-memory sink) must produce byte-identical pipeline traces at both
+  // ends of the thread sweep, matching the untraced bytes.
+  ThreadPool::SetGlobalParallelism(1);
+  const std::string untraced = testing::TraceDataset(*pipeline_, *trace_corpus_);
+
+  auto sink = std::make_shared<trace::InMemorySink>();
+  std::map<int, std::string> traced;
+  for (int threads : {1, 8}) {
+    ThreadPool::SetGlobalParallelism(threads);
+    trace::SetSink(sink);
+    traced[threads] = testing::TraceDataset(*pipeline_, *trace_corpus_);
+    trace::SetSink(nullptr);
+  }
+  ThreadPool::SetGlobalParallelism(ThreadPool::DefaultParallelism());
+
+  EXPECT_EQ(traced[1], untraced) << "tracing changed pipeline numerics";
+  EXPECT_EQ(traced[8], untraced) << "tracing changed pipeline numerics";
+  // And the instrumentation actually fired: the hot path emitted spans
+  // for every pipeline stage while the sink was installed.
+  std::map<std::string, int> by_name;
+  for (const trace::SpanRecord& r : sink->Records()) ++by_name[r.name];
+  for (const char* stage :
+       {"pipeline.query", "pipeline.annotate", "pipeline.translate",
+        "annotator.annotate", "annotator.classifier", "seq2seq.encode",
+        "seq2seq.decode"}) {
+    EXPECT_GT(by_name[stage], 0) << "no spans for " << stage;
+  }
 }
 
 TEST_F(GoldenTraceTest, TraceCoversEveryStage) {

@@ -1,0 +1,10 @@
+// Lint fixture: direct clock reads outside trace.cc / bench.
+#include <chrono>
+
+long Stamp() {
+  const auto a = std::chrono::steady_clock::now();
+  const auto b = std::chrono::system_clock::now();
+  const auto c = std::chrono::high_resolution_clock::now();
+  return a.time_since_epoch().count() + b.time_since_epoch().count() +
+         c.time_since_epoch().count();
+}

@@ -1,0 +1,7 @@
+// Lint fixture: waived clock read.
+#include <chrono>
+
+long Stamp() {
+  // nlidb-lint: disable(raw-timing)
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -121,6 +121,36 @@ TEST(LintTest, KernelWallClockSuppressed) {
           .empty());
 }
 
+TEST(LintTest, RawTimingHit) {
+  const auto findings = Lint({"tests/lint/fixtures/raw_timing_hit.cc"});
+  // steady_clock, system_clock, high_resolution_clock.
+  EXPECT_EQ(CountRule(findings, "raw-timing"), 3);
+  EXPECT_EQ(static_cast<int>(findings.size()),
+            CountRule(findings, "raw-timing"));
+}
+
+TEST(LintTest, RawTimingSuppressed) {
+  EXPECT_TRUE(Lint({"tests/lint/fixtures/raw_timing_suppressed.cc"}).empty());
+}
+
+TEST(LintTest, RawTimingExemptsTraceBenchAndKernelTus) {
+  const std::string clock_read =
+      "#include <chrono>\n"
+      "long Stamp() {\n"
+      "  return std::chrono::steady_clock::now().time_since_epoch().count();\n"
+      "}\n";
+  // trace.cc hosts NowNs(); bench TUs time themselves deliberately.
+  for (const char* path : {"src/common/trace.cc", "bench/bench_foo.cc"}) {
+    const auto findings = LintFiles({LoadSource(path, clock_read)});
+    EXPECT_EQ(CountRule(findings, "raw-timing"), 0) << path;
+  }
+  // Kernel TUs report through the stricter kernel-wall-clock rule only.
+  const auto findings =
+      LintFiles({LoadSource("src/tensor/gemm_tiles.cc", clock_read)});
+  EXPECT_EQ(CountRule(findings, "raw-timing"), 0);
+  EXPECT_GE(CountRule(findings, "kernel-wall-clock"), 1);
+}
+
 TEST(LintTest, GemmLiteralDriftHit) {
   const auto findings =
       Lint({"tests/lint/fixtures/drift_hit/gemm_kernels_base.cc",

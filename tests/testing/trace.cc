@@ -84,22 +84,26 @@ std::string TraceExample(const core::NlidbPipeline& pipeline,
   for (float p : probs) os << " " << FloatBits(p);
   os << "\n";
 
-  core::Annotation annotation;
-  const std::vector<std::string> sa =
-      pipeline.TranslateToAnnotatedSql(example.tokens, table, &annotation);
-  os << AnnotationToString(annotation);
-  os << "qa: "
-     << JoinTokens(core::BuildAnnotatedQuestion(
-            example.tokens, annotation, schema, pipeline.annotation_options()))
-     << "\n";
-  os << "sa: " << JoinTokens(sa) << "\n";
+  core::QueryRequest request;
+  request.table = &table;
+  request.tokens = example.tokens;
+  request.execute = false;
+  request.collect_timings = false;
+  StatusOr<core::QueryResult> result = pipeline.Query(request);
+  if (!result.ok()) {
+    os << "query: error " << result.status().ToString() << "\n";
+    return os.str();
+  }
+  const core::QueryResult& r = *result;
+  os << AnnotationToString(r.annotation);
+  os << "qa: " << JoinTokens(r.annotated_question) << "\n";
+  os << "sa: " << JoinTokens(r.annotated_sql) << "\n";
 
-  auto recovered = core::RecoverSql(sa, annotation, schema);
-  if (recovered.ok()) {
-    os << "sql: " << sql::ToSql(*recovered, schema) << "\n";
-    os << "exec: " << ExecutionToString(*recovered, table) << "\n";
+  if (r.query.has_value()) {
+    os << "sql: " << sql::ToSql(*r.query, schema) << "\n";
+    os << "exec: " << ExecutionToString(*r.query, table) << "\n";
   } else {
-    os << "sql: error " << recovered.status().ToString() << "\n";
+    os << "sql: error " << r.recovery_status.ToString() << "\n";
   }
   return os.str();
 }

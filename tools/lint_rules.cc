@@ -211,6 +211,32 @@ void CheckKernelWallClock(const SourceFile& file, std::vector<Finding>* out) {
 }
 
 // ---------------------------------------------------------------------------
+// raw-timing: all timing goes through trace::NowNs().
+
+const char kRawTiming[] = "raw-timing";
+
+void CheckRawTiming(const SourceFile& file, std::vector<Finding>* out) {
+  // trace.cc hosts the one sanctioned steady_clock read; benches time
+  // themselves deliberately; kernel TUs are covered by the stricter
+  // kernel-wall-clock rule (no double findings).
+  if (file.path == "src/common/trace.cc" || StartsWith(file.path, "bench/") ||
+      KernelTu(file.path)) {
+    return;
+  }
+  static const std::regex re(
+      "std::chrono::(?:steady_clock|system_clock|high_resolution_clock)\\b");
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    if (std::regex_search(file.code[i], re)) {
+      Report(file, static_cast<int>(i) + 1, kRawTiming,
+             "direct std::chrono clock read; time through trace::NowNs() / "
+             "TraceSpan (src/common/trace.h) so instrumentation stays "
+             "centralized",
+             out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // gemm-literal-drift: float literals must match across ISA-tier TUs.
 
 const char kGemmLiteralDrift[] = "gemm-literal-drift";
@@ -395,6 +421,7 @@ std::vector<Finding> LintFiles(const std::vector<SourceFile>& files) {
     CheckRawThread(file, &findings);
     CheckRawRandom(file, &findings);
     CheckKernelWallClock(file, &findings);
+    CheckRawTiming(file, &findings);
     CheckMutexUnguarded(file, &findings);
     CheckIncludeGuard(file, &findings);
     if (TierTu(file.path)) {
@@ -441,6 +468,8 @@ std::vector<std::string> RuleDescriptions() {
       "raw-random: no rand()/srand()/std::random_device outside "
       "src/common/rng.*",
       "kernel-wall-clock: no clock/time calls inside GEMM kernel TUs",
+      "raw-timing: no direct std::chrono clock reads outside "
+      "src/common/trace.cc and bench/; use trace::NowNs()",
       "gemm-literal-drift: float literals identical across "
       "gemm_kernels_<tier>.cc TUs in one directory",
       "mutex-unguarded: every mutex member has NLIDB_GUARDED_BY state "
