@@ -20,7 +20,7 @@ void PlotInfluence(const core::ColumnMentionClassifier& classifier,
   const auto tokens = text::Tokenize(question);
   const auto column_tokens = SplitWhitespace(column);
   core::InfluenceProfile profile =
-      locator.ComputeInfluence(classifier, tokens, column_tokens);
+      locator.ComputeInfluence(classifier, tokens, column_tokens).value();
   float max_total = 0.0f;
   for (float v : profile.total) max_total = std::max(max_total, v);
   const text::Span located = locator.LocateSpan(profile);

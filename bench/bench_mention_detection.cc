@@ -132,9 +132,9 @@ void SubstrateLatencySection(core::NlidbPipeline& pipeline, BenchEnv& env) {
   const double serial_ns = TimeNs([&] {
     for (const auto& q : questions) {
       for (const auto& d : displays) {
-        const float p = clf.Predict(q, d);
+        const float p = clf.Predict(q, d).value();
         if (p >= kThreshold) {
-          auto profile = locator.ComputeInfluence(clf, q, d);
+          auto profile = locator.ComputeInfluence(clf, q, d).value();
           (void)profile;
         }
       }
@@ -143,7 +143,7 @@ void SubstrateLatencySection(core::NlidbPipeline& pipeline, BenchEnv& env) {
 
   const double batched_ns = TimeNs([&] {
     for (const auto& q : questions) {
-      const std::vector<float> probs = clf.PredictBatch(q, displays);
+      const std::vector<float> probs = clf.PredictBatch(q, displays).value();
       std::vector<int> accepted;
       for (int c = 0; c < static_cast<int>(probs.size()); ++c) {
         if (probs[c] >= kThreshold) accepted.push_back(c);
@@ -152,8 +152,9 @@ void SubstrateLatencySection(core::NlidbPipeline& pipeline, BenchEnv& env) {
       ThreadPool::Global().ParallelFor(
           0, static_cast<int>(accepted.size()), [&](int jb, int je) {
             for (int j = jb; j < je; ++j) {
-              profiles[j] = locator.ComputeInfluence(clf, q,
-                                                     displays[accepted[j]]);
+              profiles[j] =
+                  locator.ComputeInfluence(clf, q, displays[accepted[j]])
+                      .value();
             }
           });
     }

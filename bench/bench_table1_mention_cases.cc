@@ -43,10 +43,11 @@ int Run() {
   for (const Case& c : cases) {
     const auto tokens = text::Tokenize(c.question);
     const auto column = SplitWhitespace(c.column);
-    const float p = classifier.Predict(tokens, column);
+    const float p = classifier.Predict(tokens, column).value();
     std::string term = "-";
     if (p > 0.5f) {
-      const text::Span span = locator.LocateMention(classifier, tokens, column);
+      const text::Span span =
+          locator.LocateMention(classifier, tokens, column).value();
       if (!span.empty()) term = text::SpanText(tokens, span);
     }
     std::printf("%-16s | %s (p=%.2f) | %-24s | %s\n", c.column,

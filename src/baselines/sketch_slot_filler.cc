@@ -80,10 +80,16 @@ StatusOr<sql::SelectQuery> SketchSlotFiller::Translate(
   const auto& stats = stats_cache_.For(table);
   std::vector<core::ValueDetector::Detection> detections =
       core::ExactCellValueMatches(tokens, table);
-  for (auto& det : value_detector_->Detect(tokens, stats)) {
-    bool covered = false;
-    for (const auto& e : detections) covered = covered || e.span.Overlaps(det.span);
-    if (!covered) detections.push_back(std::move(det));
+  StatusOr<std::vector<core::ValueDetector::Detection>> detected =
+      value_detector_->Detect(tokens, stats);
+  if (detected.ok()) {
+    for (auto& det : *detected) {
+      bool covered = false;
+      for (const auto& e : detections) {
+        covered = covered || e.span.Overlaps(det.span);
+      }
+      if (!covered) detections.push_back(std::move(det));
+    }
   }
   // Longest spans first; skip overlaps.
   std::sort(detections.begin(), detections.end(),

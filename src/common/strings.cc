@@ -97,6 +97,10 @@ bool LooksNumeric(std::string_view text) {
   return seen_digit;
 }
 
+void StripTrailingCr(std::string* line) {
+  if (!line->empty() && line->back() == '\r') line->pop_back();
+}
+
 std::string ReplaceAll(std::string_view text, std::string_view from,
                        std::string_view to) {
   if (from.empty()) return std::string(text);

@@ -32,6 +32,11 @@ bool EndsWith(std::string_view text, std::string_view suffix);
 /// optionally after a leading '-' and allowing one '.'.
 bool LooksNumeric(std::string_view text);
 
+/// Removes one trailing '\r' in place, if present. Line-oriented loaders
+/// call this after every getline so files saved on Windows (CRLF line
+/// endings) parse identically to Unix ones.
+void StripTrailingCr(std::string* line);
+
 /// Replaces every occurrence of `from` in `text` with `to`.
 std::string ReplaceAll(std::string_view text, std::string_view from,
                        std::string_view to);

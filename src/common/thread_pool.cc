@@ -147,6 +147,24 @@ void ThreadPool::ParallelFor(int begin, int end,
   }
 }
 
+Status ThreadPool::ParallelFor(int begin, int end,
+                               const std::function<void(int, int)>& body,
+                               const CancelContext& ctx) {
+  std::atomic<bool> skipped{false};
+  const std::function<void(int, int)> guarded = [&](int b, int e) {
+    if (ctx.Expired()) {
+      skipped.store(true, std::memory_order_relaxed);
+      return;
+    }
+    body(b, e);
+  };
+  ParallelFor(begin, end, guarded);
+  if (skipped.load(std::memory_order_relaxed)) {
+    return Status::DeadlineExceeded("deadline exceeded in ParallelFor");
+  }
+  return Status::Ok();
+}
+
 bool ThreadPool::InWorker() { return tls_in_pool_worker; }
 
 int ThreadPool::DefaultParallelism() {

@@ -7,7 +7,9 @@
 #include <thread>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/mutex.h"
+#include "common/status.h"
 #include "common/thread_annotations.h"
 
 namespace nlidb {
@@ -50,6 +52,15 @@ class ThreadPool {
   /// indices, or the caller is itself a pool worker.
   void ParallelFor(int begin, int end,
                    const std::function<void(int, int)>& body);
+
+  /// Cancellation-aware variant: a chunk whose turn comes after `ctx`
+  /// expired is skipped instead of run, and the call returns
+  /// DeadlineExceeded when any chunk was skipped (Ok otherwise).
+  /// Chunk bodies already in flight are never interrupted — bodies
+  /// needing finer granularity poll `ctx` themselves.
+  Status ParallelFor(int begin, int end,
+                     const std::function<void(int, int)>& body,
+                     const CancelContext& ctx);
 
   /// True when the calling thread is one of this process's pool workers
   /// (any pool). Used to force nested parallel sections inline.

@@ -9,12 +9,14 @@
 namespace nlidb {
 namespace core {
 
-InfluenceProfile AdversarialLocator::ComputeInfluence(
+StatusOr<InfluenceProfile> AdversarialLocator::ComputeInfluence(
     const ColumnMentionClassifier& classifier,
     const std::vector<std::string>& question,
     const std::vector<std::string>& column) const {
-  ColumnMentionClassifier::ForwardResult fr =
+  StatusOr<ColumnMentionClassifier::ForwardResult> fr_or =
       classifier.Forward(question, column);
+  if (!fr_or.ok()) return fr_or.status();
+  ColumnMentionClassifier::ForwardResult fr = std::move(fr_or).value();
   // The paper takes dL/dq with L the classifier loss. Since
   // dL/dE = (sigmoid(z) - target) * dz/dE, the loss gradient is the
   // logit gradient scaled by a constant that underflows to exactly zero
@@ -87,11 +89,14 @@ text::Span AdversarialLocator::LocateSpan(
   return text::Span{begin, end};
 }
 
-text::Span AdversarialLocator::LocateMention(
+StatusOr<text::Span> AdversarialLocator::LocateMention(
     const ColumnMentionClassifier& classifier,
     const std::vector<std::string>& question,
     const std::vector<std::string>& column) const {
-  return LocateSpan(ComputeInfluence(classifier, question, column));
+  StatusOr<InfluenceProfile> profile =
+      ComputeInfluence(classifier, question, column);
+  if (!profile.ok()) return profile.status();
+  return LocateSpan(*profile);
 }
 
 }  // namespace core

@@ -29,8 +29,9 @@ class AdversarialLocator {
 
   /// Computes the influence of every question token on the prediction
   /// that `column` is mentioned in `question`. Runs one forward/backward
-  /// pass of the classifier with target label 1.
-  InfluenceProfile ComputeInfluence(
+  /// pass of the classifier with target label 1. Propagates the
+  /// classifier's InvalidArgument on empty inputs.
+  StatusOr<InfluenceProfile> ComputeInfluence(
       const ColumnMentionClassifier& classifier,
       const std::vector<std::string>& question,
       const std::vector<std::string>& column) const;
@@ -42,9 +43,10 @@ class AdversarialLocator {
   text::Span LocateSpan(const InfluenceProfile& profile) const;
 
   /// Convenience: ComputeInfluence + LocateSpan.
-  text::Span LocateMention(const ColumnMentionClassifier& classifier,
-                           const std::vector<std::string>& question,
-                           const std::vector<std::string>& column) const;
+  StatusOr<text::Span> LocateMention(
+      const ColumnMentionClassifier& classifier,
+      const std::vector<std::string>& question,
+      const std::vector<std::string>& column) const;
 
  private:
   ModelConfig config_;

@@ -200,7 +200,7 @@ std::optional<text::Span> Annotator::ContextFreeMatchUnclaimed(
   return best;
 }
 
-std::vector<ColumnMentionCandidate> Annotator::DetectColumnMentions(
+StatusOr<std::vector<ColumnMentionCandidate>> Annotator::DetectColumnMentions(
     const std::vector<std::string>& tokens, const sql::Table& table,
     const NlMetadata* metadata) const {
   const sql::Schema& schema = table.schema();
@@ -208,15 +208,19 @@ std::vector<ColumnMentionCandidate> Annotator::DetectColumnMentions(
   std::vector<bool> matched(schema.num_columns(), false);
   std::vector<ColumnMentionCandidate> out =
       ContextFreeColumnPass(tokens, schema, metadata, claimed, matched);
-  for (auto& cand : ClassifierColumnPass(tokens, schema, claimed, matched)) {
+  StatusOr<std::vector<ColumnMentionCandidate>> learned =
+      ClassifierColumnPass(tokens, schema, claimed, matched, nullptr);
+  if (!learned.ok()) return learned.status();
+  for (auto& cand : *learned) {
     out.push_back(std::move(cand));
   }
   return out;
 }
 
-std::vector<ColumnMentionCandidate> Annotator::ClassifierColumnPass(
+StatusOr<std::vector<ColumnMentionCandidate>> Annotator::ClassifierColumnPass(
     const std::vector<std::string>& tokens, const sql::Schema& schema,
-    std::vector<bool>& claimed, const std::vector<bool>& matched) const {
+    std::vector<bool>& claimed, const std::vector<bool>& matched,
+    const CancelContext* ctx) const {
   std::vector<ColumnMentionCandidate> out;
   if (classifier_ == nullptr) return out;
   static metrics::Counter& columns_scored =
@@ -240,7 +244,11 @@ std::vector<ColumnMentionCandidate> Annotator::ClassifierColumnPass(
   }
   if (pending.empty()) return out;
   columns_scored.Increment(static_cast<int64_t>(pending.size()));
-  const std::vector<float> probs = classifier_->PredictBatch(tokens, displays);
+  NLIDB_RETURN_IF_ERROR(CheckCancel(ctx, "annotator.classifier_batch"));
+  StatusOr<std::vector<float>> probs_or =
+      classifier_->PredictBatch(tokens, displays);
+  if (!probs_or.ok()) return probs_or.status();
+  const std::vector<float>& probs = *probs_or;
 
   // Phase 2 (parallel): influence profiles for the accepted columns.
   // ComputeInfluence depends only on (question, column) — not on the
@@ -254,17 +262,29 @@ std::vector<ColumnMentionCandidate> Annotator::ClassifierColumnPass(
   }
   influence_fanouts.Increment(static_cast<int64_t>(accepted.size()));
   std::vector<InfluenceProfile> profiles(accepted.size());
-  ThreadPool::Global().ParallelFor(
-      0, static_cast<int>(accepted.size()), [&](int jb, int je) {
+  std::vector<Status> chunk_status(accepted.size());
+  const CancelContext pool_ctx = ctx != nullptr ? *ctx : CancelContext{};
+  NLIDB_RETURN_IF_ERROR(ThreadPool::Global().ParallelFor(
+      0, static_cast<int>(accepted.size()),
+      [&](int jb, int je) {
         // Worker-side span; parented under "annotator.classifier" via
         // the trace-parent propagation in ThreadPool::RunJob.
         trace::TraceSpan chunk("annotator.influence");
         chunk.Annotate("columns", static_cast<int64_t>(je - jb));
         for (int j = jb; j < je; ++j) {
-          profiles[j] = locator.ComputeInfluence(*classifier_, tokens,
-                                                 displays[accepted[j]]);
+          StatusOr<InfluenceProfile> profile = locator.ComputeInfluence(
+              *classifier_, tokens, displays[accepted[j]]);
+          if (profile.ok()) {
+            profiles[j] = std::move(profile).value();
+          } else {
+            chunk_status[j] = profile.status();
+          }
         }
-      });
+      },
+      pool_ctx));
+  for (const Status& s : chunk_status) {
+    NLIDB_RETURN_IF_ERROR(s);
+  }
 
   // Phase 3 (sequential, original column order): masking, span location,
   // and claiming. The claimed mask evolves between columns exactly as in
@@ -303,7 +323,8 @@ std::vector<ColumnMentionCandidate> Annotator::ClassifierColumnPass(
 StatusOr<Annotation> Annotator::Annotate(
     const std::vector<std::string>& tokens, const sql::Table& table,
     const std::vector<sql::ColumnStatistics>& stats,
-    const NlMetadata* metadata) const {
+    const NlMetadata* metadata, const CancelContext* ctx,
+    AnnotateDebug* debug) const {
   if (tokens.empty()) {
     return Status::InvalidArgument("empty question");
   }
@@ -341,6 +362,8 @@ StatusOr<Annotation> Annotator::Annotate(
     exact_matches.Increment(static_cast<int64_t>(values.size()));
   }
 
+  NLIDB_RETURN_IF_ERROR(CheckCancel(ctx, "annotator.exact_values"));
+
   // Stage 2: context-free column matches on unclaimed tokens.
   std::vector<bool> matched(schema.num_columns(), false);
   std::vector<ColumnMentionCandidate> columns;
@@ -350,13 +373,17 @@ StatusOr<Annotation> Annotator::Annotate(
                                     matched);
     context_free_matches.Increment(static_cast<int64_t>(columns.size()));
   }
+  NLIDB_RETURN_IF_ERROR(CheckCancel(ctx, "annotator.context_free"));
 
   // Stage 3: learned value detections, longest span first so a full
   // multi-word value is not blocked by its own sub-span.
   if (value_detector_ != nullptr) {
     trace::TraceSpan stage("annotator.values");
+    StatusOr<std::vector<ValueDetector::Detection>> learned_or =
+        value_detector_->Detect(tokens, stats, ctx);
+    if (!learned_or.ok()) return learned_or.status();
     std::vector<ValueDetector::Detection> learned =
-        value_detector_->Detect(tokens, stats);
+        std::move(learned_or).value();
     learned_detections.Increment(static_cast<int64_t>(learned.size()));
     std::sort(learned.begin(), learned.end(),
               [](const ValueDetector::Detection& a,
@@ -378,11 +405,19 @@ StatusOr<Annotation> Annotator::Annotate(
   }
 
   // Stage 4: classifier + adversarial locator for unmatched columns.
-  for (auto& cand : ClassifierColumnPass(tokens, schema, claimed, matched)) {
+  StatusOr<std::vector<ColumnMentionCandidate>> learned_columns =
+      ClassifierColumnPass(tokens, schema, claimed, matched, ctx);
+  if (!learned_columns.ok()) return learned_columns.status();
+  for (auto& cand : *learned_columns) {
     columns.push_back(std::move(cand));
   }
+  NLIDB_RETURN_IF_ERROR(CheckCancel(ctx, "annotator.classifier"));
   trace::TraceSpan resolve("annotator.resolve");
-  return resolver_.Resolve(tokens, columns, values);
+  bool linear_fallback = false;
+  Annotation annotation =
+      resolver_.Resolve(tokens, columns, values, &linear_fallback);
+  if (debug != nullptr) debug->linear_resolution_fallback = linear_fallback;
+  return annotation;
 }
 
 }  // namespace core

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "core/adversarial.h"
 #include "core/column_mention_classifier.h"
@@ -46,14 +47,25 @@ class Annotator {
             const ColumnMentionClassifier* classifier,
             const ValueDetector* value_detector);
 
+  /// Out-of-band facts about how an annotation was produced; degraded
+  /// paths are also visible in metrics, but callers assembling a
+  /// QueryResult need them per request.
+  struct AnnotateDebug {
+    bool linear_resolution_fallback = false;
+  };
+
   /// Annotates a tokenized question against a table. `stats` must be the
   /// statistics of the same table's columns; an empty question or a
   /// stats/schema size mismatch is an InvalidArgument error rather than
-  /// a silently-empty annotation.
+  /// a silently-empty annotation. `ctx` (optional) is polled at stage
+  /// boundaries and inside the value-detector scan and classifier
+  /// fan-out; expiry surfaces as DeadlineExceeded.
   StatusOr<Annotation> Annotate(
       const std::vector<std::string>& tokens, const sql::Table& table,
       const std::vector<sql::ColumnStatistics>& stats,
-      const NlMetadata* metadata = nullptr) const;
+      const NlMetadata* metadata = nullptr,
+      const CancelContext* ctx = nullptr,
+      AnnotateDebug* debug = nullptr) const;
 
   /// Best context-free match of `phrase_tokens` inside `tokens`:
   /// the window with the highest blended edit/semantic similarity, if it
@@ -63,7 +75,7 @@ class Annotator {
       const std::vector<std::string>& phrase_tokens) const;
 
   /// Detects column mention candidates only (exposed for evaluation).
-  std::vector<ColumnMentionCandidate> DetectColumnMentions(
+  StatusOr<std::vector<ColumnMentionCandidate>> DetectColumnMentions(
       const std::vector<std::string>& tokens, const sql::Table& table,
       const NlMetadata* metadata = nullptr) const;
 
@@ -84,9 +96,10 @@ class Annotator {
       std::vector<bool>& matched) const;
 
   /// Classifier + adversarial-locator pass over unmatched columns.
-  std::vector<ColumnMentionCandidate> ClassifierColumnPass(
+  StatusOr<std::vector<ColumnMentionCandidate>> ClassifierColumnPass(
       const std::vector<std::string>& tokens, const sql::Schema& schema,
-      std::vector<bool>& claimed, const std::vector<bool>& matched) const;
+      std::vector<bool>& claimed, const std::vector<bool>& matched,
+      const CancelContext* ctx) const;
 
   ModelConfig config_;
   const text::EmbeddingProvider* provider_;

@@ -51,10 +51,12 @@ void ColumnMentionClassifier::AddVocabulary(
   }
 }
 
-Var ColumnMentionClassifier::Embed(const std::vector<std::string>& words,
-                                   Var* word_lookup,
-                                   std::vector<Var>* char_outputs) const {
-  NLIDB_CHECK(!words.empty()) << "Embed of empty sequence";
+StatusOr<Var> ColumnMentionClassifier::Embed(
+    const std::vector<std::string>& words, Var* word_lookup,
+    std::vector<Var>* char_outputs) const {
+  if (words.empty()) {
+    return Status::InvalidArgument("cannot embed an empty word sequence");
+  }
   std::vector<int> ids;
   ids.reserve(words.size());
   for (const auto& w : words) ids.push_back(vocab_.GetId(w));
@@ -72,14 +74,18 @@ Var ColumnMentionClassifier::Embed(const std::vector<std::string>& words,
   return ops::ConcatRows(rows);  // [n, word_dim + char_out]
 }
 
-ColumnMentionClassifier::ForwardResult ColumnMentionClassifier::Forward(
-    const std::vector<std::string>& question,
-    const std::vector<std::string>& column) const {
+StatusOr<ColumnMentionClassifier::ForwardResult>
+ColumnMentionClassifier::Forward(const std::vector<std::string>& question,
+                                 const std::vector<std::string>& column) const {
   ForwardResult result;
-  Var q_emb = Embed(question, &result.question_word_embeddings,
-                    &result.question_char_embeddings);
+  StatusOr<Var> q_emb_or = Embed(question, &result.question_word_embeddings,
+                                 &result.question_char_embeddings);
+  if (!q_emb_or.ok()) return q_emb_or.status();
+  Var q_emb = *q_emb_or;
   Var c_word_lookup;
-  Var c_emb = Embed(column, &c_word_lookup, nullptr);
+  StatusOr<Var> c_emb_or = Embed(column, &c_word_lookup, nullptr);
+  if (!c_emb_or.ok()) return c_emb_or.status();
+  Var c_emb = *c_emb_or;
 
   // BiDAF-style similarity matrix between column and question word
   // embeddings (the classifier is "a bidirectional attention flow" in the
@@ -138,22 +144,25 @@ ColumnMentionClassifier::ForwardResult ColumnMentionClassifier::Forward(
   return result;
 }
 
-float ColumnMentionClassifier::Predict(
+StatusOr<float> ColumnMentionClassifier::Predict(
     const std::vector<std::string>& question,
     const std::vector<std::string>& column) const {
-  ForwardResult r = Forward(question, column);
-  const float x = r.logit->value.vec()[0];
+  StatusOr<ForwardResult> r = Forward(question, column);
+  if (!r.ok()) return r.status();
+  const float x = r->logit->value.vec()[0];
   return 1.0f / (1.0f + std::exp(-x));
 }
 
-std::vector<float> ColumnMentionClassifier::PredictBatch(
+StatusOr<std::vector<float>> ColumnMentionClassifier::PredictBatch(
     const std::vector<std::string>& question,
     const std::vector<std::vector<std::string>>& columns) const {
   const int batch = static_cast<int>(columns.size());
-  if (batch == 0) return {};
+  if (batch == 0) return std::vector<float>{};
   // Shared question encoding, computed once instead of once per column.
   Var q_word;
-  Var q_emb = Embed(question, &q_word, nullptr);
+  StatusOr<Var> q_emb_or = Embed(question, &q_word, nullptr);
+  if (!q_emb_or.ok()) return q_emb_or.status();
+  Var q_emb = *q_emb_or;
   Var q_word_t = ops::Transpose(q_word);
   Var sq = question_lstm_->Forward(q_emb);
   Var memory_proj = attention_->ProjectMemory(sq);
@@ -167,7 +176,9 @@ std::vector<float> ColumnMentionClassifier::PredictBatch(
   std::vector<int> capped(batch);
   for (int c = 0; c < batch; ++c) {
     Var c_word;
-    Var c_emb = Embed(columns[c], &c_word, nullptr);
+    StatusOr<Var> c_emb_or = Embed(columns[c], &c_word, nullptr);
+    if (!c_emb_or.ok()) return c_emb_or.status();
+    Var c_emb = *c_emb_or;
     Var sim = ops::MatMul(c_word, q_word_t);
     sim_max[c] = ops::RowMax(sim);
     sim_mean[c] = ops::RowMean(sim);

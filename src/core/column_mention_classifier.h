@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/config.h"
 #include "nn/attention.h"
 #include "nn/char_cnn.h"
@@ -49,12 +50,15 @@ class ColumnMentionClassifier : public nn::Module {
   };
 
   /// Runs the classifier on (question tokens, column words).
-  ForwardResult Forward(const std::vector<std::string>& question,
-                        const std::vector<std::string>& column) const;
+  /// InvalidArgument when either sequence is empty — malformed input is
+  /// a request error, not a process-fatal invariant (DESIGN.md
+  /// "Fault-tolerance architecture").
+  StatusOr<ForwardResult> Forward(const std::vector<std::string>& question,
+                                  const std::vector<std::string>& column) const;
 
   /// P(column mentioned in question) = sigmoid(logit).
-  float Predict(const std::vector<std::string>& question,
-                const std::vector<std::string>& column) const;
+  StatusOr<float> Predict(const std::vector<std::string>& question,
+                          const std::vector<std::string>& column) const;
 
   /// Scores every column against the question in one batched graph,
   /// returning probabilities in column order, bitwise identical to
@@ -64,7 +68,7 @@ class ColumnMentionClassifier : public nn::Module {
   /// length walk the attention bi-LSTM in lockstep as rows of one state
   /// matrix; and all feature rows go through the head MLP as a single
   /// GEMM (DESIGN.md "Performance architecture").
-  std::vector<float> PredictBatch(
+  StatusOr<std::vector<float>> PredictBatch(
       const std::vector<std::string>& question,
       const std::vector<std::vector<std::string>>& columns) const;
 
@@ -74,9 +78,9 @@ class ColumnMentionClassifier : public nn::Module {
   const text::Vocab& vocab() const { return vocab_; }
 
  private:
-  Var Embed(const std::vector<std::string>& words,
-            Var* word_lookup,
-            std::vector<Var>* char_outputs) const;
+  StatusOr<Var> Embed(const std::vector<std::string>& words,
+                      Var* word_lookup,
+                      std::vector<Var>* char_outputs) const;
 
   ModelConfig config_;
   const text::EmbeddingProvider* provider_;

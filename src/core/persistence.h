@@ -9,18 +9,29 @@
 namespace nlidb {
 namespace core {
 
-/// Saves a trained pipeline into `dir` (created if absent): one
-/// checkpoint per learned component plus the word vocabularies the
-/// classifier and translator were trained with.
+/// Saves a trained pipeline into `dir` (created if absent) as a new
+/// snapshot directory `snapshot-NNNNNN/` holding one checkpoint per
+/// learned component plus the word vocabularies, then atomically
+/// rewrites the `MANIFEST` file (newest snapshot first). Every file is
+/// written temp-file → fsync → rename, so a crash at any point leaves
+/// the previous snapshot loadable; the two most recent snapshots are
+/// kept and older ones garbage-collected.
 Status SavePipeline(const NlidbPipeline& pipeline, const std::string& dir);
 
-/// Restores a pipeline previously saved with SavePipeline. The receiving
-/// pipeline must have been constructed with the same ModelConfig and an
+/// Restores a pipeline previously saved with SavePipeline. Snapshots
+/// listed in MANIFEST are validated (CRC + structural parse) newest
+/// first and the first complete one is loaded — a partial or corrupt
+/// save falls back to the previous snapshot (counted in
+/// `persistence.fallback_loads`). Directories without a MANIFEST are
+/// read in the legacy flat layout. The receiving pipeline must have
+/// been constructed with the same ModelConfig and an
 /// equivalently-configured EmbeddingProvider; mismatched architectures
 /// fail with FailedPrecondition (no partial loads).
 Status LoadPipeline(NlidbPipeline& pipeline, const std::string& dir);
 
-/// Writes / reads a vocabulary as one token per line (specials omitted).
+/// Writes / reads a vocabulary (specials omitted). The v2 format is one
+/// header line `NLIDB-VOCAB v2 crc=<hex> count=<n>` followed by one
+/// token per line; plain token-list files (v1) still load.
 Status SaveVocab(const text::Vocab& vocab, const std::string& path);
 StatusOr<std::vector<std::string>> LoadVocabTokens(const std::string& path);
 

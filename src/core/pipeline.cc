@@ -87,6 +87,12 @@ StatusOr<QueryResult> NlidbPipeline::Query(const QueryRequest& request) const {
           "pipeline.execution_failures");
   static metrics::Histogram& latency =
       metrics::MetricsRegistry::Global().GetHistogram("pipeline.latency_ns");
+  static metrics::Counter& deadline_exceeded =
+      metrics::MetricsRegistry::Global().GetCounter(
+          "pipeline.deadline_exceeded");
+  static metrics::Counter& degraded_queries =
+      metrics::MetricsRegistry::Global().GetCounter(
+          "pipeline.degraded_queries");
 
   trace::TraceSpan span("pipeline.query");
   queries.Increment();
@@ -99,6 +105,7 @@ StatusOr<QueryResult> NlidbPipeline::Query(const QueryRequest& request) const {
   }
 
   QueryResult result;
+  const CancelContext ctx{request.deadline, request.cancel};
   const bool timings = request.collect_timings;
   const uint64_t query_start = trace::NowNs();
   uint64_t stage_start = 0;
@@ -111,6 +118,20 @@ StatusOr<QueryResult> NlidbPipeline::Query(const QueryRequest& request) const {
           StageTiming{name, trace::NowNs() - stage_start, {}});
     }
   };
+  // Mid-flight failure path: the stages completed so far (with the total
+  // wall time up to the failure) are handed to the caller through
+  // `request.partial_result`, so a timed-out query still shows where
+  // its budget went.
+  auto fail = [&](const Status& status) {
+    if (status.code() == StatusCode::kDeadlineExceeded) {
+      deadline_exceeded.Increment();
+    }
+    if (request.partial_result != nullptr) {
+      if (timings) result.stages.wall_ns = trace::NowNs() - query_start;
+      *request.partial_result = std::move(result);
+    }
+    return status;
+  };
   if (timings) result.stages.name = "query";
 
   {
@@ -121,17 +142,25 @@ StatusOr<QueryResult> NlidbPipeline::Query(const QueryRequest& request) const {
     end_stage("tokenize");
   }
   if (result.tokens.empty()) {
-    return Status::InvalidArgument("empty question");
+    return fail(Status::InvalidArgument("empty question"));
   }
   span.Annotate("num_tokens", static_cast<int64_t>(result.tokens.size()));
   span.Annotate("num_columns", static_cast<int64_t>(table.num_columns()));
+  {
+    Status s = ctx.Check("pipeline.tokenize");
+    if (!s.ok()) return fail(s);
+  }
 
   {
     trace::TraceSpan stage("pipeline.annotate");
     begin_stage();
-    StatusOr<Annotation> annotation = Annotate(result.tokens, table);
-    if (!annotation.ok()) return annotation.status();
+    const auto& stats = stats_cache_->For(table);
+    Annotator::AnnotateDebug debug;
+    StatusOr<Annotation> annotation = annotator_->Annotate(
+        result.tokens, table, stats, metadata_, &ctx, &debug);
+    if (!annotation.ok()) return fail(annotation.status());
     result.annotation = std::move(annotation).value();
+    result.degraded_linear_resolution = debug.linear_resolution_fallback;
     end_stage("annotate");
   }
 
@@ -143,12 +172,23 @@ StatusOr<QueryResult> NlidbPipeline::Query(const QueryRequest& request) const {
         annotation_options());
     end_stage("build_qa");
   }
+  {
+    Status s = ctx.Check("pipeline.build_qa");
+    if (!s.ok()) return fail(s);
+  }
 
   {
     trace::TraceSpan stage("pipeline.translate");
     begin_stage();
-    result.annotated_sql = translator_->Translate(result.annotated_question);
+    StatusOr<Seq2SeqTranslator::Decoded> decoded =
+        translator_->Decode(result.annotated_question, &ctx);
+    if (!decoded.ok()) return fail(decoded.status());
+    result.annotated_sql = std::move(decoded->tokens);
+    result.degraded_greedy_decode = decoded->used_greedy_fallback;
     end_stage("translate");
+  }
+  if (result.degraded_linear_resolution || result.degraded_greedy_decode) {
+    degraded_queries.Increment();
   }
 
   {

@@ -1,12 +1,14 @@
 #ifndef NLIDB_CORE_PIPELINE_H_
 #define NLIDB_CORE_PIPELINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/status.h"
 #include "core/annotator.h"
 #include "core/trainer.h"
@@ -14,6 +16,8 @@
 
 namespace nlidb {
 namespace core {
+
+struct QueryResult;
 
 /// Input to `NlidbPipeline::Query`. Exactly one of `question` /
 /// `tokens` should be set; a non-empty `tokens` wins and skips the
@@ -30,6 +34,22 @@ struct QueryRequest {
   /// handful of clock reads per request) but off-able for benchmarks
   /// that measure the pipeline itself.
   bool collect_timings = true;
+
+  /// Optional deadline. Polled at stage boundaries and inside the
+  /// expensive inner loops (decode steps, value-span scan, influence
+  /// fan-out); expiry makes Query return DeadlineExceeded instead of
+  /// running to completion — never an abort.
+  Deadline deadline;
+
+  /// Optional external cancellation; flip from any thread to stop the
+  /// query at its next poll point (same return as an expired deadline).
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// When set and Query fails mid-flight (deadline, cancellation, stage
+  /// error), receives everything produced so far — in particular the
+  /// completed entries of `QueryResult::stages` — so callers can see
+  /// where the time went even for a query that did not finish.
+  QueryResult* partial_result = nullptr;
 };
 
 /// Wall time of one pipeline stage, forming a per-request tree rooted
@@ -64,6 +84,13 @@ struct QueryResult {
   std::optional<std::vector<sql::Value>> rows;
   Status execution_status = Status::Ok();
 
+  /// Graceful-degradation flags (in-band: a degraded answer is still an
+  /// answer, but callers can tell it was produced by a fallback path).
+  /// Dependency parse failed -> mention resolution used linear token
+  /// distance; beam search exhausted -> the greedy decode produced s^a.
+  bool degraded_linear_resolution = false;
+  bool degraded_greedy_decode = false;
+
   /// Per-stage wall times ("query" root; children: tokenize, annotate,
   /// build_qa, translate, recover, execute). Empty when
   /// `request.collect_timings` was false.
@@ -90,10 +117,14 @@ class NlidbPipeline {
   /// Trains all three learned components on `train`.
   TrainReport Train(const data::Dataset& train);
 
-  /// The pipeline entry point. Returns an error only for an invalid
-  /// request (no table, empty question, zero-column table); downstream
-  /// model failures (unrecoverable s^a, execution errors) come back
-  /// inside the result so callers still see every intermediate stage.
+  /// The pipeline entry point. Returns an error for an invalid request
+  /// (no table, empty question, zero-column table) or when the request's
+  /// deadline expires / it is cancelled (DeadlineExceeded; the stages
+  /// completed so far land in `request.partial_result` when set).
+  /// Downstream model failures (unrecoverable s^a, execution errors)
+  /// come back inside the result so callers still see every intermediate
+  /// stage, and degraded fallback paths are flagged on the result rather
+  /// than erroring.
   StatusOr<QueryResult> Query(const QueryRequest& request) const;
 
   /// Step 1 only: q -> annotation. Fails on empty input or a

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/metrics.h"
 #include "common/strings.h"
@@ -75,7 +76,8 @@ void Seq2SeqTranslator::AddVocabulary(const std::vector<std::string>& tokens) {
 
 Seq2SeqTranslator::EncoderOutput Seq2SeqTranslator::Encode(
     const std::vector<std::string>& source) const {
-  NLIDB_CHECK(!source.empty()) << "Encode of empty source";
+  // Emptiness is validated by the public entry points (Loss asserts, the
+  // query path returns InvalidArgument) before reaching here.
   trace::TraceSpan span("seq2seq.encode");
   span.Annotate("source_len", static_cast<int64_t>(source.size()));
   EncoderOutput out;
@@ -128,6 +130,9 @@ Seq2SeqTranslator::StepOutput Seq2SeqTranslator::DecodeStep(
 
 Var Seq2SeqTranslator::Loss(const std::vector<std::string>& source,
                             const std::vector<std::string>& target) const {
+  // Training path: malformed corpus data is a programming error, so the
+  // fatal check stays (the query path reports Status instead).
+  NLIDB_CHECK(!source.empty()) << "Loss of empty source";
   EncoderOutput enc = Encode(source);
   const int h2 = 2 * config_.seq2seq_hidden;
   Var state = ops::ConcatCols({enc.d0, MakeVar(Tensor::Zeros({1, h2}))});
@@ -145,8 +150,17 @@ Var Seq2SeqTranslator::Loss(const std::vector<std::string>& source,
   return ops::ScalarMul(total, 1.0f / static_cast<float>(target_ids.size()));
 }
 
-std::vector<std::string> Seq2SeqTranslator::BeamSearch(
-    const std::vector<std::string>& source, int beam_width) const {
+StatusOr<std::vector<std::string>> Seq2SeqTranslator::BeamSearch(
+    const std::vector<std::string>& source, int beam_width,
+    const CancelContext* ctx) const {
+  if (source.empty()) {
+    return Status::InvalidArgument("cannot decode an empty source sequence");
+  }
+  if (beam_width > 1) {
+    // Injectable exhaustion: lets tests exercise the greedy-fallback path
+    // without crafting a model whose beams genuinely all die.
+    NLIDB_RETURN_IF_ERROR(NLIDB_FAILPOINT("seq2seq/beam_exhausted"));
+  }
   trace::TraceSpan span("seq2seq.translate");
   span.Annotate("beam_width", static_cast<int64_t>(beam_width));
   EncoderOutput enc = Encode(source);
@@ -167,6 +181,10 @@ std::vector<std::string> Seq2SeqTranslator::BeamSearch(
 
   const int vocab_size = vocab_.size();
   for (int step = 0; step < config_.max_decode_length; ++step) {
+    // Decode steps dominate query latency, so the deadline is polled at
+    // this granularity: an expired request stops mid-decode instead of
+    // finishing up to max_decode_length steps.
+    NLIDB_RETURN_IF_ERROR(CheckCancel(ctx, "seq2seq.decode"));
     std::vector<Beam> candidates;
     for (Beam& beam : beams) {
       if (beam.finished) continue;
@@ -223,7 +241,9 @@ std::vector<std::string> Seq2SeqTranslator::BeamSearch(
     if (beams.empty()) break;
   }
   for (Beam& b : beams) finished.push_back(std::move(b));
-  NLIDB_CHECK(!finished.empty()) << "beam search produced nothing";
+  if (finished.empty()) {
+    return Status::Internal("beam search exhausted every hypothesis");
+  }
   // Length-normalized selection.
   const Beam* best = &finished[0];
   float best_score = -1e30f;
@@ -238,14 +258,48 @@ std::vector<std::string> Seq2SeqTranslator::BeamSearch(
   return best->tokens;
 }
 
+StatusOr<Seq2SeqTranslator::Decoded> Seq2SeqTranslator::Decode(
+    const std::vector<std::string>& source, const CancelContext* ctx) const {
+  static metrics::Counter& greedy_fallbacks =
+      metrics::MetricsRegistry::Global().GetCounter(
+          "seq2seq.greedy_fallbacks");
+  Decoded out;
+  StatusOr<std::vector<std::string>> beam =
+      BeamSearch(source, config_.beam_width, ctx);
+  if (beam.ok()) {
+    out.tokens = std::move(beam).value();
+    return out;
+  }
+  // Deadline expiry and malformed input are the caller's problem; only
+  // the search itself failing degrades to greedy.
+  if (beam.status().code() == StatusCode::kDeadlineExceeded ||
+      beam.status().code() == StatusCode::kInvalidArgument ||
+      config_.beam_width <= 1) {
+    return beam.status();
+  }
+  greedy_fallbacks.Increment();
+  NLIDB_LOG(Warning) << "beam search failed (" << beam.status().ToString()
+                     << "); retrying with greedy decode";
+  StatusOr<std::vector<std::string>> greedy = BeamSearch(source, 1, ctx);
+  if (!greedy.ok()) return greedy.status();
+  out.tokens = std::move(greedy).value();
+  out.used_greedy_fallback = true;
+  return out;
+}
+
 std::vector<std::string> Seq2SeqTranslator::Translate(
     const std::vector<std::string>& source) const {
-  return BeamSearch(source, config_.beam_width);
+  StatusOr<Decoded> decoded = Decode(source, nullptr);
+  if (!decoded.ok()) return {};
+  return std::move(decoded).value().tokens;
 }
 
 std::vector<std::string> Seq2SeqTranslator::TranslateGreedy(
     const std::vector<std::string>& source) const {
-  return BeamSearch(source, 1);
+  StatusOr<std::vector<std::string>> tokens =
+      BeamSearch(source, 1, nullptr);
+  if (!tokens.ok()) return {};
+  return std::move(tokens).value();
 }
 
 void Seq2SeqTranslator::CollectParameters(std::vector<Var>* out) const {

@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
+#include "common/status.h"
 #include "core/config.h"
 #include "core/translator_interface.h"
 #include "nn/attention.h"
@@ -46,7 +48,26 @@ class Seq2SeqTranslator : public TranslatorInterface {
   Var Loss(const std::vector<std::string>& source,
            const std::vector<std::string>& target) const override;
 
-  /// Beam-search translation of a source sequence.
+  /// Result of `Decode`: the output tokens plus whether the degraded
+  /// greedy path produced them (beam search exhausted every hypothesis).
+  struct Decoded {
+    std::vector<std::string> tokens;
+    bool used_greedy_fallback = false;
+  };
+
+  /// Deadline-aware decoding, the query-path entry point. Beam search
+  /// (width `config.beam_width`) with graceful degradation: if the beam
+  /// exhausts without any finished hypothesis, retries with greedy
+  /// decode (recorded in `Decoded::used_greedy_fallback` and the
+  /// `seq2seq.greedy_fallbacks` counter) instead of failing the query.
+  /// `ctx` (optional) is polled every decode step; expiry surfaces as
+  /// DeadlineExceeded. Empty source is InvalidArgument.
+  StatusOr<Decoded> Decode(const std::vector<std::string>& source,
+                           const CancelContext* ctx = nullptr) const;
+
+  /// Beam-search translation of a source sequence. Thin wrapper over
+  /// `Decode` satisfying TranslatorInterface; decode errors surface as
+  /// an empty token sequence here.
   std::vector<std::string> Translate(
       const std::vector<std::string>& source) const override;
 
@@ -77,8 +98,9 @@ class Seq2SeqTranslator : public TranslatorInterface {
   StepOutput DecodeStep(const EncoderOutput& enc, const Var& prev_state,
                         int prev_token) const;
 
-  std::vector<std::string> BeamSearch(const std::vector<std::string>& source,
-                                      int beam_width) const;
+  StatusOr<std::vector<std::string>> BeamSearch(
+      const std::vector<std::string>& source, int beam_width,
+      const CancelContext* ctx) const;
 
   ModelConfig config_;
   text::Vocab vocab_;

@@ -101,7 +101,9 @@ float TrainColumnMentionClassifier(ColumnMentionClassifier& classifier,
     rng.Shuffle(pairs);
     float total = 0.0f;
     for (const Pair& p : pairs) {
-      auto fr = classifier.Forward(p.example->tokens, p.column);
+      // Training pairs are built above and never empty; a Status here is
+      // a programming error, so value() (fatal on misuse) is right.
+      auto fr = classifier.Forward(p.example->tokens, p.column).value();
       Var loss = ops::BceWithLogits(fr.logit, p.label);
       optimizer.ZeroGrad();
       Backward(loss);
@@ -170,7 +172,7 @@ float TrainValueDetector(ValueDetector& detector, const data::Dataset& dataset,
     rng.Shuffle(pairs);
     float total = 0.0f;
     for (const Pair& p : pairs) {
-      Var logit = detector.ForwardFromVectors(p.span_emb, p.stats_emb);
+      Var logit = detector.ForwardFromVectors(p.span_emb, p.stats_emb).value();
       Var loss = ops::ScalarMul(ops::BceWithLogits(logit, p.label), p.weight);
       optimizer.ZeroGrad();
       Backward(loss);

@@ -18,13 +18,18 @@ ValueDetector::ValueDetector(const ModelConfig& config,
       std::vector<int>{2 * provider.dim(), config_.value_mlp_hidden, 1}, rng);
 }
 
-Var ValueDetector::ForwardFromVectors(
+StatusOr<Var> ValueDetector::ForwardFromVectors(
     const std::vector<float>& span_embedding,
     const std::vector<float>& column_stats) const {
   const int d = provider_->dim();
-  NLIDB_CHECK(static_cast<int>(span_embedding.size()) == d &&
-              static_cast<int>(column_stats.size()) == d)
-      << "ValueDetector input dims";
+  if (static_cast<int>(span_embedding.size()) != d ||
+      static_cast<int>(column_stats.size()) != d) {
+    return Status::InvalidArgument(
+        "ValueDetector input dims: span=" +
+        std::to_string(span_embedding.size()) +
+        " stats=" + std::to_string(column_stats.size()) + " want=" +
+        std::to_string(d));
+  }
   // Input features: [s_c - s_span, s_c * s_span] (paper Sec. IV-D).
   Tensor input({1, 2 * d});
   for (int j = 0; j < d; ++j) {
@@ -34,11 +39,13 @@ Var ValueDetector::ForwardFromVectors(
   return mlp_->Forward(MakeVar(std::move(input)));
 }
 
-float ValueDetector::Score(const std::vector<std::string>& span_tokens,
-                           const sql::ColumnStatistics& stats) const {
+StatusOr<float> ValueDetector::Score(
+    const std::vector<std::string>& span_tokens,
+    const sql::ColumnStatistics& stats) const {
   const std::vector<float> span_emb = provider_->PhraseVector(span_tokens);
-  Var logit = ForwardFromVectors(span_emb, stats.embedding);
-  return 1.0f / (1.0f + std::exp(-logit->value.vec()[0]));
+  StatusOr<Var> logit = ForwardFromVectors(span_emb, stats.embedding);
+  if (!logit.ok()) return logit.status();
+  return 1.0f / (1.0f + std::exp(-(*logit)->value.vec()[0]));
 }
 
 std::vector<text::Span> ValueDetector::CandidateSpans(
@@ -55,11 +62,13 @@ std::vector<text::Span> ValueDetector::CandidateSpans(
   return spans;
 }
 
-std::vector<ValueDetector::Detection> ValueDetector::Detect(
+StatusOr<std::vector<ValueDetector::Detection>> ValueDetector::Detect(
     const std::vector<std::string>& tokens,
-    const std::vector<sql::ColumnStatistics>& table_stats) const {
+    const std::vector<sql::ColumnStatistics>& table_stats,
+    const CancelContext* ctx) const {
   std::vector<Detection> detections;
   for (const text::Span& span : CandidateSpans(tokens)) {
+    NLIDB_RETURN_IF_ERROR(CheckCancel(ctx, "value_detector.detect"));
     std::vector<std::string> span_tokens(tokens.begin() + span.begin,
                                          tokens.begin() + span.end);
     bool all_numeric = true;
@@ -70,9 +79,10 @@ std::vector<ValueDetector::Detection> ValueDetector::Detect(
       // Type compatibility: a real column only takes all-numeric spans
       // ("june 23" can never be a laps value).
       if (table_stats[c].type == sql::DataType::kReal && !all_numeric) continue;
-      const float score = Score(span_tokens, table_stats[c]);
-      if (score > 0.5f) {
-        det.column_scores.push_back({static_cast<int>(c), score});
+      StatusOr<float> score = Score(span_tokens, table_stats[c]);
+      if (!score.ok()) return score.status();
+      if (*score > 0.5f) {
+        det.column_scores.push_back({static_cast<int>(c), *score});
       }
     }
     if (det.column_scores.empty()) continue;

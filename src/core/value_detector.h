@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
+#include "common/status.h"
 #include "core/config.h"
 #include "nn/layers.h"
 #include "sql/statistics.h"
@@ -30,12 +32,14 @@ class ValueDetector : public nn::Module {
 
   /// Forward pass returning the [1,1] logit for (span embedding, column
   /// statistics) as a differentiable graph (used in training).
-  Var ForwardFromVectors(const std::vector<float>& span_embedding,
-                         const std::vector<float>& column_stats) const;
+  /// InvalidArgument when either vector does not have the provider's
+  /// dimension (request error, not a process-fatal invariant).
+  StatusOr<Var> ForwardFromVectors(const std::vector<float>& span_embedding,
+                                   const std::vector<float>& column_stats) const;
 
   /// P(span is a value of the column described by `stats`).
-  float Score(const std::vector<std::string>& span_tokens,
-              const sql::ColumnStatistics& stats) const;
+  StatusOr<float> Score(const std::vector<std::string>& span_tokens,
+                        const sql::ColumnStatistics& stats) const;
 
   /// Candidate value spans of a question: contiguous spans of length
   /// 1..max_value_span containing no stop words (Sec. IV-D).
@@ -49,9 +53,12 @@ class ValueDetector : public nn::Module {
     text::Span span;
     std::vector<std::pair<int, float>> column_scores;  // (column, score>0.5)
   };
-  std::vector<Detection> Detect(
+  /// `ctx` (optional) is polled once per candidate span; an expired
+  /// deadline surfaces as DeadlineExceeded instead of finishing the scan.
+  StatusOr<std::vector<Detection>> Detect(
       const std::vector<std::string>& tokens,
-      const std::vector<sql::ColumnStatistics>& table_stats) const;
+      const std::vector<sql::ColumnStatistics>& table_stats,
+      const CancelContext* ctx = nullptr) const;
 
   void CollectParameters(std::vector<Var>* out) const override;
 

@@ -2,8 +2,10 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <unordered_map>
 
+#include "common/file_io.h"
 #include "common/strings.h"
 #include "sql/parser.h"
 
@@ -30,8 +32,10 @@ StatusOr<sql::Value> FieldToCell(const std::string& field) {
 }  // namespace
 
 Status SaveDataset(const Dataset& dataset, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open for write: " + path);
+  // Serialize into memory, then write through the crash-safe layer so a
+  // disk-full or mid-write crash can never leave a truncated dataset at
+  // `path`.
+  std::ostringstream out;
   std::unordered_map<const sql::Table*, int> table_index;
   out << "TABLES " << dataset.tables.size() << "\n";
   for (size_t t = 0; t < dataset.tables.size(); ++t) {
@@ -69,8 +73,7 @@ Status SaveDataset(const Dataset& dataset, const std::string& path) {
     }
     out << "END\n";
   }
-  if (!out.good()) return Status::IoError("write failed: " + path);
-  return Status::Ok();
+  return io::WriteFileAtomic(path, out.str(), "dataset");
 }
 
 StatusOr<Dataset> LoadDataset(const std::string& path) {
@@ -78,15 +81,21 @@ StatusOr<Dataset> LoadDataset(const std::string& path) {
   if (!in) return Status::IoError("cannot open for read: " + path);
   Dataset ds;
   std::string line;
+  // Tolerate CRLF files: every line read strips one trailing '\r'.
+  auto read_line = [&in](std::string* l) {
+    if (!std::getline(in, *l)) return false;
+    StripTrailingCr(l);
+    return true;
+  };
 
-  if (!std::getline(in, line)) return Status::ParseError("empty file");
+  if (!read_line(&line)) return Status::ParseError("empty file");
   auto header = SplitWhitespace(line);
   if (header.size() != 2 || header[0] != "TABLES") {
     return Status::ParseError("expected TABLES header");
   }
   const int num_tables = std::atoi(header[1].c_str());
   for (int t = 0; t < num_tables; ++t) {
-    if (!std::getline(in, line)) return Status::ParseError("truncated table");
+    if (!read_line(&line)) return Status::ParseError("truncated table");
     auto fields = Split(line, '\t', /*keep_empty=*/true);
     if (fields.size() != 4 || fields[0] != "TABLE") {
       return Status::ParseError("expected TABLE line: " + line);
@@ -96,7 +105,7 @@ StatusOr<Dataset> LoadDataset(const std::string& path) {
     const int nrows = std::atoi(fields[3].c_str());
     sql::Schema schema;
     for (int c = 0; c < ncols; ++c) {
-      if (!std::getline(in, line)) return Status::ParseError("truncated COL");
+      if (!read_line(&line)) return Status::ParseError("truncated COL");
       auto cf = Split(line, '\t', true);
       if (cf.size() != 3 || cf[0] != "COL") {
         return Status::ParseError("expected COL line: " + line);
@@ -106,7 +115,7 @@ StatusOr<Dataset> LoadDataset(const std::string& path) {
     }
     auto table = std::make_shared<sql::Table>(name, schema);
     for (int r = 0; r < nrows; ++r) {
-      if (!std::getline(in, line)) return Status::ParseError("truncated ROW");
+      if (!read_line(&line)) return Status::ParseError("truncated ROW");
       auto rf = Split(line, '\t', true);
       if (rf.empty() || rf[0] != "ROW" ||
           static_cast<int>(rf.size()) != ncols + 1) {
@@ -123,14 +132,14 @@ StatusOr<Dataset> LoadDataset(const std::string& path) {
     ds.tables.push_back(table);
   }
 
-  if (!std::getline(in, line)) return Status::ParseError("missing EXAMPLES");
+  if (!read_line(&line)) return Status::ParseError("missing EXAMPLES");
   header = SplitWhitespace(line);
   if (header.size() != 2 || header[0] != "EXAMPLES") {
     return Status::ParseError("expected EXAMPLES header");
   }
   const int num_examples = std::atoi(header[1].c_str());
   for (int e = 0; e < num_examples; ++e) {
-    if (!std::getline(in, line)) return Status::ParseError("truncated example");
+    if (!read_line(&line)) return Status::ParseError("truncated example");
     auto ef = Split(line, '\t', true);
     if (ef.size() != 2 || ef[0] != "EXAMPLE") {
       return Status::ParseError("expected EXAMPLE line: " + line);
@@ -141,18 +150,18 @@ StatusOr<Dataset> LoadDataset(const std::string& path) {
     }
     Example ex;
     ex.table = ds.tables[t];
-    if (!std::getline(in, line) || !StartsWith(line, "Q\t")) {
+    if (!read_line(&line) || !StartsWith(line, "Q\t")) {
       return Status::ParseError("expected Q line");
     }
     ex.question = line.substr(2);
     ex.tokens = SplitWhitespace(ex.question);
-    if (!std::getline(in, line) || !StartsWith(line, "SQL\t")) {
+    if (!read_line(&line) || !StartsWith(line, "SQL\t")) {
       return Status::ParseError("expected SQL line");
     }
     auto query = sql::ParseSql(line.substr(4), ex.table->schema());
     if (!query.ok()) return query.status();
     ex.query = std::move(query).value();
-    if (!std::getline(in, line) || !StartsWith(line, "SEL\t")) {
+    if (!read_line(&line) || !StartsWith(line, "SEL\t")) {
       return Status::ParseError("expected SEL line");
     }
     {
@@ -162,7 +171,7 @@ StatusOr<Dataset> LoadDataset(const std::string& path) {
       ex.select_explicit = sf[3] == "1";
     }
     for (;;) {
-      if (!std::getline(in, line)) return Status::ParseError("truncated MEN");
+      if (!read_line(&line)) return Status::ParseError("truncated MEN");
       if (line == "END") break;
       auto mf = Split(line, '\t', true);
       if (mf.size() != 7 || mf[0] != "MEN") {

@@ -116,8 +116,10 @@ MentionReport EvaluateMentions(const core::NlidbPipeline& pipeline,
     }
 
     // --- span-level column mention detection -----------------------------
-    const auto candidates = pipeline.annotator().DetectColumnMentions(
-        example.tokens, *example.table);
+    const auto candidates =
+        pipeline.annotator()
+            .DetectColumnMentions(example.tokens, *example.table)
+            .value();
     struct GoldSpan {
       int column;
       text::Span span;

@@ -21,8 +21,17 @@ class Checkpoint {
   /// Writes `params` to `path` in a small binary format.
   static Status Save(const std::string& path, const std::vector<Var>& params);
 
-  /// Reads tensors from `path` into `params` (in order).
+  /// Reads tensors from `path` into `params` (in order). Parsing is
+  /// staged: the file is fully validated (v2 files additionally against
+  /// their CRC32C footer) before any parameter is written, so a corrupt
+  /// checkpoint never leaves a model half-loaded.
   static Status Load(const std::string& path, const std::vector<Var>& params);
+
+  /// Structural integrity check without a receiving model: verifies the
+  /// header, the CRC footer (v2), and that every tensor record parses to
+  /// exactly the end of the payload. Snapshot selection uses this to
+  /// reject torn or corrupt files before mutating any pipeline state.
+  static Status Verify(const std::string& path);
 };
 
 }  // namespace nn

@@ -49,7 +49,11 @@ StatusOr<Table> ParseCsv(const std::string& csv_text,
                          const std::string& table_name) {
   std::istringstream in(csv_text);
   std::string line;
-  if (!std::getline(in, line) || Strip(line).empty()) {
+  if (!std::getline(in, line)) {
+    return Status::ParseError("CSV has no header line");
+  }
+  StripTrailingCr(&line);
+  if (Strip(line).empty()) {
     return Status::ParseError("CSV has no header line");
   }
   const std::vector<std::string> header = SplitCsvLine(line);
@@ -61,6 +65,7 @@ StatusOr<Table> ParseCsv(const std::string& csv_text,
   // First pass: collect raw rows and infer per-column types.
   std::vector<std::vector<std::string>> raw_rows;
   while (std::getline(in, line)) {
+    StripTrailingCr(&line);
     if (Strip(line).empty()) continue;
     std::vector<std::string> fields = SplitCsvLine(line);
     if (fields.size() != header.size()) {

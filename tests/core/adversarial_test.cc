@@ -17,7 +17,7 @@ TEST(AdversarialTest, InfluenceProfileShapes) {
   clf.AddVocabulary({"who", "won", "driver"});
   AdversarialLocator locator(config);
   InfluenceProfile profile =
-      locator.ComputeInfluence(clf, {"who", "won", "?"}, {"driver"});
+      locator.ComputeInfluence(clf, {"who", "won", "?"}, {"driver"}).value();
   EXPECT_EQ(profile.total.size(), 3u);
   EXPECT_EQ(profile.word_level.size(), 3u);
   EXPECT_EQ(profile.char_level.size(), 3u);
@@ -33,7 +33,8 @@ TEST(AdversarialTest, AlphaBetaWeighting) {
   ColumnMentionClassifier clf(config, provider);
   clf.AddVocabulary({"a", "b", "c"});
   AdversarialLocator locator(config);
-  InfluenceProfile p = locator.ComputeInfluence(clf, {"a", "b"}, {"c"});
+  InfluenceProfile p =
+      locator.ComputeInfluence(clf, {"a", "b"}, {"c"}).value();
   // With beta = 0, total must equal the word-level norm exactly.
   for (size_t i = 0; i < p.total.size(); ++i) {
     EXPECT_FLOAT_EQ(p.total[i], p.word_level[i]);
@@ -98,8 +99,11 @@ TEST(AdversarialTest, TrainedClassifierLocalizesExplicitMentions) {
   for (const data::Example& ex : splits.dev.examples) {
     for (const data::MentionInfo& m : ex.where_mentions) {
       if (!m.column_explicit || m.column_span.empty()) continue;
-      const text::Span located = locator.LocateMention(
-          clf, ex.tokens, ex.schema().column(m.column).DisplayTokens());
+      const text::Span located =
+          locator
+              .LocateMention(clf, ex.tokens,
+                             ex.schema().column(m.column).DisplayTokens())
+              .value();
       ++total;
       // Count as localized when the located span overlaps the gold
       // column mention or the paired value (implicit localization).

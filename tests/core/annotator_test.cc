@@ -143,7 +143,7 @@ TEST_F(AnnotatorTest, MetadataPhrasesProvideExtraCandidates) {
   metadata.column_phrases = {{"number of residents"}, {}};
   Annotator ann = MatchOnlyAnnotator();
   const auto tokens = text::Tokenize("what is the number of residents here");
-  auto candidates = ann.DetectColumnMentions(tokens, t, &metadata);
+  auto candidates = ann.DetectColumnMentions(tokens, t, &metadata).value();
   bool population_found = false;
   for (const auto& c : candidates) {
     population_found |= c.column == 0 && !c.span.empty();

@@ -21,7 +21,8 @@ TEST(ColumnMentionClassifierTest, ForwardShapes) {
   text::EmbeddingProvider provider(24);
   ColumnMentionClassifier clf(TinyConfig(24), provider);
   clf.AddVocabulary({"who", "won", "the", "race", "winning", "driver"});
-  auto fr = clf.Forward({"who", "won", "the", "race"}, {"winning", "driver"});
+  auto fr =
+      clf.Forward({"who", "won", "the", "race"}, {"winning", "driver"}).value();
   EXPECT_EQ(fr.logit->value.rows(), 1);
   EXPECT_EQ(fr.logit->value.cols(), 1);
   EXPECT_EQ(fr.question_word_embeddings->value.rows(), 4);
@@ -32,9 +33,31 @@ TEST(ColumnMentionClassifierTest, PredictIsProbability) {
   text::EmbeddingProvider provider(24);
   ColumnMentionClassifier clf(TinyConfig(24), provider);
   clf.AddVocabulary({"a", "b"});
-  const float p = clf.Predict({"a", "b"}, {"b"});
+  const float p = clf.Predict({"a", "b"}, {"b"}).value();
   EXPECT_GT(p, 0.0f);
   EXPECT_LT(p, 1.0f);
+}
+
+TEST(ColumnMentionClassifierTest, EmptyWordSequenceIsInvalidArgument) {
+  // Empty inputs used to trip an NLIDB_CHECK abort inside Embed; the
+  // query path needs a Status it can propagate instead.
+  text::EmbeddingProvider provider(24);
+  ColumnMentionClassifier clf(TinyConfig(24), provider);
+  clf.AddVocabulary({"a", "b"});
+  StatusOr<float> no_question = clf.Predict({}, {"a"});
+  ASSERT_FALSE(no_question.ok());
+  EXPECT_EQ(no_question.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(no_question.status().message().find("empty word sequence"),
+            std::string::npos);
+  // An empty column display name is the other arm of the same check.
+  StatusOr<float> no_column = clf.Predict({"a"}, {});
+  ASSERT_FALSE(no_column.ok());
+  EXPECT_EQ(no_column.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(clf.Forward({}, {"a"}).status().code(),
+            StatusCode::kInvalidArgument);
+  // And the batched entry point reports rather than aborts too.
+  EXPECT_EQ(clf.PredictBatch({}, {{"a"}}).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(ColumnMentionClassifierTest, HandlesLongColumnNamesByCapping) {
@@ -44,7 +67,7 @@ TEST(ColumnMentionClassifierTest, HandlesLongColumnNamesByCapping) {
   ColumnMentionClassifier clf(config, provider);
   clf.AddVocabulary({"x"});
   // Column longer than max_column_words must not crash.
-  const float p = clf.Predict({"x"}, {"a", "b", "c", "d", "e"});
+  const float p = clf.Predict({"x"}, {"a", "b", "c", "d", "e"}).value();
   EXPECT_GT(p, 0.0f);
   EXPECT_LT(p, 1.0f);
 }
@@ -53,7 +76,8 @@ TEST(ColumnMentionClassifierTest, UnseenWordsFallBackToUnk) {
   text::EmbeddingProvider provider(24);
   ColumnMentionClassifier clf(TinyConfig(24), provider);
   clf.AddVocabulary({"known"});
-  const float p = clf.Predict({"totally", "novel", "words"}, {"known"});
+  const float p =
+      clf.Predict({"totally", "novel", "words"}, {"known"}).value();
   EXPECT_GT(p, 0.0f);
   EXPECT_LT(p, 1.0f);
 }
@@ -81,7 +105,7 @@ TEST(ColumnMentionClassifierTest, LearnsMentionDetectionOnCorpus) {
     for (const auto& c : ex.query.conditions) referenced[c.column] = true;
     for (int c = 0; c < ex.schema().num_columns(); ++c) {
       const float p =
-          clf.Predict(ex.tokens, ex.schema().column(c).DisplayTokens());
+          clf.Predict(ex.tokens, ex.schema().column(c).DisplayTokens()).value();
       correct += (p > 0.5f) == referenced[c];
       ++total;
     }
@@ -109,10 +133,10 @@ TEST(ColumnMentionClassifierTest, PredictBatchMatchesSerialPredictBitwise) {
       {"race", "points", "season"},
       {"unseen", "tokens", "here"},
   };
-  const std::vector<float> batch = clf.PredictBatch(q, cols);
+  const std::vector<float> batch = clf.PredictBatch(q, cols).value();
   ASSERT_EQ(batch.size(), cols.size());
   for (size_t c = 0; c < cols.size(); ++c) {
-    const float serial = clf.Predict(q, cols[c]);
+    const float serial = clf.Predict(q, cols[c]).value();
     EXPECT_EQ(batch[c], serial) << "column " << c;  // exact, not NEAR
   }
 }
@@ -121,17 +145,18 @@ TEST(ColumnMentionClassifierTest, PredictBatchEdgeSizes) {
   text::EmbeddingProvider provider(24);
   ColumnMentionClassifier clf(TinyConfig(24), provider);
   clf.AddVocabulary({"a", "b", "c"});
-  EXPECT_TRUE(clf.PredictBatch({"a", "b"}, {}).empty());
-  const std::vector<float> one = clf.PredictBatch({"a", "b"}, {{"c"}});
+  EXPECT_TRUE(clf.PredictBatch({"a", "b"}, {}).value().empty());
+  const std::vector<float> one =
+      clf.PredictBatch({"a", "b"}, {{"c"}}).value();
   ASSERT_EQ(one.size(), 1u);
-  EXPECT_EQ(one[0], clf.Predict({"a", "b"}, {"c"}));
+  EXPECT_EQ(one[0], clf.Predict({"a", "b"}, {"c"}).value());
 }
 
 TEST(ColumnMentionClassifierTest, GradientsReachEmbeddingLookups) {
   text::EmbeddingProvider provider(24);
   ColumnMentionClassifier clf(TinyConfig(24), provider);
   clf.AddVocabulary({"which", "film", "director"});
-  auto fr = clf.Forward({"which", "film"}, {"director"});
+  auto fr = clf.Forward({"which", "film"}, {"director"}).value();
   Var loss = ops::BceWithLogits(fr.logit, 1.0f);
   Backward(loss);
   EXPECT_FALSE(fr.question_word_embeddings->grad.empty());

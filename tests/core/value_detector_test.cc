@@ -41,12 +41,41 @@ TEST(ValueDetectorTest, CandidateSpansRespectMaxLength) {
   }
 }
 
+TEST(ValueDetectorTest, MismatchedInputDimsAreInvalidArgument) {
+  // Dim mismatches used to be an NLIDB_CHECK abort; on the query path
+  // they must surface as a recoverable Status instead.
+  text::EmbeddingProvider provider(16);
+  ValueDetector det(Config(16), provider);
+  const std::vector<float> good(16, 0.1f);
+  const std::vector<float> bad(8, 0.1f);
+  EXPECT_EQ(det.ForwardFromVectors(bad, good).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(det.ForwardFromVectors(good, bad).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(det.ForwardFromVectors({}, {}).status().code(),
+            StatusCode::kInvalidArgument);
+  // The message names both dims so the caller can log something useful.
+  Status s = det.ForwardFromVectors(bad, good).status();
+  EXPECT_NE(s.message().find("span=8"), std::string::npos) << s;
+  EXPECT_TRUE(det.ForwardFromVectors(good, good).ok());
+}
+
+TEST(ValueDetectorTest, ScoreWithMismatchedStatsEmbeddingIsStatusNotAbort) {
+  text::EmbeddingProvider provider(16);
+  ValueDetector det(Config(16), provider);
+  sql::ColumnStatistics stats;
+  stats.embedding.assign(4, 0.1f);  // wrong dim: provider is 16-wide
+  StatusOr<float> s = det.Score({"word"}, stats);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(ValueDetectorTest, ScoreIsProbability) {
   text::EmbeddingProvider provider(16);
   ValueDetector det(Config(16), provider);
   sql::ColumnStatistics stats;
   stats.embedding.assign(16, 0.1f);
-  const float s = det.Score({"word"}, stats);
+  const float s = det.Score({"word"}, stats).value();
   EXPECT_GT(s, 0.0f);
   EXPECT_LT(s, 1.0f);
 }
@@ -58,7 +87,7 @@ TEST(ValueDetectorTest, TypeFilterBlocksTextSpansOnRealColumns) {
   real_col.type = sql::DataType::kReal;
   real_col.embedding = provider.PhraseVector({"42", "17"});
   // "june 23" is not all-numeric: never admissible for a real column.
-  auto detections = det.Detect({"june", "23"}, {real_col});
+  auto detections = det.Detect({"june", "23"}, {real_col}).value();
   for (const auto& d : detections) {
     EXPECT_EQ(d.span.length(), 1);
     EXPECT_EQ(d.span.begin, 1);  // only the bare number can match
@@ -96,7 +125,7 @@ TEST(ValueDetectorTest, LearnsCounterfactualDetection) {
                   .ok());
   auto stats = sql::ComputeTableStatistics(table, *provider);
   // "hugo novak" never occurs in the table but is made of name-pool words.
-  const float person_score = det.Score({"hugo", "novak"}, stats[0]);
+  const float person_score = det.Score({"hugo", "novak"}, stats[0]).value();
   EXPECT_GT(person_score, 0.5f) << "counterfactual name not detected";
 }
 
@@ -106,7 +135,7 @@ TEST(ValueDetectorTest, DetectReturnsSortedScores) {
   sql::ColumnStatistics a, b;
   a.embedding = provider->PhraseVector({"alpha"});
   b.embedding = provider->PhraseVector({"beta"});
-  auto detections = det.Detect({"alpha", "beta"}, {a, b});
+  auto detections = det.Detect({"alpha", "beta"}, {a, b}).value();
   for (const auto& d : detections) {
     for (size_t i = 1; i < d.column_scores.size(); ++i) {
       EXPECT_GE(d.column_scores[i - 1].second, d.column_scores[i].second);

@@ -70,6 +70,41 @@ TEST(SerializationTest, MissingFileIsIoError) {
   EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
 }
 
+TEST(SerializationTest, CrlfLineEndingsLoadIdentically) {
+  // A dataset file that passed through a Windows checkout (every \n
+  // rewritten to \r\n) must load exactly like the original.
+  GeneratorConfig config;
+  config.num_tables = 3;
+  config.questions_per_table = 2;
+  config.seed = 12;
+  WikiSqlGenerator gen(config, TrainDomains());
+  Dataset original = gen.Generate();
+  const std::string path = TempPath("dataset_crlf.txt");
+  ASSERT_TRUE(SaveDataset(original, path).ok());
+  std::string content;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string line;
+    while (std::getline(in, line)) content += line + "\r\n";
+  }
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+  }
+  auto loaded = LoadDataset(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->examples.size(), original.examples.size());
+  for (size_t e = 0; e < original.examples.size(); ++e) {
+    EXPECT_EQ(loaded->examples[e].question, original.examples[e].question);
+    EXPECT_EQ(loaded->examples[e].tokens, original.examples[e].tokens);
+  }
+  ASSERT_EQ(loaded->tables.size(), original.tables.size());
+  for (size_t t = 0; t < original.tables.size(); ++t) {
+    EXPECT_TRUE(loaded->tables[t]->schema() == original.tables[t]->schema());
+  }
+  std::remove(path.c_str());
+}
+
 TEST(SerializationTest, GarbageFileIsParseError) {
   const std::string path = TempPath("garbage.txt");
   {

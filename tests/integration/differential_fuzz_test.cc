@@ -161,10 +161,11 @@ TEST_F(ClassifierFuzz, PredictBatchMatchesPredictBitwise) {
       columns.push_back(schema.column(c).DisplayTokens());
     }
     const std::vector<float> batch =
-        classifier_->PredictBatch(ex.tokens, columns);
+        classifier_->PredictBatch(ex.tokens, columns).value();
     ASSERT_EQ(batch.size(), columns.size());
     for (size_t c = 0; c < columns.size(); ++c) {
-      const float single = classifier_->Predict(ex.tokens, columns[c]);
+      const float single =
+          classifier_->Predict(ex.tokens, columns[c]).value();
       EXPECT_EQ(testing::FloatBits(batch[c]), testing::FloatBits(single))
           << "example " << i << " column " << c << " (" << ex.question << ")";
       ++cases;

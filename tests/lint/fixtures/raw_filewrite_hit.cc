@@ -1,0 +1,15 @@
+// Fixture: raw-file-write positive hits. The rule is scoped to
+// production code, so the test lints this file under a virtual
+// src/core/ path.
+#include <cstdio>
+#include <fstream>
+
+void WriteCheckpointWrong(const char* path) {
+  std::ofstream out(path);  // torn on crash: should be AtomicFileWriter
+  out << "tensor data";
+}
+
+void WriteLogWrong(const char* path) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f != nullptr) std::fclose(f);
+}

@@ -1,0 +1,15 @@
+// Fixture: the same raw-file-write violations waived by disable
+// comments (same line and preceding line).
+#include <cstdio>
+#include <fstream>
+
+void WriteScratch(const char* path) {
+  std::ofstream out(path);  // nlidb-lint: disable(raw-file-write)
+  out << "scratch";
+}
+
+void WriteOther(const char* path) {
+  // nlidb-lint: disable(raw-file-write)
+  std::FILE* f = std::fopen(path, "w");
+  if (f != nullptr) std::fclose(f);
+}

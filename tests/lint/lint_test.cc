@@ -151,6 +151,52 @@ TEST(LintTest, RawTimingExemptsTraceBenchAndKernelTus) {
   EXPECT_GE(CountRule(findings, "kernel-wall-clock"), 1);
 }
 
+// raw-file-write is scoped to src/, so the fixtures are linted under a
+// virtual src/core/ path.
+SourceFile LoadAs(const std::string& rel, const std::string& virtual_path) {
+  SourceFile file;
+  EXPECT_TRUE(LoadSourceFile(RepoRoot() + "/" + rel, virtual_path, &file))
+      << "cannot read fixture " << rel;
+  return file;
+}
+
+TEST(LintTest, RawFileWriteHit) {
+  const auto findings =
+      LintFiles({LoadAs("tests/lint/fixtures/raw_filewrite_hit.cc",
+                        "src/core/raw_filewrite_hit.cc")});
+  EXPECT_EQ(CountRule(findings, "raw-file-write"), 2);  // ofstream, fopen
+  EXPECT_EQ(static_cast<int>(findings.size()),
+            CountRule(findings, "raw-file-write"));
+}
+
+TEST(LintTest, RawFileWriteSuppressed) {
+  EXPECT_TRUE(
+      LintFiles({LoadAs("tests/lint/fixtures/raw_filewrite_suppressed.cc",
+                        "src/core/raw_filewrite_suppressed.cc")})
+          .empty());
+}
+
+TEST(LintTest, RawFileWriteScopeAndExemptions) {
+  const std::string write =
+      "#include <fstream>\n"
+      "void F(const char* p) { std::ofstream out(p); }\n";
+  // The sanctioned writer, the streaming trace sink, and everything
+  // outside src/ may write files directly.
+  for (const char* path :
+       {"src/common/file_io.cc", "src/common/file_io.h",
+        "src/common/trace.cc", "tests/core/foo_test.cc", "tools/gen.cc",
+        "bench/bench_foo.cc"}) {
+    EXPECT_EQ(CountRule(LintFiles({LoadSource(path, write)}),
+                        "raw-file-write"),
+              0)
+        << path;
+  }
+  EXPECT_EQ(CountRule(
+                LintFiles({LoadSource("src/data/serialization.cc", write)}),
+                "raw-file-write"),
+            1);
+}
+
 TEST(LintTest, GemmLiteralDriftHit) {
   const auto findings =
       Lint({"tests/lint/fixtures/drift_hit/gemm_kernels_base.cc",

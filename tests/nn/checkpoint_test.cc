@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "nn/layers.h"
+#include "tensor/autograd.h"
 
 namespace nlidb {
 namespace nn {
@@ -12,6 +15,20 @@ namespace {
 
 std::string TempPath(const char* name) {
   return std::string(::testing::TempDir()) + "/" + name;
+}
+
+// Committed corruption corpus: hand-built v1/v2 images plus truncated,
+// bit-flipped, and torn variants (tests/corpus/checkpoints/README-free
+// binary fixtures; shapes are one [2,3] and one [4] tensor).
+std::string CorpusPath(const char* name) {
+  return std::string(NLIDB_TEST_SOURCE_DIR) + "/corpus/checkpoints/" + name;
+}
+
+std::vector<Var> CorpusShapedParams() {
+  std::vector<Var> params;
+  params.push_back(MakeVar(Tensor::Zeros({2, 3})));
+  params.push_back(MakeVar(Tensor::Zeros({4})));
+  return params;
 }
 
 TEST(CheckpointTest, SaveLoadRoundTrip) {
@@ -71,6 +88,54 @@ TEST(CheckpointTest, RejectsGarbageMagic) {
   Status s = Checkpoint::Load(path, a.Parameters());
   EXPECT_EQ(s.code(), StatusCode::kParseError);
   std::remove(path.c_str());
+}
+
+TEST(CheckpointCorpusTest, ValidV2VerifiesAndLoads) {
+  EXPECT_TRUE(Checkpoint::Verify(CorpusPath("valid_v2.ckpt")).ok());
+  std::vector<Var> params = CorpusShapedParams();
+  ASSERT_TRUE(Checkpoint::Load(CorpusPath("valid_v2.ckpt"), params).ok());
+  EXPECT_EQ(params[0]->value.vec(), std::vector<float>(6, 1.0f));
+  EXPECT_EQ(params[1]->value.vec(), std::vector<float>(4, 0.0f));
+}
+
+TEST(CheckpointCorpusTest, V1ReadCompat) {
+  // v1 files (no CRC footer) written by earlier releases still load.
+  EXPECT_TRUE(Checkpoint::Verify(CorpusPath("valid_v1.ckpt")).ok());
+  std::vector<Var> params = CorpusShapedParams();
+  EXPECT_TRUE(Checkpoint::Load(CorpusPath("valid_v1.ckpt"), params).ok());
+}
+
+TEST(CheckpointCorpusTest, TruncatedIsParseError) {
+  Status s = Checkpoint::Verify(CorpusPath("truncated.ckpt"));
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+}
+
+TEST(CheckpointCorpusTest, BitFlipFailsCrc) {
+  Status s = Checkpoint::Verify(CorpusPath("bitflip.ckpt"));
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_NE(s.message().find("CRC"), std::string::npos);
+}
+
+TEST(CheckpointCorpusTest, TornWriteIsParseError) {
+  EXPECT_EQ(Checkpoint::Verify(CorpusPath("torn.ckpt")).code(),
+            StatusCode::kParseError);
+}
+
+TEST(CheckpointCorpusTest, TrailingBytesRejected) {
+  // v1 has no CRC; the exact-end-of-payload check still catches junk.
+  EXPECT_EQ(Checkpoint::Verify(CorpusPath("trailing_v1.ckpt")).code(),
+            StatusCode::kParseError);
+}
+
+TEST(CheckpointCorpusTest, CorruptLoadNeverHalfWritesTheModel) {
+  // The staged parse promises all-or-nothing: after a failed load the
+  // receiving parameters are bitwise what they were before.
+  std::vector<Var> params = CorpusShapedParams();
+  params[0]->value.vec().assign(6, 7.5f);
+  for (const char* bad : {"truncated.ckpt", "bitflip.ckpt", "torn.ckpt"}) {
+    EXPECT_FALSE(Checkpoint::Load(CorpusPath(bad), params).ok()) << bad;
+    EXPECT_EQ(params[0]->value.vec(), std::vector<float>(6, 7.5f)) << bad;
+  }
 }
 
 }  // namespace

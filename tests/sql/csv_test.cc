@@ -24,6 +24,24 @@ TEST(CsvTest, ParsesHeaderAndTypes) {
   EXPECT_EQ(table->Cell(1, 0).text(), "alan turing");
 }
 
+TEST(CsvTest, CrlfLineEndingsStripped) {
+  // CRLF input must parse exactly like LF input: no "\r" glued onto the
+  // last field, and numeric type inference still sees a clean number.
+  auto table = ParseCsv("name,age\r\nada,36\r\nalan,41\r\n", "t");
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ(table->num_rows(), 2);
+  EXPECT_EQ(table->schema().column(1).type, DataType::kReal);
+  EXPECT_EQ(table->Cell(0, 1).number(), 36);
+  EXPECT_EQ(table->Cell(1, 0).text(), "alan");
+}
+
+TEST(CsvTest, CrlfWithoutFinalNewline) {
+  auto table = ParseCsv("a,b\r\n1,2", "t");
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ(table->num_rows(), 1);
+  EXPECT_EQ(table->Cell(0, 1).number(), 2);
+}
+
 TEST(CsvTest, QuotedFieldsKeepCommas) {
   auto table = ParseCsv(
       "title,year\n"

@@ -79,7 +79,7 @@ std::string TraceExample(const core::NlidbPipeline& pipeline,
     displays.push_back(schema.column(c).DisplayTokens());
   }
   const std::vector<float> probs =
-      pipeline.classifier().PredictBatch(example.tokens, displays);
+      pipeline.classifier().PredictBatch(example.tokens, displays).value();
   os << "probs:";
   for (float p : probs) os << " " << FloatBits(p);
   os << "\n";

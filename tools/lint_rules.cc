@@ -303,6 +303,35 @@ void CheckGemmLiteralDrift(const std::vector<const SourceFile*>& tier_tus,
 }
 
 // ---------------------------------------------------------------------------
+// raw-file-write: durable writes go through io::AtomicFileWriter.
+
+const char kRawFileWrite[] = "raw-file-write";
+
+void CheckRawFileWrite(const SourceFile& file, std::vector<Finding>* out) {
+  // Only production code: tests, tools and benches write scratch files
+  // directly and legitimately. file_io.* is the one sanctioned writer;
+  // trace.cc streams spans to an append-only sink that cannot be
+  // temp+rename'd (it outlives the process by design).
+  if (!StartsWith(file.path, "src/") ||
+      StartsWith(file.path, "src/common/file_io.") ||
+      file.path == "src/common/trace.cc") {
+    return;
+  }
+  static const std::regex re(
+      "std::ofstream\\b|std::fstream\\b|\\bfopen\\s*\\(|\\bcreat\\s*\\(");
+  for (size_t i = 0; i < file.code.size(); ++i) {
+    if (std::regex_search(file.code[i], re)) {
+      Report(file, static_cast<int>(i) + 1, kRawFileWrite,
+             "raw file write; durable artifacts go through "
+             "io::WriteFileAtomic / io::AtomicFileWriter "
+             "(src/common/file_io.h) so a crash or full disk never leaves "
+             "a torn file",
+             out);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // mutex-unguarded: every mutex member names the state it protects.
 
 const char kMutexUnguarded[] = "mutex-unguarded";
@@ -422,6 +451,7 @@ std::vector<Finding> LintFiles(const std::vector<SourceFile>& files) {
     CheckRawRandom(file, &findings);
     CheckKernelWallClock(file, &findings);
     CheckRawTiming(file, &findings);
+    CheckRawFileWrite(file, &findings);
     CheckMutexUnguarded(file, &findings);
     CheckIncludeGuard(file, &findings);
     if (TierTu(file.path)) {
@@ -472,6 +502,8 @@ std::vector<std::string> RuleDescriptions() {
       "src/common/trace.cc and bench/; use trace::NowNs()",
       "gemm-literal-drift: float literals identical across "
       "gemm_kernels_<tier>.cc TUs in one directory",
+      "raw-file-write: no std::ofstream/fopen in src/ outside "
+      "src/common/file_io.*; durable writes use io::AtomicFileWriter",
       "mutex-unguarded: every mutex member has NLIDB_GUARDED_BY state "
       "in the same file",
       "include-guard: headers carry the path-derived NLIDB_* include "
