@@ -132,6 +132,12 @@ inline const char* ObservabilityJsonPath() {
   return v != nullptr ? v : "BENCH_observability.json";
 }
 
+/// Output path for bench_decoder's fast-path vs reference report.
+inline const char* DecoderJsonPath() {
+  const char* v = std::getenv("NLIDB_BENCH_DECODER_JSON");
+  return v != nullptr ? v : "BENCH_decoder.json";
+}
+
 }  // namespace bench
 }  // namespace nlidb
 

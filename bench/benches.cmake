@@ -20,6 +20,7 @@ nlidb_bench(bench_fig7_gradients bench_fig7_gradients.cc)
 nlidb_bench(bench_mention_detection bench_mention_detection.cc)
 nlidb_bench(bench_ablation_resolution bench_ablation_resolution.cc)
 nlidb_bench(bench_stage_breakdown bench_stage_breakdown.cc)
+nlidb_bench(bench_decoder bench_decoder.cc)
 
 add_executable(bench_micro_substrate bench/bench_micro_substrate.cc)
 set_target_properties(bench_micro_substrate PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

@@ -225,48 +225,5 @@ StatusOr<QueryResult> NlidbPipeline::Query(const QueryRequest& request) const {
   return result;
 }
 
-StatusOr<sql::SelectQuery> NlidbPipeline::TranslateTokens(
-    const std::vector<std::string>& tokens, const sql::Table& table) const {
-  QueryRequest request;
-  request.table = &table;
-  request.tokens = tokens;
-  request.execute = false;
-  request.collect_timings = false;
-  StatusOr<QueryResult> result = Query(request);
-  if (!result.ok()) return result.status();
-  QueryResult out = std::move(result).value();
-  if (!out.recovery_status.ok()) return out.recovery_status;
-  return std::move(*out.query);
-}
-
-StatusOr<sql::SelectQuery> NlidbPipeline::Translate(
-    const std::string& question, const sql::Table& table) const {
-  QueryRequest request;
-  request.table = &table;
-  request.question = question;
-  request.execute = false;
-  request.collect_timings = false;
-  StatusOr<QueryResult> result = Query(request);
-  if (!result.ok()) return result.status();
-  QueryResult out = std::move(result).value();
-  if (!out.recovery_status.ok()) return out.recovery_status;
-  return std::move(*out.query);
-}
-
-std::vector<std::string> NlidbPipeline::TranslateToAnnotatedSql(
-    const std::vector<std::string>& tokens, const sql::Table& table,
-    Annotation* annotation_out) const {
-  QueryRequest request;
-  request.table = &table;
-  request.tokens = tokens;
-  request.execute = false;
-  request.collect_timings = false;
-  StatusOr<QueryResult> result = Query(request);
-  if (!result.ok()) return {};
-  QueryResult out = std::move(result).value();
-  if (annotation_out != nullptr) *annotation_out = std::move(out.annotation);
-  return std::move(out.annotated_sql);
-}
-
 }  // namespace core
 }  // namespace nlidb

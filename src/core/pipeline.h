@@ -132,19 +132,6 @@ class NlidbPipeline {
   StatusOr<Annotation> Annotate(const std::vector<std::string>& tokens,
                                 const sql::Table& table) const;
 
-  /// Deprecated pre-Query surface, kept for one PR as thin wrappers.
-  /// Each discards the intermediate stages that `Query` returns.
-  [[deprecated("use Query(QueryRequest) instead")]]
-  StatusOr<sql::SelectQuery> Translate(const std::string& question,
-                                       const sql::Table& table) const;
-  [[deprecated("use Query(QueryRequest) instead")]]
-  StatusOr<sql::SelectQuery> TranslateTokens(
-      const std::vector<std::string>& tokens, const sql::Table& table) const;
-  [[deprecated("use Query(QueryRequest) instead")]]
-  std::vector<std::string> TranslateToAnnotatedSql(
-      const std::vector<std::string>& tokens, const sql::Table& table,
-      Annotation* annotation_out) const;
-
   const ModelConfig& config() const { return config_; }
   AnnotationOptions annotation_options() const;
   const text::EmbeddingProvider& provider() const { return *provider_; }

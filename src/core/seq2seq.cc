@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 
 #include "common/failpoint.h"
 #include "common/logging.h"
@@ -36,8 +37,40 @@ std::vector<float> HashedVector(const std::string& key, int dim) {
 
 }  // namespace
 
+void TopKByScore(std::vector<int>* ids, const float* scores, int k) {
+  const auto better = [scores](int a, int b) {
+    return scores[a] > scores[b] || (scores[a] == scores[b] && a < b);
+  };
+  if (k < static_cast<int>(ids->size())) {
+    std::nth_element(ids->begin(), ids->begin() + k, ids->end(), better);
+    ids->resize(k);
+  }
+  std::sort(ids->begin(), ids->end(), better);
+}
+
+std::vector<int> TopKScoreIndices(const float* scores, int count, int k) {
+  std::vector<int> ids(count);
+  for (int j = 0; j < count; ++j) ids[j] = j;
+  TopKByScore(&ids, scores, k);
+  return ids;
+}
+
+DecodeMode Seq2SeqTranslator::DecodeModeFromEnv() {
+  const char* v = std::getenv("NLIDB_DECODE");
+  if (v == nullptr || *v == '\0') return DecodeMode::kFast;
+  const std::string name(v);
+  if (name == "reference") return DecodeMode::kReference;
+  if (name == "reference_masked") return DecodeMode::kReferenceMasked;
+  if (name == "fast_unmasked") return DecodeMode::kFastUnmasked;
+  if (name == "fast") return DecodeMode::kFast;
+  NLIDB_LOG(Warning) << "unknown NLIDB_DECODE value '" << name
+                     << "'; using the fast path";
+  return DecodeMode::kFast;
+}
+
 Seq2SeqTranslator::Seq2SeqTranslator(const ModelConfig& config)
-    : config_(config), symbol_rng_(config.seed + 2) {
+    : config_(config), symbol_rng_(config.seed + 2),
+      decode_mode_(DecodeModeFromEnv()) {
   Rng rng(config_.seed + 3);
   const int d = config_.word_dim;
   const int h = config_.seq2seq_hidden;
@@ -150,9 +183,9 @@ Var Seq2SeqTranslator::Loss(const std::vector<std::string>& source,
   return ops::ScalarMul(total, 1.0f / static_cast<float>(target_ids.size()));
 }
 
-StatusOr<std::vector<std::string>> Seq2SeqTranslator::BeamSearch(
+StatusOr<Seq2SeqTranslator::ScoredTokens> Seq2SeqTranslator::BeamSearch(
     const std::vector<std::string>& source, int beam_width,
-    const CancelContext* ctx) const {
+    const CancelContext* ctx, const DecodeGrammar* grammar) const {
   if (source.empty()) {
     return Status::InvalidArgument("cannot decode an empty source sequence");
   }
@@ -166,10 +199,23 @@ StatusOr<std::vector<std::string>> Seq2SeqTranslator::BeamSearch(
   EncoderOutput enc = Encode(source);
   trace::TraceSpan decode_span("seq2seq.decode");
   const int h2 = 2 * config_.seq2seq_hidden;
+  const int vocab_size = vocab_.size();
+  static metrics::Counter& masked_tokens =
+      metrics::MetricsRegistry::Global().GetCounter(
+          "seq2seq.grammar_masked_tokens");
+
+  // Vocabulary ids copyable from this query's source (the grammar mask
+  // admits literals and annotation symbols only from here).
+  std::vector<uint8_t> in_source;
+  if (grammar != nullptr) {
+    in_source.assign(vocab_size, 0);
+    for (int id : enc.source_ids) in_source[id] = 1;
+  }
 
   struct Beam {
     Var state;
     int prev_token = text::Vocab::kBos;
+    int grammar_state = DecodeGrammar::kStart;
     std::vector<std::string> tokens;
     float log_prob = 0.0f;
     bool finished = false;
@@ -179,7 +225,6 @@ StatusOr<std::vector<std::string>> Seq2SeqTranslator::BeamSearch(
   std::vector<Beam> beams = {init};
   std::vector<Beam> finished;
 
-  const int vocab_size = vocab_.size();
   for (int step = 0; step < config_.max_decode_length; ++step) {
     // Decode steps dominate query latency, so the deadline is polled at
     // this granularity: an expired request stops mid-decode instead of
@@ -189,23 +234,42 @@ StatusOr<std::vector<std::string>> Seq2SeqTranslator::BeamSearch(
     for (Beam& beam : beams) {
       if (beam.finished) continue;
       StepOutput so = DecodeStep(enc, beam.state, beam.prev_token);
-      const Tensor& scores = so.scores->value;
-      float sum = 0.0f;
-      for (int j = 0; j < vocab_size; ++j) sum += scores(0, j);
-      // Top beam_width tokens among the live vocabulary.
-      std::vector<int> order(vocab_size);
-      for (int j = 0; j < vocab_size; ++j) order[j] = j;
+      const float* scores = so.scores->value.data();
       const int k = std::min(beam_width, vocab_size);
-      std::partial_sort(order.begin(), order.begin() + k, order.end(),
-                        [&](int a, int b) { return scores(0, a) > scores(0, b); });
-      for (int c = 0; c < k; ++c) {
-        const int tok = order[c];
-        if (tok == text::Vocab::kPad || tok == text::Vocab::kBos) continue;
-        const float p = scores(0, tok) / (sum + 1e-9f);
+      // Normalization mass and top-k selection domain: the full
+      // vocabulary, or the grammar-legal subset (ascending id order in
+      // both cases, so masked sums are reproducible bitwise).
+      float sum = 0.0f;
+      std::vector<int> top;
+      if (grammar != nullptr) {
+        std::vector<int> legal;
+        legal.reserve(vocab_size);
+        for (int j = 0; j < vocab_size; ++j) {
+          if (grammar->IsLegal(beam.grammar_state, j, in_source)) {
+            legal.push_back(j);
+          }
+        }
+        masked_tokens.Increment(vocab_size - static_cast<int>(legal.size()));
+        for (int j : legal) sum += scores[j];
+        top = std::move(legal);
+        TopKByScore(&top, scores, k);
+      } else {
+        for (int j = 0; j < vocab_size; ++j) sum += scores[j];
+        top = TopKScoreIndices(scores, vocab_size, k);
+      }
+      for (const int tok : top) {
+        if (grammar == nullptr &&
+            (tok == text::Vocab::kPad || tok == text::Vocab::kBos)) {
+          continue;
+        }
+        const float p = scores[tok] / (sum + 1e-9f);
         Beam next = beam;
         next.state = so.state;
         next.prev_token = tok;
         next.log_prob = beam.log_prob + std::log(p + 1e-12f);
+        if (grammar != nullptr) {
+          next.grammar_state = grammar->Advance(beam.grammar_state, tok);
+        }
         if (tok == text::Vocab::kEos) {
           next.finished = true;
         } else if (tok == text::Vocab::kUnk) {
@@ -224,8 +288,12 @@ StatusOr<std::vector<std::string>> Seq2SeqTranslator::BeamSearch(
       }
     }
     if (candidates.empty()) break;
-    std::sort(candidates.begin(), candidates.end(),
-              [](const Beam& a, const Beam& b) { return a.log_prob > b.log_prob; });
+    // stable_sort pins candidate order on log-prob ties to construction
+    // order (beam order, then score rank), matching the fast path.
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const Beam& a, const Beam& b) {
+                       return a.log_prob > b.log_prob;
+                     });
     beams.clear();
     for (Beam& c : candidates) {
       if (c.finished) {
@@ -255,34 +323,73 @@ StatusOr<std::vector<std::string>> Seq2SeqTranslator::BeamSearch(
       best = &b;
     }
   }
-  return best->tokens;
+  return ScoredTokens{best->tokens, best_score};
+}
+
+StatusOr<Seq2SeqTranslator::ScoredTokens> Seq2SeqTranslator::Search(
+    const std::vector<std::string>& source, int beam_width,
+    const CancelContext* ctx) const {
+  switch (decode_mode()) {
+    case DecodeMode::kReference:
+      return BeamSearch(source, beam_width, ctx, /*grammar=*/nullptr);
+    case DecodeMode::kReferenceMasked: {
+      if (!GrammarMaskEligible()) {
+        return BeamSearch(source, beam_width, ctx, /*grammar=*/nullptr);
+      }
+      const DecodeGrammar grammar(vocab_);
+      if (!grammar.usable()) {
+        return BeamSearch(source, beam_width, ctx, /*grammar=*/nullptr);
+      }
+      return BeamSearch(source, beam_width, ctx, &grammar);
+    }
+    case DecodeMode::kFastUnmasked:
+      return FastBeamSearch(source, beam_width, /*use_grammar_mask=*/false,
+                            ctx);
+    case DecodeMode::kFast:
+      return FastBeamSearch(source, beam_width, GrammarMaskEligible(), ctx);
+  }
+  return Status::Internal("unreachable decode mode");
 }
 
 StatusOr<Seq2SeqTranslator::Decoded> Seq2SeqTranslator::Decode(
     const std::vector<std::string>& source, const CancelContext* ctx) const {
+  return DecodeWithBeamWidth(source, config_.beam_width, ctx);
+}
+
+StatusOr<Seq2SeqTranslator::Decoded> Seq2SeqTranslator::DecodeWithBeamWidth(
+    const std::vector<std::string>& source, int beam_width,
+    const CancelContext* ctx) const {
   static metrics::Counter& greedy_fallbacks =
       metrics::MetricsRegistry::Global().GetCounter(
           "seq2seq.greedy_fallbacks");
+  static metrics::Counter& fast_path_queries =
+      metrics::MetricsRegistry::Global().GetCounter(
+          "seq2seq.fast_path_queries");
+  const DecodeMode mode = decode_mode();
   Decoded out;
-  StatusOr<std::vector<std::string>> beam =
-      BeamSearch(source, config_.beam_width, ctx);
+  out.used_fast_path =
+      mode == DecodeMode::kFast || mode == DecodeMode::kFastUnmasked;
+  if (out.used_fast_path) fast_path_queries.Increment();
+  StatusOr<ScoredTokens> beam = Search(source, beam_width, ctx);
   if (beam.ok()) {
-    out.tokens = std::move(beam).value();
+    out.tokens = std::move(beam.value().tokens);
+    out.score = beam.value().score;
     return out;
   }
   // Deadline expiry and malformed input are the caller's problem; only
   // the search itself failing degrades to greedy.
   if (beam.status().code() == StatusCode::kDeadlineExceeded ||
       beam.status().code() == StatusCode::kInvalidArgument ||
-      config_.beam_width <= 1) {
+      beam_width <= 1) {
     return beam.status();
   }
   greedy_fallbacks.Increment();
   NLIDB_LOG(Warning) << "beam search failed (" << beam.status().ToString()
                      << "); retrying with greedy decode";
-  StatusOr<std::vector<std::string>> greedy = BeamSearch(source, 1, ctx);
+  StatusOr<ScoredTokens> greedy = Search(source, 1, ctx);
   if (!greedy.ok()) return greedy.status();
-  out.tokens = std::move(greedy).value();
+  out.tokens = std::move(greedy.value().tokens);
+  out.score = greedy.value().score;
   out.used_greedy_fallback = true;
   return out;
 }
@@ -296,10 +403,9 @@ std::vector<std::string> Seq2SeqTranslator::Translate(
 
 std::vector<std::string> Seq2SeqTranslator::TranslateGreedy(
     const std::vector<std::string>& source) const {
-  StatusOr<std::vector<std::string>> tokens =
-      BeamSearch(source, 1, nullptr);
-  if (!tokens.ok()) return {};
-  return std::move(tokens).value();
+  StatusOr<ScoredTokens> result = Search(source, 1, nullptr);
+  if (!result.ok()) return {};
+  return std::move(result.value().tokens);
 }
 
 void Seq2SeqTranslator::CollectParameters(std::vector<Var>* out) const {

@@ -1,6 +1,7 @@
 #ifndef NLIDB_CORE_SEQ2SEQ_H_
 #define NLIDB_CORE_SEQ2SEQ_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <vector>
@@ -8,6 +9,7 @@
 #include "common/deadline.h"
 #include "common/status.h"
 #include "core/config.h"
+#include "core/decode_grammar.h"
 #include "core/translator_interface.h"
 #include "nn/attention.h"
 #include "nn/layers.h"
@@ -16,6 +18,31 @@
 
 namespace nlidb {
 namespace core {
+
+/// Which decoder implementation `Decode` runs (DESIGN.md §12).
+///
+///  * kReference — the original tape-based beam search. The equivalence
+///    baseline every other mode is gated against.
+///  * kReferenceMasked — reference control flow plus the grammar mask.
+///    Exists as the differential-fuzz oracle for kFast; not a serving
+///    mode.
+///  * kFastUnmasked — graph-free arena/GEMM fast path, bitwise identical
+///    to kReference (same sequences, same scores, same errors).
+///  * kFast — the serving default: fast path plus grammar-constrained
+///    decoding (bitwise identical to kReferenceMasked). Falls back to
+///    kFastUnmasked behavior when the vocabulary or annotation options
+///    make the mask inapplicable.
+enum class DecodeMode { kReference, kReferenceMasked, kFastUnmasked, kFast };
+
+/// In-place top-k selection over `ids` by (scores[id] descending, id
+/// ascending) — ties always resolve to the lower index, so selection
+/// order is pinned across implementations. Truncates `ids` to
+/// min(k, ids.size()) using nth_element + sort of the winning slice
+/// instead of a full sort.
+void TopKByScore(std::vector<int>* ids, const float* scores, int k);
+
+/// TopKByScore over the identity domain [0, count).
+std::vector<int> TopKScoreIndices(const float* scores, int count, int k);
 
 /// The sequence-to-sequence translator of Sec. V: annotated question q^a
 /// to annotated SQL s^a.
@@ -48,11 +75,15 @@ class Seq2SeqTranslator : public TranslatorInterface {
   Var Loss(const std::vector<std::string>& source,
            const std::vector<std::string>& target) const override;
 
-  /// Result of `Decode`: the output tokens plus whether the degraded
-  /// greedy path produced them (beam search exhausted every hypothesis).
+  /// Result of `Decode`: the output tokens, the length-normalized
+  /// log-probability of the winning hypothesis, whether the degraded
+  /// greedy path produced them (beam search exhausted every hypothesis),
+  /// and whether the graph-free fast path served the query.
   struct Decoded {
     std::vector<std::string> tokens;
+    float score = 0.0f;
     bool used_greedy_fallback = false;
+    bool used_fast_path = false;
   };
 
   /// Deadline-aware decoding, the query-path entry point. Beam search
@@ -62,8 +93,27 @@ class Seq2SeqTranslator : public TranslatorInterface {
   /// `seq2seq.greedy_fallbacks` counter) instead of failing the query.
   /// `ctx` (optional) is polled every decode step; expiry surfaces as
   /// DeadlineExceeded. Empty source is InvalidArgument.
+  /// Runs the decoder selected by `decode_mode()` (the graph-free fast
+  /// path by default; see DecodeMode).
   StatusOr<Decoded> Decode(const std::vector<std::string>& source,
                            const CancelContext* ctx = nullptr) const;
+
+  /// `Decode` with an explicit beam width (bench and eval harnesses);
+  /// `beam_width >= 1`.
+  StatusOr<Decoded> DecodeWithBeamWidth(const std::vector<std::string>& source,
+                                        int beam_width,
+                                        const CancelContext* ctx = nullptr) const;
+
+  /// The decoder implementation `Decode` uses. Defaults to the
+  /// NLIDB_DECODE environment variable (reference | reference_masked |
+  /// fast_unmasked | fast), read once at construction; `fast` when unset.
+  DecodeMode decode_mode() const {
+    return decode_mode_.load(std::memory_order_relaxed);
+  }
+  void set_decode_mode(DecodeMode mode) {
+    decode_mode_.store(mode, std::memory_order_relaxed);
+  }
+  static DecodeMode DecodeModeFromEnv();
 
   /// Beam-search translation of a source sequence. Thin wrapper over
   /// `Decode` satisfying TranslatorInterface; decode errors surface as
@@ -98,13 +148,43 @@ class Seq2SeqTranslator : public TranslatorInterface {
   StepOutput DecodeStep(const EncoderOutput& enc, const Var& prev_state,
                         int prev_token) const;
 
-  StatusOr<std::vector<std::string>> BeamSearch(
-      const std::vector<std::string>& source, int beam_width,
-      const CancelContext* ctx) const;
+  /// A finished search: the winning token sequence plus its
+  /// length-normalized log-probability.
+  struct ScoredTokens {
+    std::vector<std::string> tokens;
+    float score = 0.0f;
+  };
+
+  /// Dispatches to the decoder implementation selected by decode_mode().
+  StatusOr<ScoredTokens> Search(const std::vector<std::string>& source,
+                                int beam_width, const CancelContext* ctx) const;
+
+  /// Reference tape-based beam search. `grammar` non-null restricts
+  /// scoring/selection to the legal token set (kReferenceMasked).
+  StatusOr<ScoredTokens> BeamSearch(const std::vector<std::string>& source,
+                                    int beam_width, const CancelContext* ctx,
+                                    const DecodeGrammar* grammar) const;
+
+  /// Graph-free inference fast path (core/seq2seq_fast.cc): cached
+  /// per-query encoder state, batched beam-frontier GEMMs on arena
+  /// buffers, optional grammar mask. Replicates BeamSearch semantics
+  /// bitwise (same-masked comparison).
+  StatusOr<ScoredTokens> FastBeamSearch(const std::vector<std::string>& source,
+                                        int beam_width, bool use_grammar_mask,
+                                        const CancelContext* ctx) const;
+
+  /// The grammar mask only applies under the default annotated-question
+  /// representation: with column-name appending or header encoding
+  /// disabled (ablation configs), legal output tokens need not occur in
+  /// q^a and masking could veto correct hypotheses.
+  bool GrammarMaskEligible() const {
+    return config_.column_name_appending && config_.table_header_encoding;
+  }
 
   ModelConfig config_;
   text::Vocab vocab_;
   mutable Rng symbol_rng_;
+  std::atomic<DecodeMode> decode_mode_{DecodeMode::kFast};
 
   std::unique_ptr<nn::Embedding> embedding_;
   std::unique_ptr<nn::StackedBiGru> encoder_;

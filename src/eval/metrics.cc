@@ -75,7 +75,7 @@ StatusOr<core::QueryResult> RunPipeline(const core::NlidbPipeline& pipeline,
 }
 
 /// Collapses a QueryResult to the recovered SQL, surfacing the recovery
-/// error when step 3 failed (the pre-Query `TranslateTokens` contract).
+/// error when step 3 failed.
 StatusOr<sql::SelectQuery> RecoveredQuery(
     StatusOr<core::QueryResult> result) {
   if (!result.ok()) return result.status();

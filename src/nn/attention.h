@@ -38,6 +38,11 @@ class AdditiveAttention : public Module {
 
   int attention_dim() const { return attention_dim_; }
 
+  /// Raw projection access for graph-free inference paths that mirror
+  /// `Energies`/`Context` on arena buffers (read-only).
+  const Linear& memory_projection() const { return *memory_proj_; }
+  const Linear& score_vector() const { return *v_; }
+
  private:
   int attention_dim_;
   std::unique_ptr<Linear> memory_proj_;  // no bias

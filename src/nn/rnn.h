@@ -62,6 +62,14 @@ class GruCell : public Module {
   int input_size() const { return input_size_; }
   int hidden_size() const { return hidden_size_; }
 
+  /// Raw weight access for graph-free inference paths that re-implement
+  /// `Step` on arena buffers (core/seq2seq_fast.cc). Read-only: mutation
+  /// goes through CollectParameters like every other optimizer client.
+  const Var& w_ih() const { return w_ih_; }
+  const Var& w_hh() const { return w_hh_; }
+  const Var& b_ih() const { return b_ih_; }
+  const Var& b_hh() const { return b_hh_; }
+
  private:
   int input_size_;
   int hidden_size_;
@@ -110,6 +118,12 @@ class StackedBiGru : public Module {
 
   int hidden_size() const { return hidden_size_; }
   int num_layers() const { return static_cast<int>(fw_cells_.size()); }
+
+  /// Per-layer component access for graph-free inference (read-only);
+  /// `l` must be in [0, num_layers()).
+  const Linear& input_affine(int l) const { return *input_affines_[l]; }
+  const GruCell& forward_cell(int l) const { return *fw_cells_[l]; }
+  const GruCell& backward_cell(int l) const { return *bw_cells_[l]; }
 
  private:
   int hidden_size_;

@@ -230,6 +230,14 @@ void MatMulAccumulate(const Tensor& a, const Tensor& b, Tensor& out) {
   });
 }
 
+void GemmAccumulateRaw(const float* a, const float* b, float* out, int m,
+                       int k, int n) {
+  const gemm::RowKernels& kr = gemm::Kernels();
+  RunRowPartitioned(2LL * m * k * n, m, [&](int ib, int ie) {
+    kr.rows_ab(a, b, out, ib, ie, k, n);
+  });
+}
+
 void MatMulTransposeAAccumulate(const Tensor& a, const Tensor& b, Tensor& out) {
   const int k = a.rows();
   const int m = a.cols();

@@ -123,6 +123,15 @@ Tensor MatMul(const Tensor& a, const Tensor& b);
 /// tiling never change model outputs (DESIGN.md "Performance
 /// architecture").
 void MatMulAccumulate(const Tensor& a, const Tensor& b, Tensor& out);
+/// Raw-pointer form of MatMulAccumulate: out[m,n] += a[m,k] * b[k,n].
+/// Same kernel dispatch (ISA tier, counters) and the same row-partitioned
+/// parallel path above kGemmParallelFlops, for callers that stage
+/// operands in Workspace arena buffers instead of Tensors (the decoder
+/// inference fast path). The bitwise-determinism contract above applies
+/// unchanged.
+void GemmAccumulateRaw(const float* a, const float* b, float* out, int m,
+                       int k, int n);
+
 /// out += a^T * b ([k,m]^T x [k,n] -> [m,n]). When `a` is mostly zeros
 /// (sparse activation gradients: zero-padded feature slots, ReLU outputs,
 /// embedding-style one-hots), a skip-on-zero path is used instead of the

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
+#include "common/metrics.h"
 #include "nn/optimizer.h"
 #include "tensor/ops.h"
 
@@ -119,6 +122,130 @@ TEST(Seq2SeqTest, CopyDisabledStillDecodes) {
   EXPECT_TRUE(std::isfinite(loss->value(0)));
   auto out = t.Translate({"a", "b"});
   EXPECT_LE(static_cast<int>(out.size()), config.max_decode_length);
+}
+
+TEST(TopKTest, PinsTieSelectionToLowerIndex) {
+  // Equal scores must always resolve to the lower index — the property
+  // that makes nth_element selection reproducible across the reference
+  // and fast decoders regardless of libstdc++'s partition order.
+  const float scores[] = {0.5f, 0.9f, 0.5f, 0.9f, 0.1f, 0.9f};
+  std::vector<int> top = TopKScoreIndices(scores, 6, 4);
+  EXPECT_EQ(top, (std::vector<int>{1, 3, 5, 0}));
+
+  // Same contract on an explicit (non-identity) candidate domain.
+  std::vector<int> ids = {5, 3, 2, 0};
+  TopKByScore(&ids, scores, 3);
+  EXPECT_EQ(ids, (std::vector<int>{3, 5, 0}));
+}
+
+TEST(TopKTest, KLargerThanDomainSortsEverything) {
+  const float scores[] = {0.2f, 0.8f, 0.2f};
+  std::vector<int> top = TopKScoreIndices(scores, 3, 10);
+  EXPECT_EQ(top, (std::vector<int>{1, 0, 2}));
+}
+
+TEST(Seq2SeqTest, DecodeModeFromEnvParsesEveryName) {
+  const char* saved = std::getenv("NLIDB_DECODE");
+  const std::string restore = saved ? saved : "";
+  setenv("NLIDB_DECODE", "reference", 1);
+  EXPECT_EQ(Seq2SeqTranslator::DecodeModeFromEnv(), DecodeMode::kReference);
+  setenv("NLIDB_DECODE", "reference_masked", 1);
+  EXPECT_EQ(Seq2SeqTranslator::DecodeModeFromEnv(),
+            DecodeMode::kReferenceMasked);
+  setenv("NLIDB_DECODE", "fast_unmasked", 1);
+  EXPECT_EQ(Seq2SeqTranslator::DecodeModeFromEnv(), DecodeMode::kFastUnmasked);
+  setenv("NLIDB_DECODE", "fast", 1);
+  EXPECT_EQ(Seq2SeqTranslator::DecodeModeFromEnv(), DecodeMode::kFast);
+  unsetenv("NLIDB_DECODE");
+  EXPECT_EQ(Seq2SeqTranslator::DecodeModeFromEnv(), DecodeMode::kFast);
+  if (saved) setenv("NLIDB_DECODE", restore.c_str(), 1);
+}
+
+/// Vocabulary that makes the grammar mask applicable: structural SQL
+/// tokens plus annotation symbols and literals.
+std::vector<std::string> SqlishVocab() {
+  return {"SELECT", "WHERE", "AND", "MAX", "COUNT", "=",    ">",
+          "<",      "c1",    "c2",  "v1",  "g1",    "what", "is",
+          "the",    "revenue", "1996"};
+}
+
+TEST(Seq2SeqTest, FastUnmaskedBitwiseEqualsReference) {
+  // The fast path's core contract: for any model state (here: untrained,
+  // so scores are near-uniform and ties matter), kFastUnmasked decodes
+  // the same tokens with the same score bits as kReference.
+  ModelConfig config = Config();
+  Seq2SeqTranslator t(config);
+  t.AddVocabulary(SqlishVocab());
+  const std::vector<std::string> source = {"what", "is",  "the", "c1",
+                                           "revenue", "v1", "1996"};
+  for (int width : {1, 2, 4}) {
+    t.set_decode_mode(DecodeMode::kReference);
+    auto ref = t.DecodeWithBeamWidth(source, width);
+    t.set_decode_mode(DecodeMode::kFastUnmasked);
+    auto fast = t.DecodeWithBeamWidth(source, width);
+    ASSERT_TRUE(ref.ok() && fast.ok()) << "width " << width;
+    EXPECT_EQ(ref.value().tokens, fast.value().tokens) << "width " << width;
+    EXPECT_EQ(0, std::memcmp(&ref.value().score, &fast.value().score,
+                             sizeof(float)))
+        << "width " << width << ": score bits diverge";
+    EXPECT_FALSE(ref.value().used_fast_path);
+    EXPECT_TRUE(fast.value().used_fast_path);
+  }
+}
+
+TEST(Seq2SeqTest, FastMaskedBitwiseEqualsReferenceMasked) {
+  ModelConfig config = Config();
+  Seq2SeqTranslator t(config);
+  t.AddVocabulary(SqlishVocab());
+  const std::vector<std::string> source = {"SELECT", "c1", "WHERE",
+                                           "c2",     "=",  "v1"};
+  for (int width : {1, 3}) {
+    t.set_decode_mode(DecodeMode::kReferenceMasked);
+    auto ref = t.DecodeWithBeamWidth(source, width);
+    t.set_decode_mode(DecodeMode::kFast);
+    auto fast = t.DecodeWithBeamWidth(source, width);
+    ASSERT_TRUE(ref.ok() && fast.ok()) << "width " << width;
+    EXPECT_EQ(ref.value().tokens, fast.value().tokens) << "width " << width;
+    EXPECT_EQ(0, std::memcmp(&ref.value().score, &fast.value().score,
+                             sizeof(float)))
+        << "width " << width << ": score bits diverge";
+  }
+}
+
+TEST(Seq2SeqTest, MaskedDecodeEmitsGrammaticalPrefix) {
+  // Even an untrained model must emit a SELECT-led, grammatical s^a when
+  // the mask is on: that is the whole point of constrained decoding.
+  Seq2SeqTranslator t(Config());
+  t.AddVocabulary(SqlishVocab());
+  t.set_decode_mode(DecodeMode::kFast);
+  auto out = t.DecodeWithBeamWidth({"what", "is", "c1", "revenue"}, 2);
+  ASSERT_TRUE(out.ok());
+  ASSERT_FALSE(out.value().tokens.empty());
+  EXPECT_EQ(out.value().tokens[0], "SELECT");
+}
+
+TEST(Seq2SeqTest, FastPathCountersIncrement) {
+  Seq2SeqTranslator t(Config());
+  t.AddVocabulary(SqlishVocab());
+  metrics::Counter& fast_queries =
+      metrics::MetricsRegistry::Global().GetCounter(
+          "seq2seq.fast_path_queries");
+  metrics::Counter& masked_tokens =
+      metrics::MetricsRegistry::Global().GetCounter(
+          "seq2seq.grammar_masked_tokens");
+
+  t.set_decode_mode(DecodeMode::kReference);
+  const int64_t fast_before = fast_queries.Value();
+  ASSERT_TRUE(t.DecodeWithBeamWidth({"c1", "revenue"}, 1).ok());
+  EXPECT_EQ(fast_queries.Value(), fast_before)
+      << "reference decode must not count as a fast-path query";
+
+  t.set_decode_mode(DecodeMode::kFast);
+  const int64_t masked_before = masked_tokens.Value();
+  ASSERT_TRUE(t.DecodeWithBeamWidth({"c1", "revenue"}, 1).ok());
+  EXPECT_EQ(fast_queries.Value(), fast_before + 1);
+  EXPECT_GT(masked_tokens.Value(), masked_before)
+      << "grammar mask vetoed no tokens on a mostly-illegal vocabulary";
 }
 
 TEST(Seq2SeqTest, SymbolEmbeddingsShareTypeHalf) {

@@ -20,6 +20,7 @@
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "core/annotator.h"
+#include "core/seq2seq.h"
 #include "data/generator.h"
 #include "sql/executor.h"
 #include "sql/statistics.h"
@@ -200,6 +201,92 @@ TEST_F(ClassifierFuzz, ParallelAnnotateMatchesSerialAnnotate) {
   }
   RecordProperty("cases", cases);
   EXPECT_GT(cases, 0);
+}
+
+TEST_F(DifferentialFuzzTest, DecoderFastPathMatchesReferenceBitwise) {
+  // Differential oracle for the graph-free decode fast path: over seeded
+  // random (untrained — maximally tie-heavy) models, kFastUnmasked must
+  // reproduce kReference and kFast must reproduce kReferenceMasked, byte
+  // for byte: same tokens, same score bits, same statuses. Sweeps beam
+  // width, max decode length, copy mechanism, grammar-mask eligibility
+  // (config flags and SELECT-less vocabularies), GEMM tiers and thread
+  // counts.
+  const std::vector<std::string> structural = {
+      "SELECT", "WHERE", "AND", "MAX", "MIN", "COUNT",
+      "SUM",    "AVG",   "=",   ">",   "<"};
+  const std::vector<std::string> symbols = {"c1", "c2", "c3", "v1",
+                                            "v2", "g1", "g2"};
+  const std::vector<std::string> words = {
+      "what", "is",  "the",   "revenue", "industry", "ceo",  "1996",
+      "864",  "ada", "grace", "highest", "name",     "city", "year"};
+  Rng rng(60218);
+  int cases = 0;
+  const int models = 6 / kScale + 2;
+  for (int mi = 0; mi < models; ++mi) {
+    core::ModelConfig config = core::ModelConfig::Tiny();
+    config.word_dim = 24;
+    config.seq2seq_hidden = rng.NextBool() ? 16 : 24;
+    config.max_decode_length = rng.NextInt(6, 14);
+    config.seed = 1000 + mi * 17;  // a fresh random model per iteration
+    config.use_copy_mechanism = (mi % 3) != 2;
+    config.column_name_appending = (mi % 4) != 3;  // mask-ineligible leg
+    core::Seq2SeqTranslator t(config);
+    std::vector<std::string> vocab_tokens;
+    if (mi % 5 != 4) {  // every 5th model: no SELECT -> grammar unusable
+      vocab_tokens.insert(vocab_tokens.end(), structural.begin(),
+                          structural.end());
+    }
+    vocab_tokens.insert(vocab_tokens.end(), symbols.begin(), symbols.end());
+    vocab_tokens.insert(vocab_tokens.end(), words.begin(), words.end());
+    t.AddVocabulary(vocab_tokens);
+
+    for (int si = 0; si < 3; ++si) {
+      std::vector<std::string> source;
+      const int len = rng.NextInt(2, 9);
+      for (int i = 0; i < len; ++i) {
+        source.push_back(rng.NextBool(0.1f)
+                             ? "oov" + std::to_string(rng.NextInt(0, 5))
+                             : rng.Choice(vocab_tokens));
+      }
+      gemm::SetTier(rng.NextBool() ? gemm::Tier::kBase : gemm::Tier::kAuto);
+      ThreadPool::SetGlobalParallelism(rng.NextBool() ? 1 : 8);
+
+      const std::pair<core::DecodeMode, core::DecodeMode> pairings[] = {
+          {core::DecodeMode::kReference, core::DecodeMode::kFastUnmasked},
+          {core::DecodeMode::kReferenceMasked, core::DecodeMode::kFast}};
+      for (int width : {1, 2, 4}) {
+        for (const auto& [ref_mode, fast_mode] : pairings) {
+          t.set_decode_mode(ref_mode);
+          const auto ref = t.DecodeWithBeamWidth(source, width);
+          t.set_decode_mode(fast_mode);
+          const auto fast = t.DecodeWithBeamWidth(source, width);
+          const std::string where = "model " + std::to_string(mi) +
+                                    " source " + std::to_string(si) +
+                                    " width " + std::to_string(width) +
+                                    (ref_mode == core::DecodeMode::kReference
+                                         ? " (unmasked pairing)"
+                                         : " (masked pairing)");
+          ASSERT_EQ(ref.ok(), fast.ok()) << where;
+          if (ref.ok()) {
+            EXPECT_EQ(ref.value().tokens, fast.value().tokens) << where;
+            EXPECT_EQ(testing::FloatBits(ref.value().score),
+                      testing::FloatBits(fast.value().score))
+                << where;
+            EXPECT_EQ(ref.value().used_greedy_fallback,
+                      fast.value().used_greedy_fallback)
+                << where;
+          } else {
+            EXPECT_EQ(ref.status().code(), fast.status().code()) << where;
+          }
+          ++cases;
+        }
+      }
+    }
+  }
+  RecordProperty("cases", cases);
+#if !defined(NLIDB_SANITIZER_BUILD)
+  EXPECT_GE(cases, 100);
+#endif
 }
 
 TEST_F(DifferentialFuzzTest, ExecutorStableUnderRowShuffling) {
