@@ -138,6 +138,12 @@ inline const char* DecoderJsonPath() {
   return v != nullptr ? v : "BENCH_decoder.json";
 }
 
+/// Output path for bench_serving's multi-tenant load report.
+inline const char* ServingJsonPath() {
+  const char* v = std::getenv("NLIDB_BENCH_SERVING_JSON");
+  return v != nullptr ? v : "BENCH_serving.json";
+}
+
 }  // namespace bench
 }  // namespace nlidb
 

@@ -22,6 +22,7 @@ enum class StatusCode {
   kIoError,
   kParseError,
   kDeadlineExceeded,
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for `code` (e.g. "InvalidArgument").
@@ -76,6 +77,9 @@ class [[nodiscard]] Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -181,9 +181,12 @@ StatusOr<QueryResult> NlidbPipeline::Query(const QueryRequest& request) const {
     trace::TraceSpan stage("pipeline.translate");
     begin_stage();
     StatusOr<Seq2SeqTranslator::Decoded> decoded =
-        translator_->Decode(result.annotated_question, &ctx);
+        request.translate_override
+            ? request.translate_override(result.annotated_question, &ctx)
+            : translator_->Decode(result.annotated_question, &ctx);
     if (!decoded.ok()) return fail(decoded.status());
     result.annotated_sql = std::move(decoded->tokens);
+    result.translate_score = decoded->score;
     result.degraded_greedy_decode = decoded->used_greedy_fallback;
     end_stage("translate");
   }

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -50,6 +51,15 @@ struct QueryRequest {
   /// completed entries of `QueryResult::stages` — so callers can see
   /// where the time went even for a query that did not finish.
   QueryResult* partial_result = nullptr;
+
+  /// When set, the translate stage calls this instead of
+  /// `translator().Decode(q^a, ctx)`. The serving engine routes decoding
+  /// through its cross-request batcher this way without the pipeline
+  /// knowing about scheduling; the override must return exactly what the
+  /// translator would (the batcher's bitwise-equivalence contract).
+  std::function<StatusOr<Seq2SeqTranslator::Decoded>(
+      const std::vector<std::string>&, const CancelContext*)>
+      translate_override;
 };
 
 /// Wall time of one pipeline stage, forming a per-request tree rooted
@@ -73,6 +83,11 @@ struct QueryResult {
   Annotation annotation;                        // step 1 output
   std::vector<std::string> annotated_question;  // q^a fed to the seq2seq
   std::vector<std::string> annotated_sql;       // decoded s^a
+
+  /// Length-normalized log-probability of the winning decode hypothesis.
+  /// Exposed so differential harnesses can compare serving and
+  /// sequential paths bit-for-bit, not just token-for-token.
+  float translate_score = 0.0f;
 
   /// Step 3: recovered SQL. Unset iff `recovery_status` is an error
   /// (the decoder emitted an unrecoverable token stream).

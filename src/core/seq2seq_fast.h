@@ -1,0 +1,208 @@
+#ifndef NLIDB_CORE_SEQ2SEQ_FAST_H_
+#define NLIDB_CORE_SEQ2SEQ_FAST_H_
+
+// Resumable per-query decode state for the graph-free fast path
+// (DESIGN.md §12/§13). `Seq2SeqTranslator::FastBeamSearch` used to be one
+// monolithic loop; it is now a thin driver over this class so a serving
+// scheduler can interleave the decode steps of many concurrent queries:
+//
+//   FastDecodeState state(translator, source, beam_width, mask, ws);
+//   NLIDB_RETURN_IF_ERROR(state.Admit());
+//   state.BuildEncoderCache();
+//   while (true) {
+//     NLIDB_RETURN_IF_ERROR(state.BeginStep(ctx));
+//     if (state.done()) break;
+//     state.StageFrontier(x, d_gather);            // rows into shared bufs
+//     FastDecodeState::ComputeGates(translator, x, d_gather, rows, gi, gh);
+//     state.FinishStep(gi, gh, d_gather);
+//   }
+//   auto result = state.TakeResult();
+//
+// The split points are exactly the two batched GRU-gate GEMMs: a batcher
+// concatenates the live frontiers of N queries into one [ΣB, 3H]
+// ComputeGates call and hands each state back its own rows. Because
+// GemmAccumulateRaw's per-output accumulation order is independent of the
+// row count (tensor/tensor.h contract) and every other computation in
+// FinishStep is row-local, a query decoded through a shared batch is
+// bitwise identical to the same query decoded alone — the equivalence
+// serving_equivalence_test enforces.
+//
+// Threading contract: a FastDecodeState is not thread-safe. It may be
+// driven by different threads over its lifetime (a batch leader advancing
+// other requests' states) provided calls are externally serialized with
+// happens-before edges between them (the batcher's mutex). All float
+// buffers live in the `ws` arena passed at construction, which must
+// outlive the state and follow the same single-driver discipline.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/status.h"
+#include "common/workspace.h"
+#include "core/decode_grammar.h"
+#include "core/seq2seq.h"
+
+namespace nlidb {
+namespace core {
+
+class FastDecodeState {
+ public:
+  /// A finished search: winning tokens + length-normalized log-prob.
+  struct Result {
+    std::vector<std::string> tokens;
+    float score = 0.0f;
+  };
+
+  /// `source` and `ws` must outlive the state; `source` is the q^a token
+  /// sequence fed to the decoder. `use_grammar_mask` requests the
+  /// grammar-constrained mode (downgraded internally when the vocabulary
+  /// cannot support it, mirroring FastBeamSearch).
+  FastDecodeState(const Seq2SeqTranslator& translator,
+                  const std::vector<std::string>& source, int beam_width,
+                  bool use_grammar_mask, Workspace& ws);
+  FastDecodeState(const FastDecodeState&) = delete;
+  FastDecodeState& operator=(const FastDecodeState&) = delete;
+
+  /// Whether `Decode` under `mode` would request the grammar mask — the
+  /// dispatch `Seq2SeqTranslator::Search` applies, exposed for external
+  /// drivers (the serving batcher) that replicate it. False for the
+  /// reference modes (they are not drivable through this class).
+  static bool WantsMask(const Seq2SeqTranslator& translator, DecodeMode mode);
+
+  /// Entry validation, called once before anything else: empty-source
+  /// check plus the injectable `seq2seq/beam_exhausted` failpoint
+  /// (beam_width > 1 only), in the same order as the monolithic search.
+  Status Admit();
+
+  /// Runs the encoder and builds the per-query cache (embedding gathers,
+  /// biGRU states, projected attention keys, init state, grammar tables)
+  /// plus the per-step scratch buffers. Emits the "seq2seq.encode" trace
+  /// span on the calling thread. Call once, after a successful Admit().
+  void BuildEncoderCache();
+
+  /// Starts one decode step: deadline/cancel poll, live-frontier scan,
+  /// output-safe early termination, step counters. After an Ok return
+  /// either done() is true (nothing further to run) or frontier_rows()
+  /// rows are ready to stage. A non-Ok status (deadline) abandons the
+  /// search, exactly like the monolithic loop.
+  Status BeginStep(const CancelContext* ctx);
+
+  /// True once the search has terminated (all beams finished, early
+  /// termination, exhaustion, or the step limit).
+  bool done() const { return done_; }
+
+  /// Live frontier size B of the step opened by the last BeginStep().
+  int frontier_rows() const { return frontier_rows_; }
+
+  /// Decoder GRU input width (word_dim + 2h): the row stride of `x`.
+  int x_width() const { return xin_; }
+  /// Decoder hidden width H (2h): the row stride of `d_gather`.
+  int h_width() const { return h2_; }
+
+  /// Writes the frontier's GRU inputs into caller-provided buffers:
+  /// `x` receives [B, x_width()] rows of [emb(prev_token); beta_prev],
+  /// `d_gather` the matching [B, h_width()] previous decoder states.
+  void StageFrontier(float* x, float* d_gather) const;
+
+  /// The two batched GRU-gate products shared across queries:
+  /// gi = x · W_ih + b_ih and gh = d_gather · W_hh + b_hh over `rows`
+  /// frontier rows ([rows, 3H] outputs, zero-filled here). Row r of the
+  /// output depends only on row r of the input, bitwise, so frontiers of
+  /// different queries can be concatenated freely.
+  static void ComputeGates(const Seq2SeqTranslator& translator, const float* x,
+                           const float* d_gather, int rows, float* gi,
+                           float* gh);
+
+  /// Completes the step from this query's gate rows: GRU elementwise,
+  /// attention, output scores, candidate expansion and beam pruning.
+  /// `gi`/`gh`/`d_gather` point at this state's frontier_rows() rows.
+  void FinishStep(const float* gi, const float* gh, const float* d_gather);
+
+  /// Final hypothesis selection (length-normalized), or the
+  /// beam-exhaustion error. Call once, after done() turns true.
+  StatusOr<Result> TakeResult();
+
+ private:
+  struct FastBeam {
+    int prev_token = 0;
+    int grammar_state = DecodeGrammar::kStart;
+    int slot = 0;  // row in d_prev/beta_prev
+    std::vector<std::string> tokens;
+    float log_prob = 0.0f;
+    bool finished = false;
+  };
+  struct Candidate {
+    int parent_slot = 0;
+    FastBeam beam;
+  };
+
+  const Seq2SeqTranslator& t_;
+  const std::vector<std::string>& source_;
+  const int beam_width_;
+  Workspace& ws_;
+
+  // Dimensions (fixed by the model config).
+  const int d_;     // word_dim
+  const int h_;     // seq2seq_hidden
+  const int att_;   // attention width (= h_)
+  const int h2_;    // decoder hidden H = 2h
+  const int h4_;    // [d_i ; beta_i] width
+  const int xin_;   // decoder GRU input width d + 2h
+  const int vocab_size_;
+  const int n_;     // source length
+
+  // The grammar is built per query (vocabulary classification is O(V) on
+  // token strings); an unusable grammar downgrades to unmasked decoding.
+  DecodeGrammar grammar_;
+  const bool masked_;
+  int score_width_ = 0;
+  int gemm_width_ = 0;
+
+  // Per-query cached encoder state: everything a decode step would
+  // recompute from the encoder outputs, plus the grammar-mask tables.
+  struct EncoderCache {
+    std::vector<int> source_ids;  // vocab ids of the source tokens
+    float* enc_states = nullptr;  // [n, 2h] bidirectional states
+    float* mem_proj = nullptr;    // [n, att] projected attention keys
+    float* d0 = nullptr;          // [2h] initial decoder state
+
+    // Grammar-mask extras (empty when masking is off).
+    std::vector<int> domain;         // sorted vocab ids the mask can emit
+    std::vector<int> slot_of_src;    // domain slot per source position
+    std::vector<uint8_t> in_source;  // by vocab id
+    float* u_sub = nullptr;          // [4h, |domain|] gathered out columns
+    float* bias_sub = nullptr;       // [|domain|] gathered output bias
+  };
+  EncoderCache cache_;
+
+  // Beam-state ping-pong buffers and per-step scratch, allocated once in
+  // BuildEncoderCache (all from ws_, zero-initialized by the arena).
+  float* d_prev_ = nullptr;
+  float* beta_prev_ = nullptr;
+  float* d_swap_ = nullptr;
+  float* beta_swap_ = nullptr;
+  float* d_next_ = nullptr;
+  float* query_ = nullptr;
+  float* tanh_keys_ = nullptr;
+  float* energies_ = nullptr;
+  float* weights_all_ = nullptr;
+  float* beta_next_ = nullptr;
+  float* cat_ = nullptr;
+  float* logits_ = nullptr;
+  float* mass_ = nullptr;
+  float* scores_ = nullptr;
+
+  std::vector<FastBeam> beams_;
+  std::vector<FastBeam> finished_;
+  std::vector<int> live_;
+  int frontier_rows_ = 0;
+  int step_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace core
+}  // namespace nlidb
+
+#endif  // NLIDB_CORE_SEQ2SEQ_FAST_H_

@@ -56,6 +56,7 @@ Annotation GoldAnnotation(const data::Example& example) {
 
 const std::vector<sql::ColumnStatistics>& TableStatsCache::For(
     const sql::Table& table) {
+  MutexLock lock(mu_);
   auto it = cache_.find(&table);
   // The address key can collide when a table is destroyed and another is
   // constructed at the same address; a column-count mismatch is the

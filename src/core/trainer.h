@@ -4,6 +4,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/annotation.h"
 #include "core/column_mention_classifier.h"
 #include "core/seq2seq.h"
@@ -20,7 +22,10 @@ namespace core {
 Annotation GoldAnnotation(const data::Example& example);
 
 /// Statistics cache keyed by table identity, shared across training and
-/// evaluation passes.
+/// evaluation passes. Safe for concurrent `For` calls (serving workers
+/// share one pipeline): lookups and inserts run under a mutex, and the
+/// returned reference stays valid across later insertions because
+/// unordered_map never moves its nodes.
 class TableStatsCache {
  public:
   explicit TableStatsCache(const text::EmbeddingProvider& provider)
@@ -30,8 +35,9 @@ class TableStatsCache {
 
  private:
   const text::EmbeddingProvider* provider_;
+  Mutex mu_;
   std::unordered_map<const sql::Table*, std::vector<sql::ColumnStatistics>>
-      cache_;
+      cache_ NLIDB_GUARDED_BY(mu_);
 };
 
 /// Per-stage training results (mean loss of the final epoch).

@@ -1,0 +1,210 @@
+#include "serving/batched_decoder.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+
+namespace nlidb {
+namespace serving {
+
+using core::DecodeMode;
+using core::FastDecodeState;
+using core::Seq2SeqTranslator;
+
+BatchedDecoder::BatchedDecoder(const Seq2SeqTranslator& translator,
+                               int max_batch)
+    : translator_(translator), max_batch_(std::max(1, max_batch)) {}
+
+StatusOr<Seq2SeqTranslator::Decoded> BatchedDecoder::Decode(
+    const std::vector<std::string>& source, const CancelContext* ctx,
+    Workspace& ws) {
+  const DecodeMode mode = translator_.decode_mode();
+  if (mode == DecodeMode::kReference || mode == DecodeMode::kReferenceMasked) {
+    // The reference decoders run on the autodiff tape; they exist as
+    // equivalence oracles, not serving paths, so they bypass batching.
+    return translator_.Decode(source, ctx);
+  }
+
+  // From here this mirrors Seq2SeqTranslator::DecodeWithBeamWidth exactly
+  // (same counters, same fallback conditions, same log line) with
+  // BatchedSearch standing in for Search — so a query served through the
+  // batch returns the same Decoded, bit for bit, as the sequential call.
+  static metrics::Counter& greedy_fallbacks =
+      metrics::MetricsRegistry::Global().GetCounter(
+          "seq2seq.greedy_fallbacks");
+  static metrics::Counter& fast_path_queries =
+      metrics::MetricsRegistry::Global().GetCounter(
+          "seq2seq.fast_path_queries");
+  const int beam_width = translator_.config().beam_width;
+  const bool mask = FastDecodeState::WantsMask(translator_, mode);
+  Seq2SeqTranslator::Decoded out;
+  out.used_fast_path = true;
+  fast_path_queries.Increment();
+  StatusOr<FastDecodeState::Result> beam =
+      BatchedSearch(source, beam_width, mask, ctx, ws);
+  if (beam.ok()) {
+    out.tokens = std::move(beam.value().tokens);
+    out.score = beam.value().score;
+    return out;
+  }
+  // Deadline expiry and malformed input are the caller's problem; only
+  // the search itself failing degrades to greedy.
+  if (beam.status().code() == StatusCode::kDeadlineExceeded ||
+      beam.status().code() == StatusCode::kInvalidArgument ||
+      beam_width <= 1) {
+    return beam.status();
+  }
+  greedy_fallbacks.Increment();
+  NLIDB_LOG(Warning) << "beam search failed (" << beam.status().ToString()
+                     << "); retrying with greedy decode";
+  StatusOr<FastDecodeState::Result> greedy =
+      BatchedSearch(source, 1, mask, ctx, ws);
+  if (!greedy.ok()) return greedy.status();
+  out.tokens = std::move(greedy.value().tokens);
+  out.score = greedy.value().score;
+  out.used_greedy_fallback = true;
+  return out;
+}
+
+StatusOr<FastDecodeState::Result> BatchedDecoder::BatchedSearch(
+    const std::vector<std::string>& source, int beam_width,
+    bool use_grammar_mask, const CancelContext* ctx, Workspace& ws) {
+  Workspace::Scope query_scope(ws);
+  FastDecodeState state(translator_, source, beam_width, use_grammar_mask, ws);
+  NLIDB_RETURN_IF_ERROR(state.Admit());
+  trace::TraceSpan span("seq2seq.translate");
+  span.Annotate("beam_width", static_cast<int64_t>(beam_width));
+  // The encoder runs on the submitting thread, outside the rendezvous:
+  // encoder work is per-query (nothing to share) and keeping it out of
+  // the leader's tick loop keeps ticks short.
+  state.BuildEncoderCache();
+  trace::TraceSpan decode_span("seq2seq.decode");
+
+  Participant self;
+  self.state = &state;
+  self.ctx = ctx;
+
+  mu_.Lock();
+  queue_.push_back(&self);
+  while (!self.finished) {
+    if (leader_ == nullptr) {
+      leader_ = &self;
+      while (!self.finished) RunTick(&self);
+      leader_ = nullptr;
+      // Wake both finished participants and the next leader candidate.
+      cv_.NotifyAll();
+    } else {
+      cv_.Wait(mu_);
+    }
+  }
+  mu_.Unlock();
+
+  NLIDB_RETURN_IF_ERROR(self.error);
+  return std::move(self.result);
+}
+
+std::vector<int64_t> BatchedDecoder::OccupancyCounts() const {
+  std::vector<int64_t> out(kOccupancyBuckets);
+  for (int i = 0; i < kOccupancyBuckets; ++i) {
+    out[i] = occupancy_counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void BatchedDecoder::RunTick(Participant* self) {
+  static metrics::Counter& ticks =
+      metrics::MetricsRegistry::Global().GetCounter("serving.batch.ticks");
+  static metrics::Counter& rows =
+      metrics::MetricsRegistry::Global().GetCounter("serving.batch.rows");
+
+  // Gather this tick's batch: the leader itself plus the oldest waiting
+  // participants, FIFO, up to max_batch_. Tick membership only affects
+  // which rows share the gate GEMMs, never any query's bits.
+  std::vector<Participant*> batch;
+  batch.push_back(self);
+  for (Participant* p : queue_) {
+    if (p == self) continue;
+    if (static_cast<int>(batch.size()) >= max_batch_) break;
+    batch.push_back(p);
+  }
+
+  mu_.Unlock();
+  // ---- Unlocked compute: only the leader touches participant states
+  // (waiting owners are blocked in cv_.Wait), and the lock acquisitions
+  // around each tick give every state a happens-before chain from its
+  // owner through every leader that advanced it.
+  trace::TraceSpan tick_span("serving.batch.tick");
+  std::vector<Participant*> active;
+  std::vector<Participant*> completed;
+  active.reserve(batch.size());
+  for (Participant* p : batch) {
+    Status s = p->state->BeginStep(p->ctx);
+    if (!s.ok()) {
+      p->error = s;
+      completed.push_back(p);
+    } else if (p->state->done()) {
+      StatusOr<FastDecodeState::Result> result = p->state->TakeResult();
+      if (result.ok()) {
+        p->result = std::move(result.value());
+      } else {
+        p->error = result.status();
+      }
+      completed.push_back(p);
+    } else {
+      active.push_back(p);
+    }
+  }
+
+  if (!active.empty()) {
+    // Concatenate the live frontiers into one [ΣB, ·] staging block and
+    // run the two gate GEMMs once for everyone. Per-row bits are
+    // independent of the concatenation (kernel contract), and each
+    // FinishStep consumes only its own rows.
+    Workspace& tick_ws = Workspace::ThreadLocal();
+    Workspace::Scope tick_scope(tick_ws);
+    const int xin = active[0]->state->x_width();
+    const int h2 = active[0]->state->h_width();
+    int total = 0;
+    for (Participant* p : active) total += p->state->frontier_rows();
+    float* x = tick_ws.Floats(static_cast<size_t>(total) * xin);
+    float* d_gather = tick_ws.Floats(static_cast<size_t>(total) * h2);
+    float* gi = tick_ws.Floats(static_cast<size_t>(total) * 3 * h2);
+    float* gh = tick_ws.Floats(static_cast<size_t>(total) * 3 * h2);
+    int offset = 0;
+    for (Participant* p : active) {
+      p->state->StageFrontier(x + static_cast<size_t>(offset) * xin,
+                              d_gather + static_cast<size_t>(offset) * h2);
+      offset += p->state->frontier_rows();
+    }
+    FastDecodeState::ComputeGates(translator_, x, d_gather, total, gi, gh);
+    offset = 0;
+    for (Participant* p : active) {
+      p->state->FinishStep(gi + static_cast<size_t>(offset) * 3 * h2,
+                           gh + static_cast<size_t>(offset) * 3 * h2,
+                           d_gather + static_cast<size_t>(offset) * h2);
+      offset += p->state->frontier_rows();
+    }
+    ticks.Increment();
+    rows.Increment(total);
+    const int bucket = std::min(static_cast<int>(active.size()),
+                                kOccupancyBuckets - 1);
+    occupancy_counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+    tick_span.Annotate("queries", static_cast<int64_t>(active.size()));
+    tick_span.Annotate("rows", static_cast<int64_t>(total));
+  }
+  // ---- End unlocked compute.
+  mu_.Lock();
+  if (!completed.empty()) {
+    for (Participant* p : completed) {
+      queue_.erase(std::remove(queue_.begin(), queue_.end(), p), queue_.end());
+      p->finished = true;
+    }
+    cv_.NotifyAll();
+  }
+}
+
+}  // namespace serving
+}  // namespace nlidb

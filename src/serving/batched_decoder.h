@@ -1,0 +1,103 @@
+#ifndef NLIDB_SERVING_BATCHED_DECODER_H_
+#define NLIDB_SERVING_BATCHED_DECODER_H_
+
+// Cross-request dynamic batching for the decoder fast path (DESIGN.md
+// §13). Concurrent serving workers calling Decode() rendezvous here: each
+// builds its own FastDecodeState (per-query encoder cache in the calling
+// thread's arena), then the first one to find no leader becomes the batch
+// leader and repeatedly advances the live frontiers of up to `max_batch`
+// queued queries — two [ΣB, 3H] GRU-gate GEMMs per tick via
+// FastDecodeState::ComputeGates — until its own query finishes, at which
+// point leadership passes to a waiting participant.
+//
+// Bitwise contract: results are identical to sequential
+// Seq2SeqTranslator::Decode on the same source, whatever the batch mix.
+// Every per-query computation runs inside that query's FastDecodeState in
+// the reference order; the only shared computation is ComputeGates, whose
+// per-row output bits are independent of which other rows share the GEMM
+// (tensor/tensor.h kernel contract). serving_equivalence_test enforces
+// this across client counts, beam widths and decode modes.
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "common/deadline.h"
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "common/workspace.h"
+#include "core/seq2seq.h"
+#include "core/seq2seq_fast.h"
+
+namespace nlidb {
+namespace serving {
+
+class BatchedDecoder {
+ public:
+  /// `translator` must outlive the decoder and stay immutable while any
+  /// Decode is in flight. `max_batch` caps how many queries one leader
+  /// tick advances together (>= 1).
+  BatchedDecoder(const core::Seq2SeqTranslator& translator, int max_batch);
+  BatchedDecoder(const BatchedDecoder&) = delete;
+  BatchedDecoder& operator=(const BatchedDecoder&) = delete;
+
+  /// Drop-in replacement for `translator.Decode(source, ctx)`: same
+  /// results, same statuses, same greedy-fallback semantics and counters.
+  /// The reference decode modes pass straight through to the translator
+  /// (they are tape-based and not batchable); the fast modes decode
+  /// through the shared batch loop. `ws` is the caller's arena (the
+  /// per-query state lives there); calls may block while another
+  /// request's leader advances this one.
+  StatusOr<core::Seq2SeqTranslator::Decoded> Decode(
+      const std::vector<std::string>& source, const CancelContext* ctx,
+      Workspace& ws);
+
+  /// Batch-occupancy histogram: element i counts leader ticks that
+  /// advanced exactly i queries together (i = 0 unused; the last element
+  /// aggregates >= kOccupancyBuckets - 1). Relaxed counts, exact only
+  /// when decoding is quiesced.
+  static constexpr int kOccupancyBuckets = 17;
+  std::vector<int64_t> OccupancyCounts() const;
+
+ private:
+  /// One in-flight query in the rendezvous. The submitting thread owns
+  /// `state` (it lives in that thread's arena); between enqueue and the
+  /// finished_ flag flipping, only the current leader touches it, with
+  /// the mutex providing the happens-before edge at each handoff. The
+  /// result fields are written by the leader before it re-acquires mu_
+  /// to set finished_, so the owner's post-wait read is ordered.
+  struct Participant {
+    core::FastDecodeState* state = nullptr;
+    const CancelContext* ctx = nullptr;
+    bool finished = false;  // guarded by mu_
+    Status error = Status::Ok();
+    core::FastDecodeState::Result result;
+  };
+
+  /// The full search for one query: build state, enqueue, then lead or
+  /// wait until finished.
+  StatusOr<core::FastDecodeState::Result> BatchedSearch(
+      const std::vector<std::string>& source, int beam_width,
+      bool use_grammar_mask, const CancelContext* ctx, Workspace& ws);
+
+  /// One leader tick: gather up to max_batch_ queued participants
+  /// (always including `self`), advance each by one decode step with the
+  /// gate GEMMs shared, and mark the ones that finished. Drops and
+  /// re-acquires mu_ around the compute.
+  void RunTick(Participant* self) NLIDB_EXCLUSIVE_LOCKS_REQUIRED(mu_);
+
+  const core::Seq2SeqTranslator& translator_;
+  const int max_batch_;
+
+  Mutex mu_;
+  CondVar cv_;
+  std::vector<Participant*> queue_ NLIDB_GUARDED_BY(mu_);
+  Participant* leader_ NLIDB_GUARDED_BY(mu_) = nullptr;
+  std::atomic<int64_t> occupancy_counts_[kOccupancyBuckets] = {};
+};
+
+}  // namespace serving
+}  // namespace nlidb
+
+#endif  // NLIDB_SERVING_BATCHED_DECODER_H_

@@ -1,0 +1,270 @@
+#include "serving/serving.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "common/workspace.h"
+
+namespace nlidb {
+namespace serving {
+
+namespace {
+
+int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atoi(v);
+}
+
+struct ServingCounters {
+  metrics::Counter& submitted;
+  metrics::Counter& admitted;
+  metrics::Counter& completed;
+  metrics::Counter& shed;
+  metrics::Counter& cancelled;
+  metrics::Counter& rejected_queue_full;
+  metrics::Counter& rejected_shutdown;
+  metrics::Counter& deadline_misses;
+  metrics::MaxGauge& queue_depth_peak;
+  metrics::Histogram& queue_wait;
+  metrics::Histogram& e2e_latency;
+
+  static ServingCounters& Get() {
+    auto& reg = metrics::MetricsRegistry::Global();
+    static ServingCounters c{reg.GetCounter("serving.submitted"),
+                             reg.GetCounter("serving.admitted"),
+                             reg.GetCounter("serving.completed"),
+                             reg.GetCounter("serving.shed"),
+                             reg.GetCounter("serving.cancelled"),
+                             reg.GetCounter("serving.rejected_queue_full"),
+                             reg.GetCounter("serving.rejected_shutdown"),
+                             reg.GetCounter("serving.deadline_misses"),
+                             reg.GetGauge("serving.queue_depth_peak"),
+                             reg.GetHistogram("serving.queue_wait_ns"),
+                             reg.GetHistogram("serving.e2e_latency_ns")};
+    return c;
+  }
+};
+
+}  // namespace
+
+ServingOptions ServingOptions::FromEnv() {
+  ServingOptions options;
+  options.num_workers =
+      std::max(0, EnvInt("NLIDB_SERVING_WORKERS", options.num_workers));
+  options.queue_capacity =
+      std::max(1, EnvInt("NLIDB_SERVING_QUEUE_CAP", options.queue_capacity));
+  options.max_batch =
+      std::max(1, EnvInt("NLIDB_SERVING_MAX_BATCH", options.max_batch));
+  options.cross_request_batching =
+      EnvInt("NLIDB_SERVING_BATCHING",
+             options.cross_request_batching ? 1 : 0) != 0;
+  return options;
+}
+
+ServedResult ServingEngine::Ticket::Take() {
+  MutexLock lock(mu_);
+  while (!done_) cv_.Wait(mu_);
+  return std::move(result_);
+}
+
+void ServingEngine::Resolve(Ticket& ticket, ServedResult result) {
+  {
+    MutexLock lock(ticket.mu_);
+    ticket.result_ = std::move(result);
+    ticket.done_ = true;
+  }
+  ticket.cv_.NotifyAll();
+}
+
+ServingEngine::ServingEngine(const core::NlidbPipeline& pipeline,
+                             const ServingOptions& options)
+    : pipeline_(pipeline),
+      options_(options),
+      decoder_(pipeline.translator(), options.max_batch) {
+  workers_.reserve(static_cast<size_t>(std::max(0, options_.num_workers)));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ServingEngine::~ServingEngine() { Shutdown(); }
+
+std::shared_ptr<ServingEngine::Ticket> ServingEngine::Submit(
+    core::QueryRequest request) {
+  ServingCounters& counters = ServingCounters::Get();
+  counters.submitted.Increment();
+  auto ticket = std::make_shared<Ticket>();
+  const uint64_t now = trace::NowNs();
+
+  // Deadline feasibility at admission: a request that already expired,
+  // or whose remaining budget is under shed_factor × the recent service
+  // time, cannot be served in time — shed it before it occupies a queue
+  // slot and delays feasible requests. Shed requests count as admitted
+  // (they entered the system and resolved) to keep the counter invariant
+  // admission-path independent.
+  if (request.deadline.at_ns() != 0) {
+    bool infeasible = now >= request.deadline.at_ns();
+    if (!infeasible && options_.shed_factor > 0) {
+      const uint64_t est =
+          ewma_service_ns_.load(std::memory_order_relaxed);
+      const uint64_t remaining = request.deadline.at_ns() - now;
+      infeasible =
+          est > 0 && static_cast<double>(remaining) <
+                         static_cast<double>(est) * options_.shed_factor;
+    }
+    if (infeasible) {
+      counters.admitted.Increment();
+      counters.shed.Increment();
+      counters.deadline_misses.Increment();
+      ServedResult shed;
+      shed.status = Status::DeadlineExceeded(
+          "request shed at admission: deadline cannot be met");
+      shed.e2e_ns = trace::NowNs() - now;
+      Resolve(*ticket, std::move(shed));
+      return ticket;
+    }
+  }
+
+  Pending pending;
+  pending.request = std::move(request);
+  pending.ticket = ticket;
+  pending.submit_ns = now;
+  pending.parent_span = trace::CurrentSpanId();
+  {
+    MutexLock lock(mu_);
+    if (shutdown_) {
+      counters.rejected_shutdown.Increment();
+      ServedResult rejected;
+      rejected.status = Status::Unavailable("serving engine is shut down");
+      Resolve(*ticket, std::move(rejected));
+      return ticket;
+    }
+    if (static_cast<int>(queue_.size()) >= options_.queue_capacity) {
+      counters.rejected_queue_full.Increment();
+      ServedResult rejected;
+      rejected.status = Status::Unavailable("serving queue is full");
+      Resolve(*ticket, std::move(rejected));
+      return ticket;
+    }
+    counters.admitted.Increment();
+    queue_.push_back(std::move(pending));
+    counters.queue_depth_peak.Update(static_cast<int64_t>(queue_.size()));
+  }
+  cv_.NotifyOne();
+  return ticket;
+}
+
+ServedResult ServingEngine::Query(core::QueryRequest request) {
+  return Submit(std::move(request))->Take();
+}
+
+void ServingEngine::WorkerLoop() {
+  while (true) {
+    Pending pending;
+    {
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) cv_.Wait(mu_);
+      // Shutdown drains the queue itself, so a woken worker with
+      // shutdown_ set has nothing left to pick up.
+      if (shutdown_) return;
+      pending = std::move(queue_.front());
+      queue_.erase(queue_.begin());
+    }
+    Process(std::move(pending));
+  }
+}
+
+void ServingEngine::Process(Pending pending) {
+  ServingCounters& counters = ServingCounters::Get();
+  const uint64_t start = trace::NowNs();
+  const uint64_t queue_wait = start - pending.submit_ns;
+  counters.queue_wait.Record(queue_wait);
+
+  ServedResult served;
+  served.queue_wait_ns = queue_wait;
+
+  // Dequeue-time checks, cheapest first: an externally cancelled request
+  // resolves as cancelled; one whose deadline passed while queued is
+  // shed without touching the pipeline.
+  if (pending.request.cancel != nullptr &&
+      pending.request.cancel->load(std::memory_order_relaxed)) {
+    counters.cancelled.Increment();
+    served.status =
+        Status::DeadlineExceeded("request cancelled while queued");
+  } else if (pending.request.deadline.Expired()) {
+    counters.shed.Increment();
+    counters.deadline_misses.Increment();
+    served.status =
+        Status::DeadlineExceeded("request shed at dequeue: deadline expired");
+  } else {
+    // Stitch the worker's spans under the submitter's span, so one
+    // request's queue-wait / batch / decode phases form one trace tree.
+    trace::ScopedParent stitch(pending.parent_span);
+    trace::TraceSpan span("serving.request");
+    span.Annotate("queue_wait_ns", static_cast<int64_t>(queue_wait));
+    core::QueryRequest request = std::move(pending.request);
+    if (options_.cross_request_batching && !request.translate_override) {
+      request.translate_override = [this](
+                                       const std::vector<std::string>& source,
+                                       const CancelContext* ctx) {
+        return decoder_.Decode(source, ctx, Workspace::ThreadLocal());
+      };
+    }
+    StatusOr<core::QueryResult> result = pipeline_.Query(request);
+    counters.completed.Increment();
+    if (result.ok()) {
+      served.result = std::move(result).value();
+    } else {
+      served.status = result.status();
+    }
+    if (served.status.code() == StatusCode::kDeadlineExceeded) {
+      counters.deadline_misses.Increment();
+    }
+    const uint64_t service_ns = trace::NowNs() - start;
+    const uint64_t old = ewma_service_ns_.load(std::memory_order_relaxed);
+    ewma_service_ns_.store(old == 0 ? service_ns : (7 * old + service_ns) / 8,
+                           std::memory_order_relaxed);
+  }
+
+  served.e2e_ns = trace::NowNs() - pending.submit_ns;
+  counters.e2e_latency.Record(served.e2e_ns);
+  Resolve(*pending.ticket, std::move(served));
+}
+
+void ServingEngine::Shutdown() {
+  // shutdown_mu_ serializes concurrent Shutdown calls (including the
+  // destructor): exactly one caller flips the flag, drains and joins;
+  // later callers see workers_joined_ and return once it is all done.
+  MutexLock shutdown_lock(shutdown_mu_);
+  if (workers_joined_) return;
+  workers_joined_ = true;
+
+  std::vector<Pending> drained;
+  {
+    MutexLock lock(mu_);
+    shutdown_ = true;
+    drained.swap(queue_);
+  }
+  cv_.NotifyAll();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  ServingCounters& counters = ServingCounters::Get();
+  for (Pending& pending : drained) {
+    counters.cancelled.Increment();
+    ServedResult dropped;
+    dropped.status =
+        Status::Unavailable("serving engine shut down with request queued");
+    dropped.queue_wait_ns = trace::NowNs() - pending.submit_ns;
+    dropped.e2e_ns = dropped.queue_wait_ns;
+    Resolve(*pending.ticket, std::move(dropped));
+  }
+}
+
+}  // namespace serving
+}  // namespace nlidb

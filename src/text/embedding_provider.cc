@@ -45,6 +45,7 @@ EmbeddingProvider::EmbeddingProvider(int dim, uint64_t seed)
 
 void EmbeddingProvider::AddCluster(const std::string& concept_name,
                                    const std::vector<std::string>& members) {
+  MutexLock lock(mu_);
   for (const auto& raw : members) {
     const std::string word = ToLower(raw);
     auto& concepts = word_concepts_[word];
@@ -94,10 +95,17 @@ std::vector<float> EmbeddingProvider::ComputeVector(
 
 const std::vector<float>& EmbeddingProvider::Vector(
     const std::string& word) const {
-  auto it = cache_.find(word);
-  if (it != cache_.end()) return it->second;
-  auto [pos, inserted] = cache_.emplace(word, ComputeVector(word));
-  return pos->second;
+  {
+    MutexLock lock(mu_);
+    auto it = cache_.find(word);
+    if (it != cache_.end()) return it->second;
+  }
+  // Miss: compute outside the lock (ComputeVector is pure given the
+  // frozen cluster registry), then publish. Two threads may compute the
+  // same word; the loser's identical copy is discarded by try_emplace.
+  std::vector<float> v = ComputeVector(word);
+  MutexLock lock(mu_);
+  return cache_.try_emplace(word, std::move(v)).first->second;
 }
 
 std::vector<float> EmbeddingProvider::PhraseVector(

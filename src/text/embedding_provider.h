@@ -5,6 +5,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
 namespace nlidb {
 namespace text {
 
@@ -63,9 +66,20 @@ class EmbeddingProvider {
 
   int dim_;
   uint64_t seed_;
-  // word -> list of concepts it belongs to.
+  // Vector() lazily fills cache_ from const call sites, so concurrent
+  // lookups (serving workers sharing one pipeline) race without a lock.
+  // mu_ guards only the cache map itself — ComputeVector runs outside
+  // the critical section so cache misses of different words do not
+  // serialize across workers. Returned references stay valid across
+  // later insertions because unordered_map never moves its nodes.
+  mutable Mutex mu_;
+  // word -> list of concepts it belongs to. Written only by AddCluster
+  // (setup/training time; it also clears cache_ under mu_), read
+  // lock-free by ComputeVector: registration must not run concurrently
+  // with serving, which holds the pipeline const and cannot mutate it.
   std::unordered_map<std::string, std::vector<std::string>> word_concepts_;
-  mutable std::unordered_map<std::string, std::vector<float>> cache_;
+  mutable std::unordered_map<std::string, std::vector<float>> cache_
+      NLIDB_GUARDED_BY(mu_);
 };
 
 /// Built-in linguistic lexicon: question words, copular/aggregate phrases,

@@ -1,0 +1,289 @@
+// Serving bitwise-equivalence battery (DESIGN.md §13): a query served
+// through the ServingEngine — admission queue, worker pool, cross-
+// request batched decoding — must return exactly what a sequential
+// `pipeline.Query()` call returns: same annotated question and SQL
+// tokens, same translate_score float BITS, same statuses and degraded
+// flags, same executed rows. Swept over concurrent client counts
+// {1, 4, 32}, every DecodeMode, batching on/off, and (at the
+// FastDecodeState level) mixed beam widths {1, 4} sharing one tick.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/workspace.h"
+#include "core/pipeline.h"
+#include "core/seq2seq.h"
+#include "core/seq2seq_fast.h"
+#include "data/generator.h"
+#include "serving/serving.h"
+
+namespace nlidb {
+namespace {
+
+uint32_t FloatBits(float f) {
+  uint32_t bits = 0;
+  std::memcpy(&bits, &f, sizeof(bits));
+  return bits;
+}
+
+class ServingEquivalenceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    provider_ = new std::shared_ptr<text::EmbeddingProvider>(
+        std::make_shared<text::EmbeddingProvider>());
+    data::RegisterDomainClusters(**provider_);
+
+    data::GeneratorConfig gc;
+    gc.num_tables = 8;
+    gc.questions_per_table = 4;
+    gc.seed = 1234;
+    splits_ = new data::Splits(data::GenerateWikiSqlSplits(gc));
+
+    core::ModelConfig config = core::ModelConfig::Tiny();
+    config.word_dim = (*provider_)->dim();
+    config.classifier_epochs = 2;
+    config.value_epochs = 2;
+    config.seq2seq_epochs = 3;
+    pipeline_ = new core::NlidbPipeline(config, *provider_);
+    pipeline_->Train(splits_->train);
+  }
+
+  static void TearDownTestSuite() {
+    delete pipeline_;
+    delete splits_;
+    delete provider_;
+  }
+
+  /// The held-out examples the sweeps cycle through.
+  static std::vector<const data::Example*> Corpus(size_t limit) {
+    std::vector<const data::Example*> out;
+    for (const data::Example& ex : splits_->test.examples) {
+      out.push_back(&ex);
+      if (out.size() >= limit) break;
+    }
+    return out;
+  }
+
+  static core::QueryRequest RequestFor(const data::Example& ex) {
+    core::QueryRequest request;
+    request.table = ex.table.get();
+    request.tokens = ex.tokens;
+    return request;
+  }
+
+  /// Asserts `served` equals the sequential `expected` result bit for
+  /// bit in every caller-visible field.
+  static void ExpectSame(const serving::ServedResult& served,
+                         const StatusOr<core::QueryResult>& expected,
+                         const std::string& label) {
+    ASSERT_EQ(served.status.ok(), expected.ok()) << label;
+    if (!expected.ok()) {
+      EXPECT_EQ(served.status.code(), expected.status().code()) << label;
+      EXPECT_EQ(served.status.message(), expected.status().message()) << label;
+      return;
+    }
+    const core::QueryResult& a = served.result;
+    const core::QueryResult& b = expected.value();
+    EXPECT_EQ(a.tokens, b.tokens) << label;
+    EXPECT_EQ(a.annotated_question, b.annotated_question) << label;
+    EXPECT_EQ(a.annotated_sql, b.annotated_sql) << label;
+    EXPECT_EQ(FloatBits(a.translate_score), FloatBits(b.translate_score))
+        << label;
+    EXPECT_EQ(a.degraded_linear_resolution, b.degraded_linear_resolution)
+        << label;
+    EXPECT_EQ(a.degraded_greedy_decode, b.degraded_greedy_decode) << label;
+    EXPECT_EQ(a.recovery_status.code(), b.recovery_status.code()) << label;
+    EXPECT_EQ(a.execution_status.code(), b.execution_status.code()) << label;
+    EXPECT_EQ(a.rows.has_value(), b.rows.has_value()) << label;
+    if (a.rows.has_value() && b.rows.has_value()) {
+      EXPECT_EQ(*a.rows, *b.rows) << label;
+    }
+  }
+
+  static std::shared_ptr<text::EmbeddingProvider>* provider_;
+  static data::Splits* splits_;
+  static core::NlidbPipeline* pipeline_;
+};
+
+std::shared_ptr<text::EmbeddingProvider>* ServingEquivalenceTest::provider_ =
+    nullptr;
+data::Splits* ServingEquivalenceTest::splits_ = nullptr;
+core::NlidbPipeline* ServingEquivalenceTest::pipeline_ = nullptr;
+
+/// Pins the pipeline's decode mode for one scope, restoring on exit.
+class ScopedDecodeMode {
+ public:
+  ScopedDecodeMode(core::NlidbPipeline* pipeline, core::DecodeMode mode)
+      : translator_(pipeline->MutableForTraining().translator),
+        saved_(translator_->decode_mode()) {
+    translator_->set_decode_mode(mode);
+  }
+  ~ScopedDecodeMode() { translator_->set_decode_mode(saved_); }
+
+ private:
+  core::Seq2SeqTranslator* translator_;
+  core::DecodeMode saved_;
+};
+
+const char* ModeName(core::DecodeMode mode) {
+  switch (mode) {
+    case core::DecodeMode::kReference: return "reference";
+    case core::DecodeMode::kReferenceMasked: return "reference_masked";
+    case core::DecodeMode::kFastUnmasked: return "fast_unmasked";
+    case core::DecodeMode::kFast: return "fast";
+  }
+  return "?";
+}
+
+TEST_F(ServingEquivalenceTest, EngineMatchesSequentialAcrossClientsAndModes) {
+  const std::vector<const data::Example*> corpus = Corpus(8);
+  ASSERT_FALSE(corpus.empty());
+  for (const core::DecodeMode mode :
+       {core::DecodeMode::kFast, core::DecodeMode::kFastUnmasked,
+        core::DecodeMode::kReference, core::DecodeMode::kReferenceMasked}) {
+    ScopedDecodeMode pin(pipeline_, mode);
+    std::vector<StatusOr<core::QueryResult>> sequential;
+    for (const data::Example* ex : corpus) {
+      sequential.push_back(pipeline_->Query(RequestFor(*ex)));
+    }
+    for (const int clients : {1, 4, 32}) {
+      serving::ServingOptions options;
+      options.num_workers = 4;
+      options.max_batch = 8;
+      options.cross_request_batching = true;
+      serving::ServingEngine engine(*pipeline_, options);
+      std::vector<std::shared_ptr<serving::ServingEngine::Ticket>> tickets;
+      for (int i = 0; i < clients; ++i) {
+        tickets.push_back(
+            engine.Submit(RequestFor(*corpus[i % corpus.size()])));
+      }
+      for (int i = 0; i < clients; ++i) {
+        ExpectSame(tickets[i]->Take(), sequential[i % corpus.size()],
+                   std::string(ModeName(mode)) + " clients=" +
+                       std::to_string(clients) + " i=" + std::to_string(i));
+      }
+    }
+  }
+}
+
+TEST_F(ServingEquivalenceTest, BatchingDisabledAlsoMatchesSequential) {
+  const std::vector<const data::Example*> corpus = Corpus(8);
+  ASSERT_FALSE(corpus.empty());
+  std::vector<StatusOr<core::QueryResult>> sequential;
+  for (const data::Example* ex : corpus) {
+    sequential.push_back(pipeline_->Query(RequestFor(*ex)));
+  }
+  serving::ServingOptions options;
+  options.num_workers = 4;
+  options.cross_request_batching = false;
+  serving::ServingEngine engine(*pipeline_, options);
+  std::vector<std::shared_ptr<serving::ServingEngine::Ticket>> tickets;
+  for (size_t i = 0; i < 2 * corpus.size(); ++i) {
+    tickets.push_back(engine.Submit(RequestFor(*corpus[i % corpus.size()])));
+  }
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    ExpectSame(tickets[i]->Take(), sequential[i % corpus.size()],
+               "nobatch i=" + std::to_string(i));
+  }
+}
+
+// Mixed beam widths in ONE gate-GEMM tick: a beam-1 query and a beam-4
+// query advance together through the shared [ΣB, 3H] GEMMs, and each
+// must reproduce its sequential DecodeWithBeamWidth answer bit for bit.
+// This drives the FastDecodeState staging protocol directly — the same
+// calls BatchedDecoder::RunTick makes — because the engine itself
+// always decodes at the configured beam width.
+TEST_F(ServingEquivalenceTest, MixedBeamWidthsShareTicksBitwise) {
+  const std::vector<const data::Example*> corpus = Corpus(4);
+  ASSERT_GE(corpus.size(), 2u);
+  const core::Seq2SeqTranslator& translator = pipeline_->translator();
+  ScopedDecodeMode pin(pipeline_, core::DecodeMode::kFast);
+  const bool mask = core::FastDecodeState::WantsMask(
+      translator, core::DecodeMode::kFast);
+
+  // Sequential answers straight from the translator entry point.
+  std::vector<std::vector<std::string>> sources;
+  for (const data::Example* ex : corpus) {
+    StatusOr<core::QueryResult> r = pipeline_->Query(RequestFor(*ex));
+    ASSERT_TRUE(r.ok());
+    sources.push_back(r->annotated_question);
+  }
+
+  const int beams[2] = {1, 4};
+  for (size_t first = 0; first + 1 < sources.size(); ++first) {
+    StatusOr<core::Seq2SeqTranslator::Decoded> seq[2] = {
+        translator.DecodeWithBeamWidth(sources[first], beams[0]),
+        translator.DecodeWithBeamWidth(sources[first + 1], beams[1])};
+
+    Workspace& ws = Workspace::ThreadLocal();
+    Workspace::Scope scope(ws);
+    core::FastDecodeState a(translator, sources[first], beams[0], mask, ws);
+    core::FastDecodeState b(translator, sources[first + 1], beams[1], mask,
+                            ws);
+    ASSERT_TRUE(a.Admit().ok());
+    ASSERT_TRUE(b.Admit().ok());
+    a.BuildEncoderCache();
+    b.BuildEncoderCache();
+
+    StatusOr<core::FastDecodeState::Result> batched[2] = {
+        Status::Internal("unfinished"), Status::Internal("unfinished")};
+    core::FastDecodeState* states[2] = {&a, &b};
+    bool finished[2] = {false, false};
+    while (!finished[0] || !finished[1]) {
+      std::vector<core::FastDecodeState*> active;
+      for (int i = 0; i < 2; ++i) {
+        if (finished[i]) continue;
+        ASSERT_TRUE(states[i]->BeginStep(nullptr).ok());
+        if (states[i]->done()) {
+          batched[i] = states[i]->TakeResult();
+          finished[i] = true;
+        } else {
+          active.push_back(states[i]);
+        }
+      }
+      if (active.empty()) continue;
+      Workspace::Scope tick(ws);
+      const int xin = active[0]->x_width();
+      const int h2 = active[0]->h_width();
+      int total = 0;
+      for (core::FastDecodeState* s : active) total += s->frontier_rows();
+      float* x = ws.Floats(static_cast<size_t>(total) * xin);
+      float* d_gather = ws.Floats(static_cast<size_t>(total) * h2);
+      float* gi = ws.Floats(static_cast<size_t>(total) * 3 * h2);
+      float* gh = ws.Floats(static_cast<size_t>(total) * 3 * h2);
+      int offset = 0;
+      for (core::FastDecodeState* s : active) {
+        s->StageFrontier(x + static_cast<size_t>(offset) * xin,
+                         d_gather + static_cast<size_t>(offset) * h2);
+        offset += s->frontier_rows();
+      }
+      core::FastDecodeState::ComputeGates(translator, x, d_gather, total, gi,
+                                          gh);
+      offset = 0;
+      for (core::FastDecodeState* s : active) {
+        s->FinishStep(gi + static_cast<size_t>(offset) * 3 * h2,
+                      gh + static_cast<size_t>(offset) * 3 * h2,
+                      d_gather + static_cast<size_t>(offset) * h2);
+        offset += s->frontier_rows();
+      }
+    }
+
+    for (int i = 0; i < 2; ++i) {
+      const std::string label = "pair=" + std::to_string(first) +
+                                " beam=" + std::to_string(beams[i]);
+      ASSERT_EQ(batched[i].ok(), seq[i].ok()) << label;
+      if (!seq[i].ok()) continue;
+      EXPECT_EQ(batched[i]->tokens, seq[i]->tokens) << label;
+      EXPECT_EQ(FloatBits(batched[i]->score), FloatBits(seq[i]->score))
+          << label;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nlidb
