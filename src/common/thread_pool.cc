@@ -21,7 +21,7 @@ thread_local bool tls_in_pool_worker = false;
 }  // namespace
 
 struct ThreadPool::LoopState {
-  Mutex mu;
+  Mutex mu{"pool.loop"};
   CondVar done_cv;
   int remaining NLIDB_GUARDED_BY(mu) = 0;
   // One slot per chunk, written by the chunk that failed and read by the
@@ -52,7 +52,9 @@ void ThreadPool::WorkerLoop() {
     Job job;
     {
       MutexLock lock(mu_);
-      while (!shutdown_ && queue_.empty()) work_cv_.Wait(mu_);
+      // WaitIdle: an empty queue is a legitimate steady state, not a
+      // lost notify — the stuck-wait watchdog must not report it.
+      while (!shutdown_ && queue_.empty()) work_cv_.WaitIdle(mu_);
       if (queue_.empty()) return;  // shutdown with drained queue
       job = queue_.front();
       queue_.pop_front();
@@ -177,7 +179,7 @@ int ThreadPool::DefaultParallelism() {
 }
 
 namespace {
-Mutex global_pool_mu;
+Mutex global_pool_mu{"pool.global"};
 std::unique_ptr<ThreadPool> global_pool NLIDB_GUARDED_BY(global_pool_mu);
 }  // namespace
 

@@ -30,7 +30,7 @@ std::atomic<bool> g_enabled{false};
 std::atomic<int> g_next_span_id{1};
 
 struct SinkState {
-  Mutex mu;
+  Mutex mu{"trace.sink"};
   std::shared_ptr<TraceSink> sink NLIDB_GUARDED_BY(mu);
 };
 
@@ -170,7 +170,7 @@ void TraceSpan::Annotate(const char* key, int64_t value) {
 // JsonLinesSink
 
 struct JsonLinesSink::Impl {
-  Mutex mu;
+  Mutex mu{"trace.json_sink"};
   std::FILE* file NLIDB_GUARDED_BY(mu) = nullptr;
 };
 
@@ -220,7 +220,7 @@ struct StderrSummarySink::Impl {
     int64_t count = 0;
     uint64_t total_ns = 0;
   };
-  Mutex mu;
+  Mutex mu{"trace.stderr_sink"};
   std::map<std::string, Agg> by_name NLIDB_GUARDED_BY(mu);
 };
 
@@ -249,7 +249,7 @@ void StderrSummarySink::OnSpanEnd(const SpanRecord& record) {
 // InMemorySink
 
 struct InMemorySink::Impl {
-  mutable Mutex mu;
+  mutable Mutex mu{"trace.mem_sink"};
   std::vector<SpanRecord> records NLIDB_GUARDED_BY(mu);
 };
 

@@ -34,8 +34,8 @@ class TableStatsCache {
   const std::vector<sql::ColumnStatistics>& For(const sql::Table& table);
 
  private:
-  const text::EmbeddingProvider* provider_;
-  Mutex mu_;
+  const text::EmbeddingProvider* const provider_;
+  Mutex mu_{"core.table_stats"};
   std::unordered_map<const sql::Table*, std::vector<sql::ColumnStatistics>>
       cache_ NLIDB_GUARDED_BY(mu_);
 };

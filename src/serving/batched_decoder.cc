@@ -87,20 +87,21 @@ StatusOr<FastDecodeState::Result> BatchedDecoder::BatchedSearch(
   self.state = &state;
   self.ctx = ctx;
 
-  mu_.Lock();
-  queue_.push_back(&self);
-  while (!self.finished) {
-    if (leader_ == nullptr) {
-      leader_ = &self;
-      while (!self.finished) RunTick(&self);
-      leader_ = nullptr;
-      // Wake both finished participants and the next leader candidate.
-      cv_.NotifyAll();
-    } else {
-      cv_.Wait(mu_);
+  {
+    MutexLock lock(mu_);
+    queue_.push_back(&self);
+    while (!self.finished) {
+      if (leader_ == nullptr) {
+        leader_ = &self;
+        while (!self.finished) RunTick(&self);
+        leader_ = nullptr;
+        // Wake both finished participants and the next leader candidate.
+        cv_.NotifyAll();
+      } else {
+        cv_.Wait(mu_);
+      }
     }
   }
-  mu_.Unlock();
 
   NLIDB_RETURN_IF_ERROR(self.error);
   return std::move(self.result);
@@ -131,72 +132,72 @@ void BatchedDecoder::RunTick(Participant* self) {
     batch.push_back(p);
   }
 
-  mu_.Unlock();
-  // ---- Unlocked compute: only the leader touches participant states
-  // (waiting owners are blocked in cv_.Wait), and the lock acquisitions
-  // around each tick give every state a happens-before chain from its
-  // owner through every leader that advanced it.
-  trace::TraceSpan tick_span("serving.batch.tick");
-  std::vector<Participant*> active;
   std::vector<Participant*> completed;
-  active.reserve(batch.size());
-  for (Participant* p : batch) {
-    Status s = p->state->BeginStep(p->ctx);
-    if (!s.ok()) {
-      p->error = s;
-      completed.push_back(p);
-    } else if (p->state->done()) {
-      StatusOr<FastDecodeState::Result> result = p->state->TakeResult();
-      if (result.ok()) {
-        p->result = std::move(result.value());
+  {
+    MutexUnlock unlocked(mu_);
+    // ---- Unlocked compute: only the leader touches participant states
+    // (waiting owners are blocked in cv_.Wait), and the lock acquisitions
+    // around each tick give every state a happens-before chain from its
+    // owner through every leader that advanced it.
+    trace::TraceSpan tick_span("serving.batch.tick");
+    std::vector<Participant*> active;
+    active.reserve(batch.size());
+    for (Participant* p : batch) {
+      Status s = p->state->BeginStep(p->ctx);
+      if (!s.ok()) {
+        p->error = s;
+        completed.push_back(p);
+      } else if (p->state->done()) {
+        StatusOr<FastDecodeState::Result> result = p->state->TakeResult();
+        if (result.ok()) {
+          p->result = std::move(result.value());
+        } else {
+          p->error = result.status();
+        }
+        completed.push_back(p);
       } else {
-        p->error = result.status();
+        active.push_back(p);
       }
-      completed.push_back(p);
-    } else {
-      active.push_back(p);
     }
-  }
 
-  if (!active.empty()) {
-    // Concatenate the live frontiers into one [ΣB, ·] staging block and
-    // run the two gate GEMMs once for everyone. Per-row bits are
-    // independent of the concatenation (kernel contract), and each
-    // FinishStep consumes only its own rows.
-    Workspace& tick_ws = Workspace::ThreadLocal();
-    Workspace::Scope tick_scope(tick_ws);
-    const int xin = active[0]->state->x_width();
-    const int h2 = active[0]->state->h_width();
-    int total = 0;
-    for (Participant* p : active) total += p->state->frontier_rows();
-    float* x = tick_ws.Floats(static_cast<size_t>(total) * xin);
-    float* d_gather = tick_ws.Floats(static_cast<size_t>(total) * h2);
-    float* gi = tick_ws.Floats(static_cast<size_t>(total) * 3 * h2);
-    float* gh = tick_ws.Floats(static_cast<size_t>(total) * 3 * h2);
-    int offset = 0;
-    for (Participant* p : active) {
-      p->state->StageFrontier(x + static_cast<size_t>(offset) * xin,
-                              d_gather + static_cast<size_t>(offset) * h2);
-      offset += p->state->frontier_rows();
+    if (!active.empty()) {
+      // Concatenate the live frontiers into one [ΣB, ·] staging block and
+      // run the two gate GEMMs once for everyone. Per-row bits are
+      // independent of the concatenation (kernel contract), and each
+      // FinishStep consumes only its own rows.
+      Workspace& tick_ws = Workspace::ThreadLocal();
+      Workspace::Scope tick_scope(tick_ws);
+      const int xin = active[0]->state->x_width();
+      const int h2 = active[0]->state->h_width();
+      int total = 0;
+      for (Participant* p : active) total += p->state->frontier_rows();
+      float* x = tick_ws.Floats(static_cast<size_t>(total) * xin);
+      float* d_gather = tick_ws.Floats(static_cast<size_t>(total) * h2);
+      float* gi = tick_ws.Floats(static_cast<size_t>(total) * 3 * h2);
+      float* gh = tick_ws.Floats(static_cast<size_t>(total) * 3 * h2);
+      int offset = 0;
+      for (Participant* p : active) {
+        p->state->StageFrontier(x + static_cast<size_t>(offset) * xin,
+                                d_gather + static_cast<size_t>(offset) * h2);
+        offset += p->state->frontier_rows();
+      }
+      FastDecodeState::ComputeGates(translator_, x, d_gather, total, gi, gh);
+      offset = 0;
+      for (Participant* p : active) {
+        p->state->FinishStep(gi + static_cast<size_t>(offset) * 3 * h2,
+                             gh + static_cast<size_t>(offset) * 3 * h2,
+                             d_gather + static_cast<size_t>(offset) * h2);
+        offset += p->state->frontier_rows();
+      }
+      ticks.Increment();
+      rows.Increment(total);
+      const int bucket = std::min(static_cast<int>(active.size()),
+                                  kOccupancyBuckets - 1);
+      occupancy_counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+      tick_span.Annotate("queries", static_cast<int64_t>(active.size()));
+      tick_span.Annotate("rows", static_cast<int64_t>(total));
     }
-    FastDecodeState::ComputeGates(translator_, x, d_gather, total, gi, gh);
-    offset = 0;
-    for (Participant* p : active) {
-      p->state->FinishStep(gi + static_cast<size_t>(offset) * 3 * h2,
-                           gh + static_cast<size_t>(offset) * 3 * h2,
-                           d_gather + static_cast<size_t>(offset) * h2);
-      offset += p->state->frontier_rows();
-    }
-    ticks.Increment();
-    rows.Increment(total);
-    const int bucket = std::min(static_cast<int>(active.size()),
-                                kOccupancyBuckets - 1);
-    occupancy_counts_[bucket].fetch_add(1, std::memory_order_relaxed);
-    tick_span.Annotate("queries", static_cast<int64_t>(active.size()));
-    tick_span.Annotate("rows", static_cast<int64_t>(total));
-  }
-  // ---- End unlocked compute.
-  mu_.Lock();
+  }  // ---- End unlocked compute: mu_ reacquired here.
   if (!completed.empty()) {
     for (Participant* p : completed) {
       queue_.erase(std::remove(queue_.begin(), queue_.end(), p), queue_.end());

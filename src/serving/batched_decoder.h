@@ -90,7 +90,7 @@ class BatchedDecoder {
   const core::Seq2SeqTranslator& translator_;
   const int max_batch_;
 
-  Mutex mu_;
+  Mutex mu_{"serving.batch"};
   CondVar cv_;
   std::vector<Participant*> queue_ NLIDB_GUARDED_BY(mu_);
   Participant* leader_ NLIDB_GUARDED_BY(mu_) = nullptr;

@@ -69,11 +69,8 @@ std::vector<float> EmbeddingProvider::HashVector(const std::string& key) const {
 }
 
 std::vector<float> EmbeddingProvider::ComputeVector(
-    const std::string& word) const {
+    const std::string& word, std::vector<std::string> concepts) const {
   std::vector<float> base = HashVector(word);
-  std::vector<std::string> concepts;
-  auto it = word_concepts_.find(word);
-  if (it != word_concepts_.end()) concepts = it->second;
   if (LooksNumeric(word)) {
     concepts.push_back("<number>");
     concepts.push_back(MagnitudeBucket(word));
@@ -95,15 +92,21 @@ std::vector<float> EmbeddingProvider::ComputeVector(
 
 const std::vector<float>& EmbeddingProvider::Vector(
     const std::string& word) const {
+  std::vector<std::string> concepts;
   {
     MutexLock lock(mu_);
     auto it = cache_.find(word);
     if (it != cache_.end()) return it->second;
+    // Miss: snapshot the word's concept list under the same lock as the
+    // cache probe, so the vector we compute is consistent with the
+    // registry state the miss was observed against.
+    auto wc = word_concepts_.find(word);
+    if (wc != word_concepts_.end()) concepts = wc->second;
   }
-  // Miss: compute outside the lock (ComputeVector is pure given the
-  // frozen cluster registry), then publish. Two threads may compute the
-  // same word; the loser's identical copy is discarded by try_emplace.
-  std::vector<float> v = ComputeVector(word);
+  // Compute outside the lock (ComputeVector is pure given the snapshot),
+  // then publish. Two threads may compute the same word; the loser's
+  // identical copy is discarded by try_emplace.
+  std::vector<float> v = ComputeVector(word, std::move(concepts));
   MutexLock lock(mu_);
   return cache_.try_emplace(word, std::move(v)).first->second;
 }

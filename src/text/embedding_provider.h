@@ -62,22 +62,26 @@ class EmbeddingProvider {
 
  private:
   std::vector<float> HashVector(const std::string& key) const;
-  std::vector<float> ComputeVector(const std::string& word) const;
+  /// Pure function of (word, concepts, dim_, seed_): the caller snapshots
+  /// the word's concept list under mu_ and computes outside the lock, so
+  /// cache misses of different words do not serialize across workers.
+  std::vector<float> ComputeVector(const std::string& word,
+                                   std::vector<std::string> concepts) const;
 
-  int dim_;
-  uint64_t seed_;
+  const int dim_;
+  const uint64_t seed_;
   // Vector() lazily fills cache_ from const call sites, so concurrent
   // lookups (serving workers sharing one pipeline) race without a lock.
-  // mu_ guards only the cache map itself — ComputeVector runs outside
-  // the critical section so cache misses of different words do not
-  // serialize across workers. Returned references stay valid across
-  // later insertions because unordered_map never moves its nodes.
-  mutable Mutex mu_;
-  // word -> list of concepts it belongs to. Written only by AddCluster
-  // (setup/training time; it also clears cache_ under mu_), read
-  // lock-free by ComputeVector: registration must not run concurrently
-  // with serving, which holds the pipeline const and cannot mutate it.
-  std::unordered_map<std::string, std::vector<std::string>> word_concepts_;
+  // mu_ guards the cache map and the concept registry; the expensive
+  // vector computation runs outside the critical section on a snapshot.
+  // Returned references stay valid across later insertions because
+  // unordered_map never moves its nodes.
+  mutable Mutex mu_{"text.embedding_cache"};
+  // word -> list of concepts it belongs to. Written by AddCluster
+  // (setup/training time; it also clears cache_ under mu_), snapshotted
+  // under mu_ by Vector() on a cache miss.
+  std::unordered_map<std::string, std::vector<std::string>> word_concepts_
+      NLIDB_GUARDED_BY(mu_);
   mutable std::unordered_map<std::string, std::vector<float>> cache_
       NLIDB_GUARDED_BY(mu_);
 };

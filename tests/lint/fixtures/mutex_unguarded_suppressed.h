@@ -12,7 +12,7 @@ class Counter {
 
  private:
   std::mutex mu_;  // nlidb-lint: disable(mutex-unguarded)
-  int total_ = 0;
+  int total_ = 0;  // nlidb-lint: disable(mutex-coverage)
 };
 
 }  // namespace nlidb

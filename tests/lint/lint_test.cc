@@ -74,15 +74,61 @@ TEST(LintTest, RawRandomSuppressed) {
 
 TEST(LintTest, MutexUnguardedHit) {
   const auto findings = Lint({"tests/lint/fixtures/mutex_unguarded_hit.h"});
-  ASSERT_EQ(findings.size(), 1u);
-  EXPECT_EQ(findings[0].rule, "mutex-unguarded");
-  EXPECT_NE(findings[0].message.find("mu_"), std::string::npos);
+  ASSERT_EQ(CountRule(findings, "mutex-unguarded"), 1);
+  // The same bare field is also a coverage gap of the owning class.
+  EXPECT_EQ(CountRule(findings, "mutex-coverage"), 1);
+  for (const Finding& f : findings) {
+    if (f.rule == "mutex-unguarded") {
+      EXPECT_NE(f.message.find("mu_"), std::string::npos);
+    }
+  }
 }
 
 TEST(LintTest, MutexUnguardedSuppressedAndAnnotatedClean) {
   EXPECT_TRUE(
       Lint({"tests/lint/fixtures/mutex_unguarded_suppressed.h"}).empty());
   EXPECT_TRUE(Lint({"tests/lint/fixtures/mutex_guarded_clean.h"}).empty());
+}
+
+TEST(LintTest, NakedLockHit) {
+  const auto findings = Lint({"tests/lint/fixtures/naked_lock_hit.cc"});
+  // Lock(), Unlock(), lock(), unlock() — one finding each.
+  EXPECT_EQ(CountRule(findings, "naked-lock"), 4);
+  EXPECT_EQ(static_cast<int>(findings.size()),
+            CountRule(findings, "naked-lock"));
+}
+
+TEST(LintTest, NakedLockSuppressedSameLineAndPrecedingLine) {
+  EXPECT_TRUE(Lint({"tests/lint/fixtures/naked_lock_suppressed.cc"}).empty());
+}
+
+TEST(LintTest, NakedLockExemptsMutexAndLockdepInternals) {
+  const std::string body = "void F(std::mutex& m) { m.lock(); m.unlock(); }\n";
+  for (const char* path : {"src/common/mutex.h", "src/common/lockdep.cc",
+                           "src/common/lockdep.h"}) {
+    EXPECT_EQ(CountRule(LintFiles({LoadSource(path, body)}), "naked-lock"), 0)
+        << path;
+  }
+  EXPECT_EQ(CountRule(LintFiles({LoadSource("src/serving/serving.cc", body)}),
+                      "naked-lock"),
+            1);
+}
+
+TEST(LintTest, MutexCoverageHit) {
+  const auto findings = Lint({"tests/lint/fixtures/mutex_coverage_hit.h"});
+  // pending_ and label_ lack annotations; total_ is covered.
+  ASSERT_EQ(CountRule(findings, "mutex-coverage"), 2);
+  EXPECT_EQ(static_cast<int>(findings.size()),
+            CountRule(findings, "mutex-coverage"));
+  for (const Finding& f : findings) {
+    EXPECT_NE(f.message.find("Ledger"), std::string::npos);
+  }
+}
+
+TEST(LintTest, MutexCoverageSuppressedAndClean) {
+  EXPECT_TRUE(
+      Lint({"tests/lint/fixtures/mutex_coverage_suppressed.h"}).empty());
+  EXPECT_TRUE(Lint({"tests/lint/fixtures/mutex_coverage_clean.h"}).empty());
 }
 
 TEST(LintTest, IncludeGuardMissing) {
@@ -232,6 +278,104 @@ TEST(LintTest, DefaultTreeSkipsFixturesAndFindsSources) {
   }
   EXPECT_TRUE(std::count(tree.begin(), tree.end(), "src/common/status.h"));
   EXPECT_TRUE(std::count(tree.begin(), tree.end(), "tools/nlidb_lint.cc"));
+}
+
+TEST(LintTest, AuditSuppressionsListsEveryDisableComment) {
+  const std::string src =
+      "void F() {\n"
+      "  int x = 0;  // nlidb-lint: disable(raw-thread)\n"
+      "  // nlidb-lint: disable(naked-lock, mutex-coverage)\n"
+      "  int y = 0;\n"
+      "}\n";
+  const auto sups = AuditSuppressions({LoadSource("src/a.cc", src)});
+  ASSERT_EQ(sups.size(), 3u);
+  EXPECT_EQ(sups[0].line, 2);
+  EXPECT_EQ(sups[0].rule, "raw-thread");
+  // Line 3 names two rules; entries come out (file, line, rule)-sorted.
+  EXPECT_EQ(sups[1].line, 3);
+  EXPECT_EQ(sups[1].rule, "mutex-coverage");
+  EXPECT_EQ(sups[2].line, 3);
+  EXPECT_EQ(sups[2].rule, "naked-lock");
+}
+
+TEST(LintTest, ParseAllowlistAcceptsEntriesAndRejectsMalformed) {
+  std::vector<std::string> errors;
+  const auto budgets = ParseAllowlist(
+      "# comment\n"
+      "\n"
+      "src/a.cc raw-thread 2\n"
+      "src/b.cc naked-lock 1\n",
+      &errors);
+  EXPECT_TRUE(errors.empty());
+  ASSERT_EQ(budgets.size(), 2u);
+  EXPECT_EQ(budgets[0].file, "src/a.cc");
+  EXPECT_EQ(budgets[0].rule, "raw-thread");
+  EXPECT_EQ(budgets[0].max_count, 2);
+
+  errors.clear();
+  ParseAllowlist("src/a.cc raw-thread\n", &errors);  // missing count
+  EXPECT_EQ(errors.size(), 1u);
+  errors.clear();
+  ParseAllowlist("src/a.cc raw-thread zero\n", &errors);  // not a number
+  EXPECT_EQ(errors.size(), 1u);
+  errors.clear();
+  ParseAllowlist("src/a.cc raw-thread 0\n", &errors);  // must be positive
+  EXPECT_EQ(errors.size(), 1u);
+}
+
+TEST(LintTest, SuppressionBudgetFlagsOverBudgetAndStaleEntries) {
+  const std::vector<Suppression> sups = {
+      {"src/a.cc", 10, "raw-thread"},
+      {"src/a.cc", 20, "raw-thread"},
+      {"src/b.cc", 5, "naked-lock"},
+  };
+  std::vector<std::string> errors;
+  const auto budgets = ParseAllowlist(
+      "src/a.cc raw-thread 2\n"
+      "src/b.cc naked-lock 3\n",
+      &errors);
+  ASSERT_TRUE(errors.empty());
+
+  // Within budget: no violations; the over-granted naked-lock entry is
+  // reported as stale.
+  std::vector<std::string> stale;
+  EXPECT_TRUE(CheckSuppressionBudget(sups, budgets, &stale).empty());
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_NE(stale[0].find("src/b.cc"), std::string::npos);
+
+  // A suppression with no allowlist entry at all is over budget 0.
+  std::vector<Suppression> extra = sups;
+  extra.push_back({"src/c.cc", 1, "mutex-coverage"});
+  const auto violations = CheckSuppressionBudget(extra, budgets, nullptr);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_NE(violations[0].find("src/c.cc"), std::string::npos);
+  EXPECT_NE(violations[0].find("mutex-coverage"), std::string::npos);
+}
+
+// The suppression-budget gate CI enforces (also exposed as the
+// standalone `nlidb_lint_suppression_audit` ctest entry): every
+// `nlidb-lint: disable(...)` in the tree is covered by a reviewed entry
+// in tools/lint_suppressions.txt.
+TEST(LintTest, RealTreeSuppressionsWithinBudget) {
+  const std::string root = RepoRoot();
+  std::vector<SourceFile> files;
+  for (const std::string& rel : DefaultTree(root)) {
+    SourceFile file;
+    ASSERT_TRUE(LoadSourceFile(root + "/" + rel, rel, &file)) << rel;
+    files.push_back(std::move(file));
+  }
+  SourceFile allowlist;
+  ASSERT_TRUE(LoadSourceFile(root + "/tools/lint_suppressions.txt",
+                             "tools/lint_suppressions.txt", &allowlist));
+  std::string contents;
+  for (const std::string& line : allowlist.raw) contents += line + "\n";
+  std::vector<std::string> errors;
+  const auto budgets = ParseAllowlist(contents, &errors);
+  for (const std::string& e : errors) ADD_FAILURE() << e;
+  for (const std::string& v :
+       CheckSuppressionBudget(AuditSuppressions(files), budgets, nullptr)) {
+    ADD_FAILURE() << v;
+  }
 }
 
 // The gate CI enforces: the committed tree has zero findings. Any new

@@ -7,13 +7,20 @@
 // Enforces the contracts the compiler cannot: all threading goes through
 // ThreadPool, all randomness through common/rng, GEMM kernel TUs stay
 // wall-clock-free and literal-identical across ISA tiers, every mutex
-// member names the state it guards, and headers carry path-derived
-// include guards. Token/regex level on comment- and string-stripped
-// source — deliberately no libclang dependency so the checker builds
-// everywhere the library does.
+// member names the state it guards, lock acquisition is RAII-only
+// (naked-lock), every class owning a mutex annotates its mutable fields
+// (mutex-coverage), and headers carry path-derived include guards.
+// Token/regex level on comment- and string-stripped source —
+// deliberately no libclang dependency so the checker builds everywhere
+// the library does.
 //
 // Suppression: a finding on line L is dropped when line L or L-1
-// contains `nlidb-lint: disable(<rule-id>)` in a comment.
+// contains `nlidb-lint: disable(<rule-id>)` in a comment; several rules
+// may share one comment as `disable(rule-a, rule-b)`. Every suppression
+// in the tree is budgeted: `nlidb_lint --suppression-audit --allowlist
+// tools/lint_suppressions.txt` (a ctest gate) fails when a suppression
+// appears that the committed allowlist does not cover, so waiving a
+// rule is a reviewed, diffable act rather than a drive-by comment.
 
 #include <string>
 #include <vector>
@@ -62,6 +69,45 @@ std::vector<std::string> DefaultTree(const std::string& root);
 
 /// `rule-id: summary` lines for --list-rules.
 std::vector<std::string> RuleDescriptions();
+
+/// One `nlidb-lint: disable(...)` occurrence in the tree (one entry per
+/// rule named in the comment).
+struct Suppression {
+  std::string file;  // repo-relative
+  int line = 0;      // 1-based line of the comment
+  std::string rule;
+};
+
+/// Every suppression comment in `files`, in (file, line, rule) order.
+/// Reads the raw lines, so suppressions inside comments are found (that
+/// is where they live).
+std::vector<Suppression> AuditSuppressions(
+    const std::vector<SourceFile>& files);
+
+/// One allowlist entry: at most `max_count` suppressions of `rule` in
+/// `file`. Parsed from tools/lint_suppressions.txt, format
+/// `<file> <rule> <max_count>` per line, '#' comments.
+struct SuppressionBudget {
+  std::string file;
+  std::string rule;
+  int max_count = 0;
+};
+
+/// Parses allowlist text; malformed lines are reported into `errors`
+/// (empty vector on clean parse).
+std::vector<SuppressionBudget> ParseAllowlist(const std::string& contents,
+                                              std::vector<std::string>* errors);
+
+/// Budget check: returns one human-readable violation per (file, rule)
+/// whose suppression count exceeds its allowlist budget (missing entry =
+/// budget 0), plus a note per allowlist entry that is no longer used at
+/// its full budget (stale entries are reported but are not violations —
+/// the caller decides). Violations come first; the second vector holds
+/// the stale-entry notes.
+std::vector<std::string> CheckSuppressionBudget(
+    const std::vector<Suppression>& suppressions,
+    const std::vector<SuppressionBudget>& budgets,
+    std::vector<std::string>* stale_notes);
 
 /// The include guard mandated for a header at `rel_path`:
 /// "common/status.h" (the leading "src/" is dropped first) maps to

@@ -2,6 +2,8 @@
 // architecture"). Token/regex level, no libclang.
 //
 //   nlidb_lint [--root <dir>] [--list-rules] [paths...]
+//   nlidb_lint --suppression-audit [--allowlist <file>] [--root <dir>]
+//              [paths...]
 //
 // With no paths, lints every .h/.cc/.cpp/.inc under <root>/{src,tests,
 // tools,bench}, skipping the deliberately-violating fixtures in
@@ -9,9 +11,19 @@
 // taken relative to --root (default: the current directory). Output is
 // `file:line: rule-id: message`, one finding per line; exit status is 0
 // when clean, 1 when findings were reported, 2 on usage or I/O errors.
+//
+// --suppression-audit lists every `nlidb-lint: disable(...)` comment in
+// the tree as `file:line: rule`. With --allowlist it additionally
+// enforces the suppression budget (`<file> <rule> <max_count>` per
+// line): exit 1 when a (file, rule) pair has more suppressions than the
+// committed allowlist grants, so waiving a rule is a reviewed diff, not
+// a drive-by comment. Stale allowlist entries (budget larger than the
+// actual count) are reported as warnings but do not fail the audit.
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -21,8 +33,12 @@ int main(int argc, char** argv) {
   namespace fs = std::filesystem;
   using nlidb::lint::Finding;
   using nlidb::lint::SourceFile;
+  using nlidb::lint::Suppression;
+  using nlidb::lint::SuppressionBudget;
 
   std::string root = ".";
+  std::string allowlist_path;
+  bool suppression_audit = false;
   std::vector<std::string> paths;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -32,14 +48,24 @@ int main(int argc, char** argv) {
         return 2;
       }
       root = argv[++i];
+    } else if (arg == "--allowlist") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "nlidb_lint: --allowlist needs a file\n");
+        return 2;
+      }
+      allowlist_path = argv[++i];
+    } else if (arg == "--suppression-audit") {
+      suppression_audit = true;
     } else if (arg == "--list-rules") {
       for (const std::string& desc : nlidb::lint::RuleDescriptions()) {
         std::printf("%s\n", desc.c_str());
       }
       return 0;
     } else if (arg == "--help") {
-      std::printf("usage: nlidb_lint [--root <dir>] [--list-rules] "
-                  "[paths...]\n");
+      std::printf(
+          "usage: nlidb_lint [--root <dir>] [--list-rules] [paths...]\n"
+          "       nlidb_lint --suppression-audit [--allowlist <file>]\n"
+          "                  [--root <dir>] [paths...]\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "nlidb_lint: unknown flag %s\n", arg.c_str());
@@ -47,6 +73,11 @@ int main(int argc, char** argv) {
     } else {
       paths.push_back(arg);
     }
+  }
+  if (!suppression_audit && !allowlist_path.empty()) {
+    std::fprintf(stderr,
+                 "nlidb_lint: --allowlist requires --suppression-audit\n");
+    return 2;
   }
   if (!fs::is_directory(root)) {
     std::fprintf(stderr, "nlidb_lint: --root %s is not a directory\n",
@@ -67,6 +98,52 @@ int main(int argc, char** argv) {
       return 2;
     }
     files.push_back(std::move(file));
+  }
+
+  if (suppression_audit) {
+    const std::vector<Suppression> suppressions =
+        nlidb::lint::AuditSuppressions(files);
+    for (const Suppression& s : suppressions) {
+      std::printf("%s:%d: %s\n", s.file.c_str(), s.line, s.rule.c_str());
+    }
+    if (allowlist_path.empty()) {
+      std::fprintf(stderr, "nlidb_lint: %zu suppression(s) in %zu files\n",
+                   suppressions.size(), files.size());
+      return 0;
+    }
+    std::ifstream in(allowlist_path);
+    if (!in) {
+      std::fprintf(stderr, "nlidb_lint: cannot read allowlist %s\n",
+                   allowlist_path.c_str());
+      return 2;
+    }
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    std::vector<std::string> parse_errors;
+    const std::vector<SuppressionBudget> budgets =
+        nlidb::lint::ParseAllowlist(contents.str(), &parse_errors);
+    for (const std::string& err : parse_errors) {
+      std::fprintf(stderr, "nlidb_lint: %s\n", err.c_str());
+    }
+    if (!parse_errors.empty()) return 2;
+    std::vector<std::string> stale;
+    const std::vector<std::string> violations =
+        nlidb::lint::CheckSuppressionBudget(suppressions, budgets, &stale);
+    for (const std::string& note : stale) {
+      std::fprintf(stderr, "nlidb_lint: warning: stale allowlist: %s\n",
+                   note.c_str());
+    }
+    for (const std::string& v : violations) {
+      std::fprintf(stderr, "nlidb_lint: over budget: %s\n", v.c_str());
+    }
+    if (violations.empty()) {
+      std::fprintf(stderr,
+                   "nlidb_lint: %zu suppression(s) within the allowlist "
+                   "budget\n",
+                   suppressions.size());
+      return 0;
+    }
+    return 1;
   }
 
   const std::vector<Finding> findings = nlidb::lint::LintFiles(files);
