@@ -144,6 +144,12 @@ inline const char* ServingJsonPath() {
   return v != nullptr ? v : "BENCH_serving.json";
 }
 
+/// Output path for bench_schema_scale's registry scaling report.
+inline const char* SchemaJsonPath() {
+  const char* v = std::getenv("NLIDB_BENCH_SCHEMA_JSON");
+  return v != nullptr ? v : "BENCH_schema.json";
+}
+
 }  // namespace bench
 }  // namespace nlidb
 

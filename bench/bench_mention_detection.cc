@@ -186,7 +186,7 @@ int Run() {
       env.splits.test,
       [&](const data::Example& ex) -> StatusOr<sql::SelectQuery> {
         core::QueryRequest request;
-        request.table = ex.table.get();
+        request.schema_ref = core::SchemaRef::Table(ex.table.get());
         request.tokens = ex.tokens;
         request.execute = false;
         request.collect_timings = false;

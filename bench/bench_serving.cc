@@ -150,7 +150,7 @@ LoadStats RunLoad(const core::NlidbPipeline& pipeline,
           std::this_thread::sleep_for(std::chrono::nanoseconds(at - now));
         }
         core::QueryRequest request;
-        request.table = c.example->table.get();
+        request.schema_ref = core::SchemaRef::Table(c.example->table.get());
         request.tokens = c.example->tokens;
         request.collect_timings = false;
         if (c.deadline_ns != 0) {
@@ -205,7 +205,7 @@ uint64_t CalibrateServiceNs(const core::NlidbPipeline& pipeline,
   int n = 0;
   for (const data::Example& ex : corpus.examples) {
     core::QueryRequest request;
-    request.table = ex.table.get();
+    request.schema_ref = core::SchemaRef::Table(ex.table.get());
     request.tokens = ex.tokens;
     request.collect_timings = false;
     const uint64_t t0 = NowNs();
@@ -231,7 +231,7 @@ bool SmokeEquivalence(const core::NlidbPipeline& pipeline,
   int n = 0;
   for (const data::Example& ex : corpus.examples) {
     core::QueryRequest request;
-    request.table = ex.table.get();
+    request.schema_ref = core::SchemaRef::Table(ex.table.get());
     request.tokens = ex.tokens;
     expected.push_back({&ex, pipeline.Query(request)});
     if (++n >= limit) break;
@@ -249,7 +249,7 @@ bool SmokeEquivalence(const core::NlidbPipeline& pipeline,
   for (int round = 0; round < kRounds; ++round) {
     for (size_t i = 0; i < expected.size(); ++i) {
       core::QueryRequest request;
-      request.table = expected[i].example->table.get();
+      request.schema_ref = core::SchemaRef::Table(expected[i].example->table.get());
       request.tokens = expected[i].example->tokens;
       tickets.push_back(engine.Submit(std::move(request)));
       which.push_back(i);

@@ -40,7 +40,7 @@ std::map<std::string, StageStats> RunCorpus(
   int done = 0;
   for (const data::Example& ex : dataset.examples) {
     core::QueryRequest request;
-    request.table = ex.table.get();
+    request.schema_ref = core::SchemaRef::Table(ex.table.get());
     request.tokens = ex.tokens;
     StatusOr<core::QueryResult> result = pipeline.Query(request);
     if (!result.ok()) continue;

@@ -22,6 +22,7 @@ nlidb_bench(bench_ablation_resolution bench_ablation_resolution.cc)
 nlidb_bench(bench_stage_breakdown bench_stage_breakdown.cc)
 nlidb_bench(bench_decoder bench_decoder.cc)
 nlidb_bench(bench_serving bench_serving.cc)
+nlidb_bench(bench_schema_scale bench_schema_scale.cc)
 
 add_executable(bench_micro_substrate bench/bench_micro_substrate.cc)
 set_target_properties(bench_micro_substrate PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

@@ -57,7 +57,7 @@ int main() {
   std::printf("Q: %s\n\n", question.c_str());
 
   core::QueryRequest request;
-  request.table = &table;
+  request.schema_ref = core::SchemaRef::Table(&table);
   request.question = question;
   StatusOr<core::QueryResult> response = pipeline.Query(request);
   if (!response.ok()) {

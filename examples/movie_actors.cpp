@@ -61,7 +61,7 @@ int main() {
   // One structured Query() pass returns every stage: the annotation,
   // q^a, s^a, the recovered SQL, the execution rows, and the timings.
   core::QueryRequest request;
-  request.table = &table;
+  request.schema_ref = core::SchemaRef::Table(&table);
   request.question = question;
   StatusOr<core::QueryResult> response = pipeline.Query(request);
   if (!response.ok()) {

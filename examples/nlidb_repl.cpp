@@ -50,7 +50,7 @@ void PrintTable(const sql::Table& table) {
 void Ask(const core::NlidbPipeline& pipeline, const sql::Table& table,
          const std::string& question) {
   core::QueryRequest request;
-  request.table = &table;
+  request.schema_ref = core::SchemaRef::Table(&table);
   request.question = question;
   StatusOr<core::QueryResult> response = pipeline.Query(request);
   if (!response.ok()) {

@@ -53,7 +53,7 @@ int main() {
     std::printf("gold SQL:      %s\n",
                 nlidb::sql::ToSql(ex.query, ex.schema()).c_str());
     nlidb::core::QueryRequest request;
-    request.table = ex.table.get();
+    request.schema_ref = nlidb::core::SchemaRef::Table(ex.table.get());
     request.question = ex.question;
     auto response = pipeline.Query(request);
     if (response.ok() && response->query.has_value()) {

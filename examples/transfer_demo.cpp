@@ -61,7 +61,7 @@ int main() {
   for (const char* q : questions) {
     std::printf("Q: %s\n", q);
     core::QueryRequest request;
-    request.table = &table;
+    request.schema_ref = core::SchemaRef::Table(&table);
     request.question = q;
     auto response = pipeline.Query(request);
     if (!response.ok() || !response->query.has_value()) {

@@ -15,7 +15,7 @@ SketchSlotFiller::SketchSlotFiller(
     std::shared_ptr<text::EmbeddingProvider> provider)
     : config_(config),
       provider_(std::move(provider)),
-      stats_cache_(*provider_) {
+      registry_(provider_) {
   NLIDB_CHECK(provider_ != nullptr) << "sketch filler needs a provider";
   value_detector_ = std::make_unique<core::ValueDetector>(config_, *provider_);
   // Context-free matching only: no classifier, no learned value detector
@@ -26,7 +26,7 @@ SketchSlotFiller::SketchSlotFiller(
 }
 
 float SketchSlotFiller::Train(const data::Dataset& dataset) {
-  return core::TrainValueDetector(*value_detector_, dataset, stats_cache_,
+  return core::TrainValueDetector(*value_detector_, dataset, registry_,
                                   config_);
 }
 
@@ -77,7 +77,7 @@ StatusOr<sql::SelectQuery> SketchSlotFiller::Translate(
 
   // $COND_COL/$OP/$COND_VAL: type-aware value detection; each value span
   // goes to its highest-scoring column — no structural resolution.
-  const auto& stats = stats_cache_.For(table);
+  const auto& stats = registry_.StatsFor(table);
   std::vector<core::ValueDetector::Detection> detections =
       core::ExactCellValueMatches(tokens, table);
   StatusOr<std::vector<core::ValueDetector::Detection>> detected =

@@ -10,6 +10,7 @@
 #include "core/trainer.h"
 #include "core/value_detector.h"
 #include "data/example.h"
+#include "schema/registry.h"
 
 namespace nlidb {
 namespace baselines {
@@ -48,7 +49,9 @@ class SketchSlotFiller {
   std::shared_ptr<text::EmbeddingProvider> provider_;
   std::unique_ptr<core::ValueDetector> value_detector_;
   std::unique_ptr<core::Annotator> matcher_;  // context-free matching only
-  mutable core::TableStatsCache stats_cache_;
+  /// Content-keyed statistics via the same const lookup API the main
+  /// pipeline uses (no more baseline-private mutable stats cache).
+  schema::SchemaRegistry registry_;
 };
 
 }  // namespace baselines

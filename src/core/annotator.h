@@ -60,12 +60,22 @@ class Annotator {
   /// a silently-empty annotation. `ctx` (optional) is polled at stage
   /// boundaries and inside the value-detector scan and classifier
   /// fan-out; expiry surfaces as DeadlineExceeded.
+  ///
+  /// `column_shortlist` (optional, ascending column indices) restricts
+  /// the classifier pass to those columns; excluded columns behave
+  /// exactly as classifier rejections. The result is identical to a
+  /// full scan whenever the shortlist covers every column the
+  /// classifier would accept — the schema registry's contract
+  /// (schema/registry.h), asserted by the equality tests. Context-free
+  /// matching and value detection are never restricted: they are the
+  /// higher-confidence evidence tiers.
   StatusOr<Annotation> Annotate(
       const std::vector<std::string>& tokens, const sql::Table& table,
       const std::vector<sql::ColumnStatistics>& stats,
       const NlMetadata* metadata = nullptr,
       const CancelContext* ctx = nullptr,
-      AnnotateDebug* debug = nullptr) const;
+      AnnotateDebug* debug = nullptr,
+      const std::vector<int>* column_shortlist = nullptr) const;
 
   /// Best context-free match of `phrase_tokens` inside `tokens`:
   /// the window with the highest blended edit/semantic similarity, if it
@@ -95,11 +105,13 @@ class Annotator {
       const NlMetadata* metadata, std::vector<bool>& claimed,
       std::vector<bool>& matched) const;
 
-  /// Classifier + adversarial-locator pass over unmatched columns.
+  /// Classifier + adversarial-locator pass over unmatched columns
+  /// (intersected with `column_shortlist` when non-null).
   StatusOr<std::vector<ColumnMentionCandidate>> ClassifierColumnPass(
       const std::vector<std::string>& tokens, const sql::Schema& schema,
       std::vector<bool>& claimed, const std::vector<bool>& matched,
-      const CancelContext* ctx) const;
+      const CancelContext* ctx,
+      const std::vector<int>* column_shortlist = nullptr) const;
 
   ModelConfig config_;
   const text::EmbeddingProvider* provider_;

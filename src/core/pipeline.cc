@@ -32,7 +32,20 @@ NlidbPipeline::NlidbPipeline(const ModelConfig& config,
   annotator_ = std::make_unique<Annotator>(config_, *provider_,
                                            classifier_.get(),
                                            value_detector_.get());
-  stats_cache_ = std::make_unique<TableStatsCache>(*provider_);
+  registry_ = std::make_unique<schema::SchemaRegistry>(
+      provider_, schema::SchemaRegistryOptions::FromEnv());
+}
+
+/// Shortlist for `tokens` against `table` when the registry's mode and
+/// the table's width call for one; nullptr (full scan) otherwise. The
+/// returned pointer aliases `storage`.
+const std::vector<int>* NlidbPipeline::MaybeShortlist(
+    const std::vector<std::string>& tokens, const sql::Table& table,
+    std::vector<int>& storage) const {
+  if (registry_->mode() != schema::ScanMode::kShortlist) return nullptr;
+  if (table.num_columns() <= registry_->options().shortlist_k) return nullptr;
+  storage = registry_->ShortlistColumns(tokens, table);
+  return &storage;
 }
 
 AnnotationOptions NlidbPipeline::annotation_options() const {
@@ -50,7 +63,7 @@ TrainReport NlidbPipeline::Train(const data::Dataset& train) {
       *classifier_, train, config_, &report.classifier_pairs);
   NLIDB_LOG(Info) << "training value detector";
   report.value_loss = TrainValueDetector(*value_detector_, train,
-                                         *stats_cache_, config_,
+                                         *registry_, config_,
                                          &report.value_pairs);
   NLIDB_LOG(Info) << "training seq2seq translator";
   report.seq2seq_loss = TrainSeq2Seq(*translator_, train,
@@ -72,8 +85,13 @@ StatusOr<Annotation> NlidbPipeline::Annotate(
   if (table.num_columns() == 0) {
     return Status::InvalidArgument("table has no columns");
   }
-  const auto& stats = stats_cache_->For(table);
-  return annotator_->Annotate(tokens, table, stats, metadata_);
+  const schema::TableStatsEntry& entry = registry_->EntryFor(table);
+  std::vector<int> shortlist;
+  const std::vector<int>* shortlist_ptr =
+      MaybeShortlist(tokens, table, shortlist);
+  return annotator_->Annotate(tokens, table, entry.stats, metadata_,
+                              /*ctx=*/nullptr, /*debug=*/nullptr,
+                              shortlist_ptr);
 }
 
 StatusOr<QueryResult> NlidbPipeline::Query(const QueryRequest& request) const {
@@ -96,12 +114,22 @@ StatusOr<QueryResult> NlidbPipeline::Query(const QueryRequest& request) const {
 
   trace::TraceSpan span("pipeline.query");
   queries.Increment();
-  if (request.table == nullptr) {
-    return Status::InvalidArgument("QueryRequest.table is null");
+  // Effective schema reference: schema_ref when set, else the deprecated
+  // raw-pointer shim (one release; pipeline.cc is its only reader).
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  schema::SchemaRef ref = request.schema_ref;
+  if (ref.unset() && request.table != nullptr) {
+    ref = schema::SchemaRef::Table(request.table);
   }
-  const sql::Table& table = *request.table;
-  if (table.num_columns() == 0) {
-    return Status::InvalidArgument("table has no columns");
+#pragma GCC diagnostic pop
+  if (ref.unset()) {
+    return Status::InvalidArgument(
+        "QueryRequest has no schema reference: set schema_ref");
+  }
+  if (ref.kind() == schema::SchemaRef::Kind::kTable &&
+      ref.table() == nullptr) {
+    return Status::InvalidArgument("SchemaRef::Table is null");
   }
 
   QueryResult result;
@@ -145,19 +173,50 @@ StatusOr<QueryResult> NlidbPipeline::Query(const QueryRequest& request) const {
     return fail(Status::InvalidArgument("empty question"));
   }
   span.Annotate("num_tokens", static_cast<int64_t>(result.tokens.size()));
-  span.Annotate("num_columns", static_cast<int64_t>(table.num_columns()));
   {
     Status s = ctx.Check("pipeline.tokenize");
     if (!s.ok()) return fail(s);
   }
 
+  // Schema resolution: ref -> concrete table. After tokenize because
+  // Route() refs rank registered tables against the question tokens;
+  // direct refs resolve in constant time. Always emitted so the stage
+  // tree has a fixed shape.
+  const sql::Table* resolved = nullptr;
+  {
+    trace::TraceSpan stage("pipeline.resolve");
+    begin_stage();
+    StatusOr<schema::Resolution> resolution =
+        registry_->Resolve(ref, result.tokens);
+    if (!resolution.ok()) return fail(resolution.status());
+    resolved = resolution->table;
+    result.table_id = resolution->id;
+    result.table_name = resolved->name();
+    result.routing = std::move(resolution->candidates);
+    stage.Annotate("table", result.table_name);
+    end_stage("resolve");
+  }
+  const sql::Table& table = *resolved;
+  if (table.num_columns() == 0) {
+    return fail(Status::InvalidArgument("table has no columns"));
+  }
+  span.Annotate("num_columns", static_cast<int64_t>(table.num_columns()));
+
   {
     trace::TraceSpan stage("pipeline.annotate");
     begin_stage();
-    const auto& stats = stats_cache_->For(table);
+    // Stats lookup and shortlist ranking are charged to the annotate
+    // stage: they are the per-question cost of column scoring, which is
+    // exactly what the scale bench's "annotate flat vs registry size"
+    // gate must observe.
+    const schema::TableStatsEntry& entry = registry_->EntryFor(table);
+    std::vector<int> shortlist;
+    const std::vector<int>* shortlist_ptr =
+        MaybeShortlist(result.tokens, table, shortlist);
     Annotator::AnnotateDebug debug;
-    StatusOr<Annotation> annotation = annotator_->Annotate(
-        result.tokens, table, stats, metadata_, &ctx, &debug);
+    StatusOr<Annotation> annotation =
+        annotator_->Annotate(result.tokens, table, entry.stats, metadata_,
+                             &ctx, &debug, shortlist_ptr);
     if (!annotation.ok()) return fail(annotation.status());
     result.annotation = std::move(annotation).value();
     result.degraded_linear_resolution = debug.linear_resolution_fallback;

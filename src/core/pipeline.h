@@ -13,6 +13,8 @@
 #include "common/status.h"
 #include "core/annotator.h"
 #include "core/trainer.h"
+#include "schema/registry.h"
+#include "schema/schema_ref.h"
 #include "sql/executor.h"
 
 namespace nlidb {
@@ -20,13 +22,43 @@ namespace core {
 
 struct QueryResult;
 
+/// Re-exported so callers constructing requests write
+/// `core::SchemaRef::Name("films")` without reaching into the schema
+/// namespace.
+using SchemaRef = ::nlidb::schema::SchemaRef;
+
 /// Input to `NlidbPipeline::Query`. Exactly one of `question` /
 /// `tokens` should be set; a non-empty `tokens` wins and skips the
 /// tokenizer stage.
 struct QueryRequest {
-  const sql::Table* table = nullptr;  // required
-  std::string question;               // raw NL question (tokenized here)
-  std::vector<std::string> tokens;    // pre-tokenized question
+  /// Which table the question runs against, resolved through the
+  /// pipeline's schema registry: an ad-hoc `SchemaRef::Table(&t)`, a
+  /// registered `SchemaRef::Name("films")` / `SchemaRef::Id(id)`, or
+  /// `SchemaRef::Route()` to let the registry's router pick the table
+  /// from the question itself.
+  schema::SchemaRef schema_ref;
+
+  /// One-release compatibility shim for the retired raw-`Table*` entry
+  /// path (the `Translate*` retirement playbook): honored only while
+  /// `schema_ref` is unset, and slated for removal.
+  [[deprecated("set QueryRequest::schema_ref instead")]]
+  const sql::Table* table = nullptr;
+
+  // The special members are spelled out (inside a diagnostic guard)
+  // because their defaulted bodies touch the deprecated shim above;
+  // without this, merely default-constructing or moving a QueryRequest
+  // would warn in every caller TU under -Werror.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  QueryRequest() = default;
+  QueryRequest(const QueryRequest&) = default;
+  QueryRequest(QueryRequest&&) = default;
+  QueryRequest& operator=(const QueryRequest&) = default;
+  QueryRequest& operator=(QueryRequest&&) = default;
+#pragma GCC diagnostic pop
+
+  std::string question;             // raw NL question (tokenized here)
+  std::vector<std::string> tokens;  // pre-tokenized question
 
   /// Run the recovered SQL against `table` and fill `QueryResult::rows`.
   bool execute = true;
@@ -80,6 +112,15 @@ struct StageTiming {
 /// them instead of discarding them on the way to the SQL.
 struct QueryResult {
   std::vector<std::string> tokens;              // post-tokenizer question
+
+  /// Which table the request resolved to. `table_id` is the registry
+  /// handle (kInvalidTableId for ad-hoc unregistered tables); for
+  /// routed requests `routing` carries the ranked candidate list the
+  /// winner was drawn from, so callers can surface alternatives.
+  std::string table_name;
+  schema::TableId table_id = schema::kInvalidTableId;
+  std::vector<schema::RouteCandidate> routing;
+
   Annotation annotation;                        // step 1 output
   std::vector<std::string> annotated_question;  // q^a fed to the seq2seq
   std::vector<std::string> annotated_sql;       // decoded s^a
@@ -106,8 +147,8 @@ struct QueryResult {
   bool degraded_linear_resolution = false;
   bool degraded_greedy_decode = false;
 
-  /// Per-stage wall times ("query" root; children: tokenize, annotate,
-  /// build_qa, translate, recover, execute). Empty when
+  /// Per-stage wall times ("query" root; children: tokenize, resolve,
+  /// annotate, build_qa, translate, recover, execute). Empty when
   /// `request.collect_timings` was false.
   StageTiming stages;
 };
@@ -133,8 +174,9 @@ class NlidbPipeline {
   TrainReport Train(const data::Dataset& train);
 
   /// The pipeline entry point. Returns an error for an invalid request
-  /// (no table, empty question, zero-column table) or when the request's
-  /// deadline expires / it is cancelled (DeadlineExceeded; the stages
+  /// (unresolvable schema_ref, empty question, zero-column table) or
+  /// when the request's deadline expires / it is cancelled
+  /// (DeadlineExceeded; the stages
   /// completed so far land in `request.partial_result` when set).
   /// Downstream model failures (unrecoverable s^a, execution errors)
   /// come back inside the result so callers still see every intermediate
@@ -154,7 +196,14 @@ class NlidbPipeline {
   const ValueDetector& value_detector() const { return *value_detector_; }
   const Seq2SeqTranslator& translator() const { return *translator_; }
   const Annotator& annotator() const { return *annotator_; }
-  TableStatsCache& stats_cache() const { return *stats_cache_; }
+
+  /// The schema-resolution subsystem: registered tables, the content-
+  /// keyed column-statistics store (the replacement for the retired
+  /// mutable `stats_cache()` accessor), routing and shortlisting. The
+  /// const accessor is all inference needs; `mutable_registry()` exists
+  /// for setup (registering tables, loading a persisted store).
+  const schema::SchemaRegistry& registry() const { return *registry_; }
+  schema::SchemaRegistry& mutable_registry() { return *registry_; }
 
   /// Mutable access to the learned components, for training and
   /// checkpoint loading only. Inference paths use the const accessors;
@@ -170,13 +219,19 @@ class NlidbPipeline {
   void set_metadata(const NlMetadata* metadata) { metadata_ = metadata; }
 
  private:
+  /// Shortlist for the current mode/table width, or nullptr for a full
+  /// scan; the returned pointer aliases `storage`.
+  const std::vector<int>* MaybeShortlist(const std::vector<std::string>& tokens,
+                                         const sql::Table& table,
+                                         std::vector<int>& storage) const;
+
   ModelConfig config_;
   std::shared_ptr<text::EmbeddingProvider> provider_;
   std::unique_ptr<ColumnMentionClassifier> classifier_;
   std::unique_ptr<ValueDetector> value_detector_;
   std::unique_ptr<Seq2SeqTranslator> translator_;
   std::unique_ptr<Annotator> annotator_;
-  std::unique_ptr<TableStatsCache> stats_cache_;
+  std::unique_ptr<schema::SchemaRegistry> registry_;
   const NlMetadata* metadata_ = nullptr;
 };
 

@@ -54,23 +54,6 @@ Annotation GoldAnnotation(const data::Example& example) {
   return annotation;
 }
 
-const std::vector<sql::ColumnStatistics>& TableStatsCache::For(
-    const sql::Table& table) {
-  MutexLock lock(mu_);
-  auto it = cache_.find(&table);
-  // The address key can collide when a table is destroyed and another is
-  // constructed at the same address; a column-count mismatch is the
-  // cheap tell, and serving the stale entry would feed the annotator
-  // statistics from an unrelated schema.
-  if (it != cache_.end() &&
-      it->second.size() == static_cast<size_t>(table.num_columns())) {
-    return it->second;
-  }
-  auto [pos, inserted] = cache_.insert_or_assign(
-      &table, sql::ComputeTableStatistics(table, *provider_));
-  return pos->second;
-}
-
 float TrainColumnMentionClassifier(ColumnMentionClassifier& classifier,
                                    const data::Dataset& dataset,
                                    const ModelConfig& config, int* num_pairs) {
@@ -120,7 +103,7 @@ float TrainColumnMentionClassifier(ColumnMentionClassifier& classifier,
 }
 
 float TrainValueDetector(ValueDetector& detector, const data::Dataset& dataset,
-                         TableStatsCache& stats_cache,
+                         const schema::SchemaRegistry& registry,
                          const ModelConfig& config, int* num_pairs) {
   const text::EmbeddingProvider& provider = detector.provider();
   struct Pair {
@@ -132,7 +115,7 @@ float TrainValueDetector(ValueDetector& detector, const data::Dataset& dataset,
   std::vector<Pair> pairs;
   Rng rng(config.seed + 12);
   for (const data::Example& ex : dataset.examples) {
-    const auto& stats = stats_cache.For(*ex.table);
+    const auto& stats = registry.StatsFor(*ex.table);
     for (const data::MentionInfo& m : ex.where_mentions) {
       if (m.value_span.empty()) continue;
       std::vector<std::string> span_tokens(

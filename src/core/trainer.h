@@ -1,16 +1,14 @@
 #ifndef NLIDB_CORE_TRAINER_H_
 #define NLIDB_CORE_TRAINER_H_
 
-#include <unordered_map>
 #include <vector>
 
-#include "common/mutex.h"
-#include "common/thread_annotations.h"
 #include "core/annotation.h"
 #include "core/column_mention_classifier.h"
 #include "core/seq2seq.h"
 #include "core/value_detector.h"
 #include "data/example.h"
+#include "schema/registry.h"
 
 namespace nlidb {
 namespace core {
@@ -20,25 +18,6 @@ namespace core {
 /// c_i/v_i numbering (the same ordering the inference-time resolver
 /// produces).
 Annotation GoldAnnotation(const data::Example& example);
-
-/// Statistics cache keyed by table identity, shared across training and
-/// evaluation passes. Safe for concurrent `For` calls (serving workers
-/// share one pipeline): lookups and inserts run under a mutex, and the
-/// returned reference stays valid across later insertions because
-/// unordered_map never moves its nodes.
-class TableStatsCache {
- public:
-  explicit TableStatsCache(const text::EmbeddingProvider& provider)
-      : provider_(&provider) {}
-
-  const std::vector<sql::ColumnStatistics>& For(const sql::Table& table);
-
- private:
-  const text::EmbeddingProvider* const provider_;
-  Mutex mu_{"core.table_stats"};
-  std::unordered_map<const sql::Table*, std::vector<sql::ColumnStatistics>>
-      cache_ NLIDB_GUARDED_BY(mu_);
-};
 
 /// Per-stage training results (mean loss of the final epoch).
 struct TrainReport {
@@ -60,9 +39,12 @@ float TrainColumnMentionClassifier(ColumnMentionClassifier& classifier,
 
 /// Trains the value detector on (span, column-stats) pairs: gold value
 /// spans against their column (positive, oversampled) and against other
-/// columns / random non-value spans (negative).
+/// columns / random non-value spans (negative). Column statistics come
+/// from `registry`'s content-keyed store (the same const lookup the
+/// inference path uses), so training a second model over the same corpus
+/// reuses the computed statistics instead of recomputing them.
 float TrainValueDetector(ValueDetector& detector, const data::Dataset& dataset,
-                         TableStatsCache& stats_cache,
+                         const schema::SchemaRegistry& registry,
                          const ModelConfig& config, int* num_pairs = nullptr);
 
 /// Trains a sequence translator (GRU seq2seq or transformer) on

@@ -67,7 +67,7 @@ namespace {
 StatusOr<core::QueryResult> RunPipeline(const core::NlidbPipeline& pipeline,
                                         const data::Example& example) {
   core::QueryRequest request;
-  request.table = example.table.get();
+  request.schema_ref = core::SchemaRef::Table(example.table.get());
   request.tokens = example.tokens;
   request.execute = false;
   request.collect_timings = false;

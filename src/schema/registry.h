@@ -1,0 +1,224 @@
+#ifndef NLIDB_SCHEMA_REGISTRY_H_
+#define NLIDB_SCHEMA_REGISTRY_H_
+
+// Schema registry (DESIGN.md §15 "Schema-scale architecture").
+//
+// `SchemaRegistry` is the single owner of schema-resolution state for a
+// pipeline: the set of registered tables, their content-keyed column
+// statistics, the token index behind table routing, and the per-table
+// column embeddings behind classifier shortlisting. It replaces the
+// address-keyed `TableStatsCache` — statistics are keyed by a CRC32C
+// content fingerprint (schema/fingerprint.h), so a table that mutates
+// in place, or a fresh table allocated at a recycled address, can never
+// be served another table's (or its own stale) statistics.
+//
+// Thread model: all public const methods are safe to call concurrently
+// (serving workers share one registry). Registration is also
+// thread-safe but is expected at setup time. Statistics are computed
+// outside the lock on a miss (they are a pure function of table content
+// and the embedding provider), so cache misses of different tables do
+// not serialize; returned entry references stay valid for the registry
+// lifetime because entries are heap-allocated and never erased.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "schema/fingerprint.h"
+#include "schema/schema_ref.h"
+#include "sql/statistics.h"
+#include "sql/table.h"
+#include "text/embedding_provider.h"
+
+namespace nlidb {
+namespace schema {
+
+/// How the annotator consumes column statistics.
+enum class ScanMode {
+  /// Score every column of the table (the paper's behavior; byte-
+  /// identical to the pre-registry pipeline).
+  kFullScan,
+  /// Score only the registry's top-K candidate columns. Annotations are
+  /// identical to full-scan whenever K covers every column the
+  /// classifier would accept (guaranteed trivially when K >= table
+  /// width; asserted against full-scan by tests and the scale bench).
+  kShortlist,
+};
+
+struct SchemaRegistryOptions {
+  ScanMode mode = ScanMode::kShortlist;
+
+  /// Max candidate columns the shortlist passes to the classifier.
+  /// Tables at or under this width are never pruned.
+  int shortlist_k = 16;
+
+  /// Max ranked tables `Route` returns (and `Resolution.candidates`
+  /// carries) for a table-free request.
+  int route_limit = 5;
+
+  /// Rows per table sampled into the routing token index. Bounds index
+  /// build cost per registered table.
+  int max_index_rows = 32;
+
+  /// Defaults overridden by NLIDB_SCHEMA_MODE ("shortlist" | "full"),
+  /// NLIDB_SCHEMA_SHORTLIST_K, NLIDB_SCHEMA_ROUTE_LIMIT (README.md).
+  static SchemaRegistryOptions FromEnv();
+};
+
+/// Everything the registry precomputes for one table content
+/// fingerprint. `stats` is the paper's per-column s_c metadata;
+/// `name_embeddings` are phrase vectors of each column's display name
+/// (shortlist scoring); `centroid` is the mean column embedding
+/// (routing tiebreak).
+struct TableStatsEntry {
+  uint64_t fingerprint = 0;
+  std::vector<sql::ColumnStatistics> stats;
+  std::vector<std::vector<float>> name_embeddings;
+  std::vector<float> centroid;
+};
+
+/// One ranked table from the router.
+struct RouteCandidate {
+  TableId id = kInvalidTableId;
+  std::string name;
+  float score = 0.0f;
+};
+
+/// The outcome of resolving a `SchemaRef`: the concrete table to run
+/// against, its registry handle when registered (ad-hoc `Table` refs
+/// may not be), and — for routed requests — the ranked candidate list
+/// the winner was drawn from.
+struct Resolution {
+  const sql::Table* table = nullptr;
+  TableId id = kInvalidTableId;
+  std::vector<RouteCandidate> candidates;
+};
+
+class SchemaRegistry {
+ public:
+  explicit SchemaRegistry(
+      std::shared_ptr<const text::EmbeddingProvider> provider,
+      const SchemaRegistryOptions& options = SchemaRegistryOptions());
+  SchemaRegistry(const SchemaRegistry&) = delete;
+  SchemaRegistry& operator=(const SchemaRegistry&) = delete;
+
+  /// Registers `table` under its name, precomputes its statistics entry
+  /// and indexes it for routing. Duplicate names are
+  /// FailedPrecondition; a null table is InvalidArgument. Thread-safe.
+  StatusOr<TableId> Register(std::shared_ptr<const sql::Table> table);
+
+  /// Handle of the registered table named `name`; kInvalidTableId when
+  /// absent.
+  TableId Find(const std::string& name) const;
+
+  /// The registered table behind `id`; nullptr when out of range.
+  const sql::Table* table(TableId id) const;
+
+  int num_tables() const;
+
+  /// The precomputed entry for `table`'s current content. Content-keyed:
+  /// the table is fingerprinted on every call, so a mutated table gets
+  /// fresh statistics instead of stale ones. The reference stays valid
+  /// for the registry's lifetime. Works for unregistered (ad-hoc)
+  /// tables too — the entry is simply computed and retained on first
+  /// sight.
+  const TableStatsEntry& EntryFor(const sql::Table& table) const;
+
+  /// Shorthand for EntryFor(table).stats.
+  const std::vector<sql::ColumnStatistics>& StatsFor(
+      const sql::Table& table) const;
+
+  /// Resolves `ref` to a concrete table. `tokens` (the tokenized
+  /// question) is only consulted for `SchemaRef::Route()` refs.
+  StatusOr<Resolution> Resolve(const SchemaRef& ref,
+                               const std::vector<std::string>& tokens) const;
+
+  /// Admission-time resolvability check (serving): validates that `ref`
+  /// can resolve without doing the work — named/id refs must be
+  /// registered, routed refs need a non-empty registry.
+  Status CheckResolvable(const SchemaRef& ref) const;
+
+  /// Ranks registered tables against a tokenized question: inverted-
+  /// index token hits (idf-weighted) blended with question/table-
+  /// centroid cosine. Deterministic; ties break toward the lower id.
+  std::vector<RouteCandidate> Route(const std::vector<std::string>& tokens,
+                                    int limit) const;
+
+  /// Candidate columns of `table` for `tokens`, ascending column
+  /// indices. Returns all columns when the table is at or under
+  /// shortlist_k wide; otherwise the top-K by blended name/content
+  /// similarity. Pure ranking — never consults the classifier.
+  std::vector<int> ShortlistColumns(const std::vector<std::string>& tokens,
+                                    const sql::Table& table) const;
+
+  /// Persists every known statistics entry (format: "NLSR" v1,
+  /// CRC32C-footed, written atomically). Cold start then becomes
+  /// Load + cheap embedding recompute instead of a full statistics
+  /// pass over every table.
+  Status Save(const std::string& path) const;
+
+  /// Loads a Save()d store into the warm set consulted before
+  /// computing statistics from scratch. Fully validated (magic,
+  /// version, footer CRC32C, staged parse) before any state changes; a
+  /// corrupt or torn file leaves the registry untouched and returns
+  /// the parse error — callers fall back to recomputation.
+  Status Load(const std::string& path);
+
+  ScanMode mode() const {
+    return static_cast<ScanMode>(mode_.load(std::memory_order_relaxed));
+  }
+  void set_mode(ScanMode mode) {
+    mode_.store(static_cast<int>(mode), std::memory_order_relaxed);
+  }
+
+  const SchemaRegistryOptions& options() const { return options_; }
+  const text::EmbeddingProvider& provider() const { return *provider_; }
+
+ private:
+  /// Builds the embeddings/centroid half of an entry from its stats.
+  /// Pure; called outside mu_ (it takes the provider's lock).
+  void FillDerived(const sql::Table& table, TableStatsEntry& entry) const;
+
+  /// Inserts `entry` under mu_ unless another thread won the race, and
+  /// returns the resident entry either way.
+  const TableStatsEntry& Intern(std::unique_ptr<TableStatsEntry> entry) const;
+
+  const std::shared_ptr<const text::EmbeddingProvider> provider_;
+  const SchemaRegistryOptions options_;
+  /// ScanMode, relaxed: a mode flip mid-flight only changes which
+  /// (equivalent) scoring path later queries take.
+  std::atomic<int> mode_;
+
+  mutable Mutex mu_{"schema.registry"};
+  /// Registered tables by id; ids are dense and never reused.
+  std::vector<std::shared_ptr<const sql::Table>> tables_ NLIDB_GUARDED_BY(mu_);
+  std::unordered_map<std::string, TableId> name_to_id_ NLIDB_GUARDED_BY(mu_);
+  /// Routing inverted index: token -> ids of tables whose name, column
+  /// names, or sampled cells contain it (each id at most once).
+  std::unordered_map<std::string, std::vector<TableId>> postings_
+      NLIDB_GUARDED_BY(mu_);
+  /// Per-table centroid, parallel to tables_ (copied out of the stats
+  /// entry at registration so routing never re-fingerprints).
+  std::vector<std::vector<float>> centroids_ NLIDB_GUARDED_BY(mu_);
+  /// Content-keyed statistics store. Entries are heap-allocated and
+  /// never erased, so references returned by EntryFor stay valid across
+  /// later insertions and rehashes.
+  mutable std::unordered_map<uint64_t, std::unique_ptr<TableStatsEntry>>
+      entries_ NLIDB_GUARDED_BY(mu_);
+  /// Statistics loaded from disk, consulted before recomputing on an
+  /// entries_ miss (embeddings/centroids are rebuilt cheaply from the
+  /// live table; only the expensive cell scan is persisted).
+  std::unordered_map<uint64_t, std::vector<sql::ColumnStatistics>>
+      loaded_stats_ NLIDB_GUARDED_BY(mu_);
+};
+
+}  // namespace schema
+}  // namespace nlidb
+
+#endif  // NLIDB_SCHEMA_REGISTRY_H_

@@ -19,7 +19,9 @@
 //                        + serving.cancelled
 // A request that runs and misses its deadline in-flight still counts as
 // completed (the miss shows up in serving.deadline_misses, which tallies
-// both shed-for-deadline and missed-in-flight requests).
+// both shed-for-deadline and missed-in-flight requests). A request whose
+// SchemaRef cannot resolve is failed at admission (admitted + completed,
+// plus serving.schema_unresolvable) without consuming a queue slot.
 
 #include <cstdint>
 #include <memory>

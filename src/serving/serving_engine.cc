@@ -29,6 +29,7 @@ struct ServingCounters {
   metrics::Counter& rejected_queue_full;
   metrics::Counter& rejected_shutdown;
   metrics::Counter& deadline_misses;
+  metrics::Counter& schema_unresolvable;
   metrics::MaxGauge& queue_depth_peak;
   metrics::Histogram& queue_wait;
   metrics::Histogram& e2e_latency;
@@ -43,6 +44,7 @@ struct ServingCounters {
                              reg.GetCounter("serving.rejected_queue_full"),
                              reg.GetCounter("serving.rejected_shutdown"),
                              reg.GetCounter("serving.deadline_misses"),
+                             reg.GetCounter("serving.schema_unresolvable"),
                              reg.GetGauge("serving.queue_depth_peak"),
                              reg.GetHistogram("serving.queue_wait_ns"),
                              reg.GetHistogram("serving.e2e_latency_ns")};
@@ -126,6 +128,35 @@ std::shared_ptr<ServingEngine::Ticket> ServingEngine::Submit(
           "request shed at admission: deadline cannot be met");
       shed.e2e_ns = trace::NowNs() - now;
       Resolve(*ticket, std::move(shed));
+      return ticket;
+    }
+  }
+
+  // Schema resolvability at admission: a request naming an unknown
+  // table or routing against an empty registry can never succeed, so it
+  // resolves here instead of burning a queue slot and a worker pipeline
+  // pass. It counts as admitted + completed — it entered the system and
+  // resolved with the same error the pipeline would have returned —
+  // keeping the counter invariant admission-path independent.
+  {
+    // Honor the deprecated raw-`Table*` shim exactly as the pipeline
+    // does, so shimmed requests are not rejected here.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    schema::SchemaRef ref = request.schema_ref;
+    if (ref.unset() && request.table != nullptr) {
+      ref = schema::SchemaRef::Table(request.table);
+    }
+#pragma GCC diagnostic pop
+    Status resolvable = pipeline_.registry().CheckResolvable(ref);
+    if (!resolvable.ok()) {
+      counters.admitted.Increment();
+      counters.completed.Increment();
+      counters.schema_unresolvable.Increment();
+      ServedResult failed;
+      failed.status = std::move(resolvable);
+      failed.e2e_ns = trace::NowNs() - now;
+      Resolve(*ticket, std::move(failed));
       return ticket;
     }
   }

@@ -302,7 +302,7 @@ TEST_F(DeadlineFixture, ExpiredDeadlineReturnsDeadlineExceededWithPartial) {
   core::NlidbPipeline pipeline(config_, provider_);
   sql::Table table = FilmTable();
   core::QueryRequest request;
-  request.table = &table;
+  request.schema_ref = core::SchemaRef::Table(&table);
   request.question = "which film was directed by sofia garcia ?";
   request.deadline = Deadline::AfterNanos(1);  // expired at first poll
   core::QueryResult partial;
@@ -328,7 +328,7 @@ TEST_F(DeadlineFixture, MillisecondDeadlineNeverAborts) {
   sql::Table table = FilmTable();
   for (int i = 0; i < 8; ++i) {
     core::QueryRequest request;
-    request.table = &table;
+    request.schema_ref = core::SchemaRef::Table(&table);
     request.question = "which film was directed by sofia garcia ?";
     request.deadline = Deadline::AfterMillis(1);
     auto result = pipeline.Query(request);
@@ -343,7 +343,7 @@ TEST_F(DeadlineFixture, ExternalCancellationStopsTheQuery) {
   sql::Table table = FilmTable();
   std::atomic<bool> cancelled{true};  // cancelled before it starts
   core::QueryRequest request;
-  request.table = &table;
+  request.schema_ref = core::SchemaRef::Table(&table);
   request.question = "which film was directed by sofia garcia ?";
   request.cancel = &cancelled;
   auto result = pipeline.Query(request);
@@ -360,7 +360,7 @@ TEST_F(DeadlineFixture, DependencyParseFailureDegradesToLinearResolution) {
   failpoint::ScopedFailpoint fp("resolver/dependency_parse", "error");
   const int64_t fallbacks_before = CounterValue("resolver.linear_fallbacks");
   core::QueryRequest request;
-  request.table = &table;
+  request.schema_ref = core::SchemaRef::Table(&table);
   request.question = "which film was directed by sofia garcia ?";
   auto result = pipeline.Query(request);
   ASSERT_TRUE(result.ok()) << result.status();
@@ -375,7 +375,7 @@ TEST_F(DeadlineFixture, BeamExhaustionDegradesToGreedyDecode) {
   failpoint::ScopedFailpoint fp("seq2seq/beam_exhausted", "error");
   const int64_t fallbacks_before = CounterValue("seq2seq.greedy_fallbacks");
   core::QueryRequest request;
-  request.table = &table;
+  request.schema_ref = core::SchemaRef::Table(&table);
   request.question = "which film was directed by sofia garcia ?";
   auto result = pipeline.Query(request);
   ASSERT_TRUE(result.ok()) << result.status();

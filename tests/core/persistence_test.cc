@@ -51,7 +51,7 @@ TEST(PipelinePersistenceTest, SaveLoadPreservesBehavior) {
   auto translate = [](const NlidbPipeline& pipeline, const data::Example& ex)
       -> StatusOr<sql::SelectQuery> {
     QueryRequest request;
-    request.table = ex.table.get();
+    request.schema_ref = SchemaRef::Table(ex.table.get());
     request.tokens = ex.tokens;
     request.execute = false;
     request.collect_timings = false;

@@ -45,14 +45,14 @@ TEST_F(PipelineTest, EmptyInputsRejectedCleanly) {
   NlidbPipeline pipeline(config_, provider_);
   sql::Table table = FilmTable();
   QueryRequest empty_question;
-  empty_question.table = &table;
+  empty_question.schema_ref = SchemaRef::Table(&table);
   empty_question.question = "";
   auto r1 = pipeline.Query(empty_question);
   EXPECT_FALSE(r1.ok());
   EXPECT_EQ(r1.status().code(), StatusCode::kInvalidArgument);
   sql::Table empty("empty", sql::Schema{});
   QueryRequest empty_schema;
-  empty_schema.table = &empty;
+  empty_schema.schema_ref = SchemaRef::Table(&empty);
   empty_schema.tokens = {"hello"};
   auto r2 = pipeline.Query(empty_schema);
   EXPECT_FALSE(r2.ok());
@@ -71,7 +71,7 @@ TEST_F(PipelineTest, UntrainedPipelineDoesNotCrash) {
   // clean result either way: Query succeeds and reports any recovery
   // failure in-band instead of crashing.
   QueryRequest request;
-  request.table = &table;
+  request.schema_ref = SchemaRef::Table(&table);
   request.question = "which film by sofia garcia ?";
   auto result = pipeline.Query(request);
   ASSERT_TRUE(result.ok()) << result.status();
@@ -82,7 +82,7 @@ TEST_F(PipelineTest, QueryReturnsEveryStage) {
   NlidbPipeline pipeline(config_, provider_);
   sql::Table table = FilmTable();
   QueryRequest request;
-  request.table = &table;
+  request.schema_ref = SchemaRef::Table(&table);
   request.question = "which film name directed by sofia garcia ?";
   auto result = pipeline.Query(request);
   ASSERT_TRUE(result.ok()) << result.status();
@@ -105,7 +105,7 @@ TEST_F(PipelineTest, QueryTimingsCanBeDisabled) {
   NlidbPipeline pipeline(config_, provider_);
   sql::Table table = FilmTable();
   QueryRequest request;
-  request.table = &table;
+  request.schema_ref = SchemaRef::Table(&table);
   request.question = "which film name directed by sofia garcia ?";
   request.collect_timings = false;
   request.execute = false;
@@ -136,12 +136,84 @@ TEST_F(PipelineTest, AnnotateRejectsEmptyTokens) {
   EXPECT_EQ(ann.status().code(), StatusCode::kInvalidArgument);
 }
 
-TEST_F(PipelineTest, StatsCacheSharedAcrossCalls) {
+TEST_F(PipelineTest, RegistryStatsSharedAcrossCalls) {
   NlidbPipeline pipeline(config_, provider_);
   sql::Table table = FilmTable();
-  const auto& s1 = pipeline.stats_cache().For(table);
-  const auto& s2 = pipeline.stats_cache().For(table);
+  const auto& s1 = pipeline.registry().StatsFor(table);
+  const auto& s2 = pipeline.registry().StatsFor(table);
   EXPECT_EQ(&s1, &s2);
+  // Content-keyed, not address-keyed: an identical copy elsewhere in
+  // memory shares the same entry.
+  sql::Table copy = FilmTable();
+  EXPECT_EQ(&pipeline.registry().StatsFor(copy), &s1);
+}
+
+TEST_F(PipelineTest, QueryResolvesRegisteredTableByName) {
+  NlidbPipeline pipeline(config_, provider_);
+  auto table = std::make_shared<sql::Table>(FilmTable());
+  auto id = pipeline.mutable_registry().Register(table);
+  ASSERT_TRUE(id.ok()) << id.status();
+
+  QueryRequest request;
+  request.schema_ref = SchemaRef::Name("films");
+  request.question = "which film name directed by sofia garcia ?";
+  auto result = pipeline.Query(request);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->table_name, "films");
+  EXPECT_EQ(result->table_id, id.value());
+  EXPECT_NE(result->stages.Child("resolve"), nullptr);
+
+  QueryRequest by_id;
+  by_id.schema_ref = SchemaRef::Id(id.value());
+  by_id.question = "which film name directed by sofia garcia ?";
+  auto result2 = pipeline.Query(by_id);
+  ASSERT_TRUE(result2.ok()) << result2.status();
+  EXPECT_EQ(result2->table_name, "films");
+
+  QueryRequest unknown;
+  unknown.schema_ref = SchemaRef::Name("no_such_table");
+  unknown.question = "anything ?";
+  auto missing = pipeline.Query(unknown);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(PipelineTest, QueryRoutesWhenNoTableGiven) {
+  NlidbPipeline pipeline(config_, provider_);
+  auto films = std::make_shared<sql::Table>(FilmTable());
+  sql::Schema schema({{"county", sql::DataType::kText},
+                      {"population", sql::DataType::kReal}});
+  auto counties = std::make_shared<sql::Table>("counties", schema);
+  ASSERT_TRUE(
+      counties->AddRow({sql::Value::Text("mayo"), sql::Value::Real(130507)})
+          .ok());
+  ASSERT_TRUE(pipeline.mutable_registry().Register(films).ok());
+  ASSERT_TRUE(pipeline.mutable_registry().Register(counties).ok());
+
+  QueryRequest request;
+  request.schema_ref = SchemaRef::Route();
+  request.question = "what is the population of mayo ?";
+  auto result = pipeline.Query(request);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->table_name, "counties");
+  ASSERT_FALSE(result->routing.empty());
+  EXPECT_EQ(result->routing.front().name, "counties");
+}
+
+TEST_F(PipelineTest, DeprecatedTablePointerShimStillWorks) {
+  NlidbPipeline pipeline(config_, provider_);
+  sql::Table table = FilmTable();
+  QueryRequest request;
+  // One-release compat shim: the raw-pointer path must behave exactly
+  // like SchemaRef::Table until it is removed.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  request.table = &table;
+#pragma GCC diagnostic pop
+  request.question = "which film name directed by sofia garcia ?";
+  auto result = pipeline.Query(request);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->table_name, "films");
 }
 
 TEST_F(PipelineTest, MetadataInjectionImprovesAnnotation) {

@@ -44,14 +44,14 @@ TEST(GoldAnnotationTest, SelectPairComesWithConditionPairs) {
   }
 }
 
-TEST(TableStatsCacheTest, CachesByIdentity) {
-  text::EmbeddingProvider provider(16);
-  TableStatsCache cache(provider);
+TEST(RegistryStatsTest, CachesByContent) {
+  auto provider = std::make_shared<text::EmbeddingProvider>(16);
+  schema::SchemaRegistry registry(provider);
   sql::Schema schema({{"x", sql::DataType::kText}});
   sql::Table t("t", schema);
   ASSERT_TRUE(t.AddRow({sql::Value::Text("hello")}).ok());
-  const auto& s1 = cache.For(t);
-  const auto& s2 = cache.For(t);
+  const auto& s1 = registry.StatsFor(t);
+  const auto& s2 = registry.StatsFor(t);
   EXPECT_EQ(&s1, &s2);
 }
 
@@ -80,9 +80,9 @@ TEST(TrainerTest, ValueDetectorProducesPairsAndLearns) {
   config.word_dim = 48;
   config.value_epochs = 4;
   ValueDetector det(config, *provider);
-  TableStatsCache cache(*provider);
+  schema::SchemaRegistry registry(provider);
   int pairs = 0;
-  const float loss = TrainValueDetector(det, ds, cache, config, &pairs);
+  const float loss = TrainValueDetector(det, ds, registry, config, &pairs);
   EXPECT_GT(pairs, ds.examples.size());
   EXPECT_LT(loss, 0.6f);
 }
@@ -110,8 +110,8 @@ TEST(TrainerTest, EmptyDatasetIsNoOp) {
   ColumnMentionClassifier clf(config, *provider);
   EXPECT_EQ(TrainColumnMentionClassifier(clf, empty, config), 0.0f);
   ValueDetector det(config, *provider);
-  TableStatsCache cache(*provider);
-  EXPECT_EQ(TrainValueDetector(det, empty, cache, config), 0.0f);
+  schema::SchemaRegistry registry(provider);
+  EXPECT_EQ(TrainValueDetector(det, empty, registry, config), 0.0f);
   Seq2SeqTranslator tr(config);
   EXPECT_EQ(TrainSeq2Seq(tr, empty, AnnotationOptions{}, config), 0.0f);
 }

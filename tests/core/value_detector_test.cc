@@ -107,8 +107,8 @@ TEST(ValueDetectorTest, LearnsCounterfactualDetection) {
   data::Splits splits = data::GenerateWikiSqlSplits(gc);
   ModelConfig config = Config(32);
   ValueDetector det(config, *provider);
-  TableStatsCache cache(*provider);
-  const float loss = TrainValueDetector(det, splits.train, cache, config);
+  schema::SchemaRegistry registry(provider);
+  const float loss = TrainValueDetector(det, splits.train, registry, config);
   EXPECT_LT(loss, 0.5f);
 
   // Build a fresh films table; ask about a person who is NOT in it.

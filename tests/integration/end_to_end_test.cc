@@ -19,7 +19,7 @@ StatusOr<sql::SelectQuery> TranslateExample(const core::NlidbPipeline& pipeline,
                                             const std::vector<std::string>& tokens,
                                             const std::string& question = "") {
   core::QueryRequest request;
-  request.table = &table;
+  request.schema_ref = core::SchemaRef::Table(&table);
   request.question = question;
   request.tokens = tokens;
   request.execute = false;

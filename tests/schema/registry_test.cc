@@ -1,0 +1,304 @@
+#include "schema/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/file_io.h"
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "sql/value.h"
+
+namespace nlidb {
+namespace schema {
+namespace {
+
+std::shared_ptr<text::EmbeddingProvider> Provider() {
+  return std::make_shared<text::EmbeddingProvider>(32);
+}
+
+sql::Table FilmTable(const std::string& name = "films") {
+  sql::Schema schema({{"film_name", sql::DataType::kText},
+                      {"director", sql::DataType::kText}});
+  sql::Table t(name, schema);
+  EXPECT_TRUE(t.AddRow({sql::Value::Text("winter echo"),
+                        sql::Value::Text("sofia garcia")})
+                  .ok());
+  return t;
+}
+
+sql::Table CountyTable() {
+  sql::Schema schema({{"county", sql::DataType::kText},
+                      {"population", sql::DataType::kReal}});
+  sql::Table t("counties", schema);
+  EXPECT_TRUE(
+      t.AddRow({sql::Value::Text("mayo"), sql::Value::Real(130507)}).ok());
+  return t;
+}
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+void ExpectStatsEqual(const std::vector<sql::ColumnStatistics>& a,
+                      const std::vector<sql::ColumnStatistics>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t c = 0; c < a.size(); ++c) {
+    EXPECT_EQ(a[c].column_name, b[c].column_name);
+    EXPECT_EQ(a[c].type, b[c].type);
+    EXPECT_EQ(a[c].distinct_count, b[c].distinct_count);
+    EXPECT_EQ(a[c].avg_tokens_per_cell, b[c].avg_tokens_per_cell);
+    EXPECT_EQ(a[c].min_value, b[c].min_value);
+    EXPECT_EQ(a[c].max_value, b[c].max_value);
+    EXPECT_EQ(a[c].mean_value, b[c].mean_value);
+    EXPECT_EQ(a[c].embedding, b[c].embedding);
+  }
+}
+
+TEST(SchemaRegistryTest, StatsAreContentKeyed) {
+  SchemaRegistry registry(Provider());
+  sql::Table t = FilmTable();
+  const TableStatsEntry& e1 = registry.EntryFor(t);
+  EXPECT_EQ(&e1, &registry.EntryFor(t));
+  // An identical table elsewhere in memory — even under another name —
+  // shares the entry; different content does not.
+  sql::Table copy = FilmTable("films_mirror");
+  EXPECT_EQ(&registry.EntryFor(copy), &e1);
+  sql::Table other = CountyTable();
+  EXPECT_NE(&registry.EntryFor(other), &e1);
+}
+
+TEST(SchemaRegistryTest, MutatedTableGetsFreshStats) {
+  // Regression for the address-keyed TableStatsCache bug: statistics
+  // must never silently diverge from the table content they describe.
+  SchemaRegistry registry(Provider());
+  sql::Table t = FilmTable();
+  const TableStatsEntry& before = registry.EntryFor(t);
+  EXPECT_EQ(before.stats[1].distinct_count, 1);
+  ASSERT_TRUE(t.AddRow({sql::Value::Text("silent river"),
+                        sql::Value::Text("liam murphy")})
+                  .ok());
+  const TableStatsEntry& after = registry.EntryFor(t);
+  EXPECT_NE(&after, &before);
+  EXPECT_EQ(after.stats[1].distinct_count, 2);
+  // The pre-mutation entry is retained, not overwritten: references
+  // handed out earlier stay valid and correct for the old content.
+  EXPECT_EQ(before.stats[1].distinct_count, 1);
+}
+
+TEST(SchemaRegistryTest, EntriesCarryDerivedEmbeddings) {
+  auto provider = Provider();
+  SchemaRegistry registry(provider);
+  sql::Table t = FilmTable();
+  const TableStatsEntry& entry = registry.EntryFor(t);
+  ASSERT_EQ(entry.name_embeddings.size(), 2u);
+  for (const auto& vec : entry.name_embeddings) {
+    EXPECT_EQ(static_cast<int>(vec.size()), provider->dim());
+  }
+  EXPECT_EQ(static_cast<int>(entry.centroid.size()), provider->dim());
+}
+
+TEST(SchemaRegistryTest, RegisterAssignsDenseIdsAndRejectsDuplicates) {
+  SchemaRegistry registry(Provider());
+  EXPECT_EQ(registry.num_tables(), 0);
+  auto films = std::make_shared<sql::Table>(FilmTable());
+  auto counties = std::make_shared<sql::Table>(CountyTable());
+  StatusOr<TableId> id1 = registry.Register(films);
+  StatusOr<TableId> id2 = registry.Register(counties);
+  ASSERT_TRUE(id1.ok());
+  ASSERT_TRUE(id2.ok());
+  EXPECT_EQ(id1.value(), 0);
+  EXPECT_EQ(id2.value(), 1);
+  EXPECT_EQ(registry.num_tables(), 2);
+  EXPECT_EQ(registry.Find("films"), id1.value());
+  EXPECT_EQ(registry.Find("nowhere"), kInvalidTableId);
+  EXPECT_EQ(registry.table(id2.value()), counties.get());
+  EXPECT_EQ(registry.table(99), nullptr);
+
+  auto duplicate = std::make_shared<sql::Table>(FilmTable());
+  EXPECT_EQ(registry.Register(duplicate).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(registry.Register(nullptr).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaRegistryTest, ResolveCoversEveryRefKind) {
+  SchemaRegistry registry(Provider());
+  auto films = std::make_shared<sql::Table>(FilmTable());
+  const std::vector<std::string> tokens = {"which", "film", "?"};
+
+  // Empty registry: routed refs cannot resolve, named refs are absent.
+  EXPECT_EQ(registry.Resolve(SchemaRef::Route(), tokens).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(registry.CheckResolvable(SchemaRef::Route()).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(registry.Resolve(SchemaRef(), tokens).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.Resolve(SchemaRef::Table(nullptr), tokens)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+
+  const TableId id = registry.Register(films).value();
+
+  // Ad-hoc table ref: resolves to the pointer; picks up the handle
+  // because this exact table happens to be registered.
+  auto by_table = registry.Resolve(SchemaRef::Table(films.get()), tokens);
+  ASSERT_TRUE(by_table.ok());
+  EXPECT_EQ(by_table->table, films.get());
+  EXPECT_EQ(by_table->id, id);
+  // An unregistered ad-hoc table resolves with no handle.
+  sql::Table adhoc = CountyTable();
+  auto by_adhoc = registry.Resolve(SchemaRef::Table(&adhoc), tokens);
+  ASSERT_TRUE(by_adhoc.ok());
+  EXPECT_EQ(by_adhoc->id, kInvalidTableId);
+
+  auto by_name = registry.Resolve(SchemaRef::Name("films"), tokens);
+  ASSERT_TRUE(by_name.ok());
+  EXPECT_EQ(by_name->table, films.get());
+  EXPECT_EQ(registry.Resolve(SchemaRef::Name("nope"), tokens).status().code(),
+            StatusCode::kNotFound);
+
+  auto by_id = registry.Resolve(SchemaRef::Id(id), tokens);
+  ASSERT_TRUE(by_id.ok());
+  EXPECT_EQ(by_id->table, films.get());
+  EXPECT_EQ(registry.Resolve(SchemaRef::Id(7), tokens).status().code(),
+            StatusCode::kNotFound);
+
+  auto routed = registry.Resolve(SchemaRef::Route(), tokens);
+  ASSERT_TRUE(routed.ok());
+  EXPECT_EQ(routed->table, films.get());
+  ASSERT_FALSE(routed->candidates.empty());
+  EXPECT_EQ(routed->candidates.front().id, id);
+  EXPECT_EQ(registry.Resolve(SchemaRef::Route(), {}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaRegistryTest, PersistenceRoundTrip) {
+  const std::string path = TempPath("schema_store.nlsr");
+  auto provider = Provider();
+  sql::Table films = FilmTable();
+  sql::Table counties = CountyTable();
+  {
+    SchemaRegistry writer(provider);
+    (void)writer.StatsFor(films);
+    (void)writer.StatsFor(counties);
+    ASSERT_TRUE(writer.Save(path).ok());
+  }
+
+  auto& computed =
+      metrics::MetricsRegistry::Global().GetCounter("schema.stats_computed");
+  auto& loaded =
+      metrics::MetricsRegistry::Global().GetCounter("schema.stats_loaded");
+  SchemaRegistry reader(provider);
+  ASSERT_TRUE(reader.Load(path).ok());
+  const int64_t computed_before = computed.Value();
+  const int64_t loaded_before = loaded.Value();
+  // Cold start is a load, not a recompute: the cell-scan statistics come
+  // from disk bit-for-bit; only the cheap embedding half is rebuilt.
+  SchemaRegistry fresh(provider);
+  ExpectStatsEqual(reader.StatsFor(films), fresh.StatsFor(films));
+  ExpectStatsEqual(reader.StatsFor(counties), fresh.StatsFor(counties));
+  EXPECT_EQ(computed.Value() - computed_before, 2);  // `fresh` only
+  EXPECT_EQ(loaded.Value() - loaded_before, 2);      // `reader` warm hits
+}
+
+TEST(SchemaRegistryTest, SaveCarriesLoadedEntriesForward) {
+  // Load-then-Save must not drop entries whose tables were never touched
+  // this process: a registry acting as a pass-through keeps the store.
+  const std::string path = TempPath("schema_store_fwd.nlsr");
+  const std::string path2 = TempPath("schema_store_fwd2.nlsr");
+  auto provider = Provider();
+  sql::Table films = FilmTable();
+  {
+    SchemaRegistry writer(provider);
+    (void)writer.StatsFor(films);
+    ASSERT_TRUE(writer.Save(path).ok());
+  }
+  {
+    SchemaRegistry relay(provider);
+    ASSERT_TRUE(relay.Load(path).ok());
+    ASSERT_TRUE(relay.Save(path2).ok());
+  }
+  SchemaRegistry reader(provider);
+  ASSERT_TRUE(reader.Load(path2).ok());
+  SchemaRegistry fresh(provider);
+  ExpectStatsEqual(reader.StatsFor(films), fresh.StatsFor(films));
+}
+
+TEST(SchemaRegistryTest, CorruptStoreIsRejectedAndRecomputeStillWorks) {
+  const std::string path = TempPath("schema_store_corrupt.nlsr");
+  auto provider = Provider();
+  sql::Table films = FilmTable();
+  {
+    SchemaRegistry writer(provider);
+    (void)writer.StatsFor(films);
+    ASSERT_TRUE(writer.Save(path).ok());
+  }
+  StatusOr<std::string> contents = io::ReadFileToString(path);
+  ASSERT_TRUE(contents.ok());
+
+  auto write_bytes = [](const std::string& p, const std::string& bytes) {
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  };
+
+  // Bit rot in the payload: the CRC32C footer catches it.
+  std::string flipped = contents.value();
+  flipped[flipped.size() / 2] ^= 0x40;
+  write_bytes(path, flipped);
+  SchemaRegistry bitrot(provider);
+  Status s = bitrot.Load(path);
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_NE(s.message().find("checksum"), std::string::npos) << s;
+
+  // Torn write: truncation also fails the footer check.
+  write_bytes(path, contents.value().substr(0, contents.value().size() - 7));
+  EXPECT_EQ(bitrot.Load(path).code(), StatusCode::kParseError);
+
+  // Missing file is a plain I/O error.
+  EXPECT_FALSE(bitrot.Load(TempPath("no_such_store.nlsr")).ok());
+
+  // The failed loads left the registry untouched; statistics still come
+  // from recomputation and match a fresh registry exactly.
+  SchemaRegistry fresh(provider);
+  ExpectStatsEqual(bitrot.StatsFor(films), fresh.StatsFor(films));
+}
+
+TEST(SchemaRegistryTest, ConcurrentReadsShareOneEntryPerContent) {
+  auto provider = Provider();
+  SchemaRegistry registry(provider);
+  auto films = std::make_shared<sql::Table>(FilmTable());
+  ASSERT_TRUE(registry.Register(films).ok());
+  sql::Table adhoc = CountyTable();
+  const std::vector<std::string> question = {"what", "is",   "the",
+                                             "population", "of", "mayo"};
+
+  constexpr int kIters = 64;
+  std::vector<const TableStatsEntry*> seen(kIters, nullptr);
+  std::vector<int> route_winner(kIters, -1);
+  ThreadPool pool(8);
+  pool.ParallelFor(0, kIters, [&](int begin, int end) {
+    for (int i = begin; i < end; ++i) {
+      const sql::Table& t = (i % 2 == 0) ? *films : adhoc;
+      seen[i] = &registry.EntryFor(t);
+      auto ranked = registry.Route(question, 3);
+      route_winner[i] = ranked.empty() ? -1 : ranked.front().id;
+      EXPECT_EQ(registry.ShortlistColumns(question, t).size(), 2u);
+    }
+  });
+  // Racing first-touch computes converge on one resident entry per
+  // distinct content, and every routed read saw a consistent index.
+  for (int i = 0; i < kIters; ++i) {
+    EXPECT_EQ(seen[i], seen[i % 2]) << i;
+    EXPECT_EQ(route_winner[i], 0) << i;
+  }
+  EXPECT_NE(seen[0], seen[1]);
+}
+
+}  // namespace
+}  // namespace schema
+}  // namespace nlidb

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/generator.h"
+#include "schema/registry.h"
+#include "sql/value.h"
+
+namespace nlidb {
+namespace schema {
+namespace {
+
+std::shared_ptr<text::EmbeddingProvider> Provider() {
+  auto provider = std::make_shared<text::EmbeddingProvider>(48);
+  data::RegisterDomainClusters(*provider);
+  return provider;
+}
+
+TEST(RouterTest, LexicalEvidencePicksTheRightTable) {
+  SchemaRegistry registry(Provider());
+  sql::Schema films_schema({{"film_name", sql::DataType::kText},
+                            {"director", sql::DataType::kText}});
+  auto films = std::make_shared<sql::Table>("films", films_schema);
+  ASSERT_TRUE(films
+                  ->AddRow({sql::Value::Text("winter echo"),
+                            sql::Value::Text("sofia garcia")})
+                  .ok());
+  sql::Schema county_schema({{"county", sql::DataType::kText},
+                             {"population", sql::DataType::kReal}});
+  auto counties = std::make_shared<sql::Table>("counties", county_schema);
+  ASSERT_TRUE(
+      counties->AddRow({sql::Value::Text("mayo"), sql::Value::Real(130507)})
+          .ok());
+  ASSERT_TRUE(registry.Register(films).ok());
+  ASSERT_TRUE(registry.Register(counties).ok());
+
+  auto ranked = registry.Route(
+      {"what", "is", "the", "population", "of", "mayo", "?"}, 5);
+  ASSERT_EQ(ranked.size(), 2u);
+  EXPECT_EQ(ranked.front().name, "counties");
+  EXPECT_GT(ranked[0].score, ranked[1].score);
+
+  // Cell evidence routes too: "sofia garcia" appears only in films' rows.
+  ranked = registry.Route({"who", "is", "sofia", "garcia", "?"}, 5);
+  ASSERT_FALSE(ranked.empty());
+  EXPECT_EQ(ranked.front().name, "films");
+}
+
+TEST(RouterTest, LimitAndEmptyRegistryEdges) {
+  SchemaRegistry registry(Provider());
+  EXPECT_TRUE(registry.Route({"anything"}, 5).empty());
+
+  for (int i = 0; i < 8; ++i) {
+    sql::Schema schema({{"col_" + std::to_string(i), sql::DataType::kText}});
+    auto t = std::make_shared<sql::Table>("t" + std::to_string(i), schema);
+    ASSERT_TRUE(t->AddRow({sql::Value::Text("v" + std::to_string(i))}).ok());
+    ASSERT_TRUE(registry.Register(t).ok());
+  }
+  EXPECT_EQ(registry.Route({"anything"}, 3).size(), 3u);
+  EXPECT_EQ(registry.Route({"anything"}, 100).size(), 8u);
+  EXPECT_TRUE(registry.Route({"anything"}, 0).empty());
+}
+
+TEST(RouterTest, RoutingIsDeterministic) {
+  auto provider = Provider();
+  data::GeneratorConfig gc;
+  gc.num_tables = 20;
+  gc.questions_per_table = 2;
+  gc.seed = 11;
+  data::WikiSqlGenerator gen(gc, data::TrainDomains());
+  data::Dataset ds = gen.Generate();
+
+  SchemaRegistry a(provider);
+  SchemaRegistry b(provider);
+  for (const auto& table : ds.tables) {
+    ASSERT_TRUE(a.Register(table).ok());
+    ASSERT_TRUE(b.Register(table).ok());
+  }
+  for (const data::Example& ex : ds.examples) {
+    auto ra = a.Route(ex.tokens, 5);
+    auto rb = b.Route(ex.tokens, 5);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (size_t i = 0; i < ra.size(); ++i) {
+      EXPECT_EQ(ra[i].id, rb[i].id);
+      EXPECT_EQ(ra[i].score, rb[i].score);
+    }
+  }
+}
+
+TEST(RouterTest, RecallOnSeededCorpus) {
+  // The scaling-gate metric in miniature: register a generated corpus,
+  // route every question, and check the gold table lands in the top
+  // candidates. The full sweep (10/100/1000 tables) runs in
+  // bench_schema_scale; this pins a floor so routing regressions fail
+  // fast in the suite.
+  auto provider = Provider();
+  data::GeneratorConfig gc;
+  gc.num_tables = 30;
+  gc.questions_per_table = 4;
+  gc.seed = 7;
+  data::WikiSqlGenerator gen(gc, data::TrainDomains());
+  data::Dataset ds = gen.Generate();
+
+  SchemaRegistry registry(provider);
+  for (const auto& table : ds.tables) {
+    ASSERT_TRUE(registry.Register(table).ok());
+  }
+  int hits_at_1 = 0;
+  int hits_at_3 = 0;
+  int total = 0;
+  for (const data::Example& ex : ds.examples) {
+    auto ranked = registry.Route(ex.tokens, 3);
+    ASSERT_FALSE(ranked.empty());
+    ++total;
+    if (ranked.front().name == ex.table->name()) ++hits_at_1;
+    for (const RouteCandidate& c : ranked) {
+      if (c.name == ex.table->name()) {
+        ++hits_at_3;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(total, 0);
+  const double recall1 = static_cast<double>(hits_at_1) / total;
+  const double recall3 = static_cast<double>(hits_at_3) / total;
+  EXPECT_GE(recall3, 0.8) << "recall@3 " << recall3 << " over " << total;
+  EXPECT_GE(recall1, 0.5) << "recall@1 " << recall1 << " over " << total;
+}
+
+}  // namespace
+}  // namespace schema
+}  // namespace nlidb

@@ -71,7 +71,7 @@ class ServingEquivalenceTest : public ::testing::Test {
 
   static core::QueryRequest RequestFor(const data::Example& ex) {
     core::QueryRequest request;
-    request.table = ex.table.get();
+    request.schema_ref = core::SchemaRef::Table(ex.table.get());
     request.tokens = ex.tokens;
     return request;
   }

@@ -73,7 +73,7 @@ class ServingFaultTest : public ::testing::Test {
   core::QueryRequest Request() const {
     const data::Example& ex = splits_->train.examples.front();
     core::QueryRequest request;
-    request.table = ex.table.get();
+    request.schema_ref = core::SchemaRef::Table(ex.table.get());
     request.tokens = ex.tokens;
     return request;
   }

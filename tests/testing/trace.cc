@@ -85,7 +85,7 @@ std::string TraceExample(const core::NlidbPipeline& pipeline,
   os << "\n";
 
   core::QueryRequest request;
-  request.table = &table;
+  request.schema_ref = core::SchemaRef::Table(&table);
   request.tokens = example.tokens;
   request.execute = false;
   request.collect_timings = false;
