@@ -150,6 +150,12 @@ inline const char* SchemaJsonPath() {
   return v != nullptr ? v : "BENCH_schema.json";
 }
 
+/// Output path for bench_attack's soak + hardening report.
+inline const char* AttackJsonPath() {
+  const char* v = std::getenv("NLIDB_BENCH_ATTACK_JSON");
+  return v != nullptr ? v : "BENCH_attack.json";
+}
+
 }  // namespace bench
 }  // namespace nlidb
 

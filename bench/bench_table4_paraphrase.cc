@@ -9,7 +9,7 @@
 
 #include "bench/bench_util.h"
 
-#include "data/paraphrase_bench.h"
+#include "attack/paraphrase_bench.h"
 
 namespace nlidb {
 namespace bench {
@@ -24,7 +24,8 @@ int Run() {
   pc.num_tables = std::max(3, EnvTables() / 10);
   pc.questions_per_table = 8;
   pc.seed = 202;
-  data::ParaphraseBenchCorpus corpus = data::GenerateParaphraseBench(pc);
+  attack::ParaphraseBenchCorpus corpus =
+      attack::GenerateParaphraseBench(pc);
 
   std::printf("%-15s | zero-shot Acc_qm\n", "category");
   for (const auto& cat : corpus.categories) {

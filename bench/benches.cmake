@@ -4,8 +4,8 @@ function(nlidb_bench name src)
   add_executable(${name} bench/${src})
   set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
   target_link_libraries(${name} PRIVATE
-    nlidb_eval nlidb_baselines nlidb_serving nlidb_core nlidb_data nlidb_sql
-    nlidb_text nlidb_nn nlidb_tensor nlidb_common)
+    nlidb_attack nlidb_eval nlidb_baselines nlidb_serving nlidb_core
+    nlidb_data nlidb_sql nlidb_text nlidb_nn nlidb_tensor nlidb_common)
   target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR})
 endfunction()
 
@@ -23,6 +23,7 @@ nlidb_bench(bench_stage_breakdown bench_stage_breakdown.cc)
 nlidb_bench(bench_decoder bench_decoder.cc)
 nlidb_bench(bench_serving bench_serving.cc)
 nlidb_bench(bench_schema_scale bench_schema_scale.cc)
+nlidb_bench(bench_attack bench_attack.cc)
 
 add_executable(bench_micro_substrate bench/bench_micro_substrate.cc)
 set_target_properties(bench_micro_substrate PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

@@ -1,0 +1,85 @@
+#include "attack/harden.h"
+
+#include <algorithm>
+#include <iterator>
+#include <utility>
+
+#include "common/logging.h"
+#include "core/trainer.h"
+
+namespace nlidb {
+namespace attack {
+
+AttackMatrix EvaluateUnderAttack(const core::NlidbPipeline& pipeline,
+                                 const std::vector<Mutant>& mutants) {
+  AttackMatrix matrix;
+  for (const Mutant& m : mutants) {
+    core::QueryRequest request;
+    request.schema_ref = core::SchemaRef::Table(m.example.table.get());
+    request.tokens = m.example.tokens;
+    request.collect_timings = false;
+    StatusOr<core::QueryResult> result = pipeline.Query(request);
+    const core::QueryResult empty;
+    matrix.Add(m.kind, TriageOutcome(m.example, result.status(),
+                                     result.ok() ? result.value() : empty));
+  }
+  return matrix;
+}
+
+HardenReport Harden(const core::NlidbPipeline& baseline,
+                    std::shared_ptr<text::EmbeddingProvider> provider,
+                    const data::Dataset& train,
+                    const data::Dataset& eval_clean,
+                    const std::vector<Mutant>& attack_eval,
+                    const MutationEngine& engine,
+                    const HardenOptions& options) {
+  HardenReport report;
+  report.baseline = EvaluateUnderAttack(baseline, attack_eval);
+  report.clean_baseline = eval::EvaluatePipeline(baseline, eval_clean);
+
+  // Pick the worst buckets by accuracy-under-attack, worst first.
+  AttackMatrix remaining = report.baseline;
+  for (int b = 0; b < options.buckets; ++b) {
+    const int worst = remaining.WorstRow(options.min_bucket_samples);
+    if (worst < 0) break;
+    report.hardened_kinds.push_back(static_cast<MutatorKind>(worst));
+    // Exclude the chosen row from the next WorstRow pass.
+    for (int s = 0; s < kNumStages; ++s) remaining.counts[worst][s] = 0;
+  }
+  if (report.hardened_kinds.empty()) {
+    NLIDB_LOG(Warning) << "harden: no bucket met min_bucket_samples; "
+                          "nothing to retrain on";
+    return report;
+  }
+
+  // Augmentation: the worst buckets' mutations applied to the training
+  // corpus itself (fresh streams via augment_salt). The gold spans the
+  // mutation engine maintains make the mutants full training examples.
+  data::Dataset augmentation;
+  augmentation.tables = train.tables;
+  const int copies = std::max(1, options.augment_copies);
+  for (size_t k = 0; k < report.hardened_kinds.size(); ++k) {
+    for (int c = 0; c < copies; ++c) {
+      data::Dataset mutated = MutateDataset(
+          engine, train, report.hardened_kinds[k],
+          options.augment_salt + k * static_cast<uint64_t>(copies) +
+              static_cast<uint64_t>(c));
+      augmentation.examples.insert(
+          augmentation.examples.end(),
+          std::make_move_iterator(mutated.examples.begin()),
+          std::make_move_iterator(mutated.examples.end()));
+    }
+  }
+
+  report.hardened_pipeline = std::make_unique<core::NlidbPipeline>(
+      baseline.config(), std::move(provider));
+  report.hardened_pipeline->Train(train, augmentation);
+
+  report.hardened = EvaluateUnderAttack(*report.hardened_pipeline, attack_eval);
+  report.clean_hardened =
+      eval::EvaluatePipeline(*report.hardened_pipeline, eval_clean);
+  return report;
+}
+
+}  // namespace attack
+}  // namespace nlidb

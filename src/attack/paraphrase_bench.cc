@@ -1,0 +1,49 @@
+#include "attack/paraphrase_bench.h"
+
+#include <utility>
+
+#include "data/domain.h"
+
+namespace nlidb {
+namespace attack {
+
+ParaphraseBenchCorpus GenerateParaphraseBench(
+    const data::GeneratorConfig& config) {
+  auto generate = [&](data::QuestionStyle style,
+                      uint64_t seed) -> data::Dataset {
+    data::GeneratorConfig sub = config;
+    sub.style = style;
+    sub.seed = seed;
+    data::WikiSqlGenerator gen(sub, {data::PatientsDomain()});
+    return gen.Generate();
+  };
+
+  // The generated naive corpus seeds the three mutated categories:
+  // lexical, morphological and missing are the engine's synonym-swap,
+  // inflection and implicit-column mutators over the same questions.
+  const data::Dataset naive = generate(data::QuestionStyle::kNaive,
+                                       config.seed);
+  const MutationEngine engine(MutationConfig{config.seed});
+
+  ParaphraseBenchCorpus corpus;
+  auto add = [&](data::QuestionStyle style, data::Dataset dataset) {
+    corpus.categories.push_back(
+        ParaphraseBenchCorpus::Category{style, std::move(dataset)});
+  };
+  // Paper category order.
+  add(data::QuestionStyle::kNaive, naive);
+  add(data::QuestionStyle::kSyntactic,
+      generate(data::QuestionStyle::kSyntactic, config.seed + 1));
+  add(data::QuestionStyle::kLexical,
+      MutateDataset(engine, naive, MutatorKind::kSynonymSwap, /*salt=*/1));
+  add(data::QuestionStyle::kMorphological,
+      MutateDataset(engine, naive, MutatorKind::kMorphInflect, /*salt=*/2));
+  add(data::QuestionStyle::kSemantic,
+      generate(data::QuestionStyle::kSemantic, config.seed + 4));
+  add(data::QuestionStyle::kMissing,
+      MutateDataset(engine, naive, MutatorKind::kImplicitColumn, /*salt=*/3));
+  return corpus;
+}
+
+}  // namespace attack
+}  // namespace nlidb

@@ -138,6 +138,21 @@ Status Activate(const std::string& site, const std::string& spec) {
   return Status::Ok();
 }
 
+void ActivateRandomDelay(uint64_t seed) {
+  Registry& r = GetRegistry();
+  MutexLock lock(r.mu);
+  r.random_delay = true;
+  r.random_seed = seed;
+  r.hits.clear();
+  PublishActive(ActiveCount(r));
+}
+
+bool RandomDelayActive() {
+  Registry& r = GetRegistry();
+  MutexLock lock(r.mu);
+  return r.random_delay;
+}
+
 void Deactivate(const std::string& site) {
   Registry& r = GetRegistry();
   MutexLock lock(r.mu);

@@ -72,6 +72,12 @@ TrainReport NlidbPipeline::Train(const data::Dataset& train) {
   return report;
 }
 
+TrainReport NlidbPipeline::Train(const data::Dataset& train,
+                                 const data::Dataset& augmentation) {
+  if (augmentation.examples.empty()) return Train(train);
+  return Train(AugmentDataset(train, augmentation));
+}
+
 NlidbPipeline::TrainableComponents NlidbPipeline::MutableForTraining() {
   return TrainableComponents{classifier_.get(), value_detector_.get(),
                              translator_.get()};
@@ -114,15 +120,7 @@ StatusOr<QueryResult> NlidbPipeline::Query(const QueryRequest& request) const {
 
   trace::TraceSpan span("pipeline.query");
   queries.Increment();
-  // Effective schema reference: schema_ref when set, else the deprecated
-  // raw-pointer shim (one release; pipeline.cc is its only reader).
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  schema::SchemaRef ref = request.schema_ref;
-  if (ref.unset() && request.table != nullptr) {
-    ref = schema::SchemaRef::Table(request.table);
-  }
-#pragma GCC diagnostic pop
+  const schema::SchemaRef& ref = request.schema_ref;
   if (ref.unset()) {
     return Status::InvalidArgument(
         "QueryRequest has no schema reference: set schema_ref");

@@ -38,25 +38,6 @@ struct QueryRequest {
   /// from the question itself.
   schema::SchemaRef schema_ref;
 
-  /// One-release compatibility shim for the retired raw-`Table*` entry
-  /// path (the `Translate*` retirement playbook): honored only while
-  /// `schema_ref` is unset, and slated for removal.
-  [[deprecated("set QueryRequest::schema_ref instead")]]
-  const sql::Table* table = nullptr;
-
-  // The special members are spelled out (inside a diagnostic guard)
-  // because their defaulted bodies touch the deprecated shim above;
-  // without this, merely default-constructing or moving a QueryRequest
-  // would warn in every caller TU under -Werror.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  QueryRequest() = default;
-  QueryRequest(const QueryRequest&) = default;
-  QueryRequest(QueryRequest&&) = default;
-  QueryRequest& operator=(const QueryRequest&) = default;
-  QueryRequest& operator=(QueryRequest&&) = default;
-#pragma GCC diagnostic pop
-
   std::string question;             // raw NL question (tokenized here)
   std::vector<std::string> tokens;  // pre-tokenized question
 
@@ -172,6 +153,13 @@ class NlidbPipeline {
 
   /// Trains all three learned components on `train`.
   TrainReport Train(const data::Dataset& train);
+
+  /// Trains on `train` plus an augmentation corpus (adversarial
+  /// mutants, hard buckets from attack triage). Equivalent to Train on
+  /// AugmentDataset(train, augmentation); the overload is the hardening
+  /// loop's entry point.
+  TrainReport Train(const data::Dataset& train,
+                    const data::Dataset& augmentation);
 
   /// The pipeline entry point. Returns an error for an invalid request
   /// (unresolvable schema_ref, empty question, zero-column table) or

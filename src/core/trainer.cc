@@ -54,6 +54,23 @@ Annotation GoldAnnotation(const data::Example& example) {
   return annotation;
 }
 
+data::Dataset AugmentDataset(const data::Dataset& base,
+                             const data::Dataset& augmentation) {
+  data::Dataset merged;
+  merged.tables = base.tables;
+  for (const auto& table : augmentation.tables) {
+    if (std::find(merged.tables.begin(), merged.tables.end(), table) ==
+        merged.tables.end()) {
+      merged.tables.push_back(table);
+    }
+  }
+  merged.examples = base.examples;
+  merged.examples.insert(merged.examples.end(),
+                         augmentation.examples.begin(),
+                         augmentation.examples.end());
+  return merged;
+}
+
 float TrainColumnMentionClassifier(ColumnMentionClassifier& classifier,
                                    const data::Dataset& dataset,
                                    const ModelConfig& config, int* num_pairs) {

@@ -19,6 +19,13 @@ namespace core {
 /// produces).
 Annotation GoldAnnotation(const data::Example& example);
 
+/// Concatenates a base corpus with an augmentation corpus (adversarial
+/// mutants, paraphrase variants) into one training dataset. Tables are
+/// merged with pointer-identity dedup — augmented examples generated
+/// from base tables do not duplicate them.
+data::Dataset AugmentDataset(const data::Dataset& base,
+                             const data::Dataset& augmentation);
+
 /// Per-stage training results (mean loss of the final epoch).
 struct TrainReport {
   float classifier_loss = 0.0f;

@@ -139,16 +139,7 @@ std::shared_ptr<ServingEngine::Ticket> ServingEngine::Submit(
   // resolved with the same error the pipeline would have returned —
   // keeping the counter invariant admission-path independent.
   {
-    // Honor the deprecated raw-`Table*` shim exactly as the pipeline
-    // does, so shimmed requests are not rejected here.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    schema::SchemaRef ref = request.schema_ref;
-    if (ref.unset() && request.table != nullptr) {
-      ref = schema::SchemaRef::Table(request.table);
-    }
-#pragma GCC diagnostic pop
-    Status resolvable = pipeline_.registry().CheckResolvable(ref);
+    Status resolvable = pipeline_.registry().CheckResolvable(request.schema_ref);
     if (!resolvable.ok()) {
       counters.admitted.Increment();
       counters.completed.Increment();

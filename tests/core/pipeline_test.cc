@@ -200,22 +200,6 @@ TEST_F(PipelineTest, QueryRoutesWhenNoTableGiven) {
   EXPECT_EQ(result->routing.front().name, "counties");
 }
 
-TEST_F(PipelineTest, DeprecatedTablePointerShimStillWorks) {
-  NlidbPipeline pipeline(config_, provider_);
-  sql::Table table = FilmTable();
-  QueryRequest request;
-  // One-release compat shim: the raw-pointer path must behave exactly
-  // like SchemaRef::Table until it is removed.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  request.table = &table;
-#pragma GCC diagnostic pop
-  request.question = "which film name directed by sofia garcia ?";
-  auto result = pipeline.Query(request);
-  ASSERT_TRUE(result.ok()) << result.status();
-  EXPECT_EQ(result->table_name, "films");
-}
-
 TEST_F(PipelineTest, MetadataInjectionImprovesAnnotation) {
   // The Sec. II mechanism: with P_c metadata, a paraphrase mention
   // becomes a context-free match even for an untrained pipeline.

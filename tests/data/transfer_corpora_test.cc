@@ -3,7 +3,7 @@
 #include <set>
 
 #include "data/overnight.h"
-#include "data/paraphrase_bench.h"
+#include "attack/paraphrase_bench.h"
 
 namespace nlidb {
 namespace data {
@@ -58,7 +58,8 @@ TEST(ParaphraseBenchTest, SixCategoriesInPaperOrder) {
   config.num_tables = 3;
   config.questions_per_table = 4;
   config.seed = 3;
-  ParaphraseBenchCorpus corpus = GenerateParaphraseBench(config);
+  attack::ParaphraseBenchCorpus corpus =
+      attack::GenerateParaphraseBench(config);
   ASSERT_EQ(corpus.categories.size(), 6u);
   EXPECT_EQ(corpus.categories[0].style, QuestionStyle::kNaive);
   EXPECT_EQ(corpus.categories[1].style, QuestionStyle::kSyntactic);
@@ -75,7 +76,8 @@ TEST(ParaphraseBenchTest, AllCategoriesUsePatientsDomain) {
   GeneratorConfig config;
   config.num_tables = 2;
   config.seed = 4;
-  ParaphraseBenchCorpus corpus = GenerateParaphraseBench(config);
+  attack::ParaphraseBenchCorpus corpus =
+      attack::GenerateParaphraseBench(config);
   const std::set<std::string> patient_columns = {
       "patient", "age", "diagnosis", "doctor", "length_of_stay"};
   for (const auto& cat : corpus.categories) {
@@ -92,7 +94,8 @@ TEST(ParaphraseBenchTest, StylesProduceDifferentSurfaceForms) {
   config.num_tables = 2;
   config.questions_per_table = 6;
   config.seed = 5;
-  ParaphraseBenchCorpus corpus = GenerateParaphraseBench(config);
+  attack::ParaphraseBenchCorpus corpus =
+      attack::GenerateParaphraseBench(config);
   // Syntactic category fronts conditions with "for the entry".
   bool fronted = false;
   for (const Example& ex : corpus.categories[1].dataset.examples) {
